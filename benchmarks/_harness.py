@@ -1,0 +1,28 @@
+"""Benchmark-suite support.
+
+Every benchmark runs one paper experiment exactly once under
+pytest-benchmark (wall time of the full reproduction pipeline), prints the
+rendered report (visible with ``-s`` or on failure), saves it under
+``benchmarks/output/``, and asserts the paper-shape expectations.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def run_and_check(benchmark, fn, **kwargs):
+    """Benchmark one experiment runner and enforce its expectations."""
+    report = benchmark.pedantic(
+        lambda: fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    text = report.render()
+    print()
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{report.experiment}.txt").write_text(text + "\n")
+    failed = [k for k, ok in report.expectations.items() if not ok]
+    assert not failed, f"paper-shape checks failed: {failed}"
+    return report

@@ -1,0 +1,13 @@
+"""Ablation 1: the non-overlappable gap/overhead ceiling (LogGP's g and
+o cannot be hidden by message concurrency).
+
+Run: ``pytest benchmarks/bench_ablation_gap.py --benchmark-only -s``
+"""
+
+from repro.experiments.ablations import run_ablation_gap
+
+from _harness import run_and_check
+
+
+def test_ablation_gap(benchmark):
+    run_and_check(benchmark, run_ablation_gap)

@@ -1,0 +1,13 @@
+"""Ablation 4: the Listing-1 receiver-notification polling cost as the
+one-sided SpTRSV scaling limiter.
+
+Run: ``pytest benchmarks/bench_ablation_polling.py --benchmark-only -s``
+"""
+
+from repro.experiments.ablations import run_ablation_polling
+
+from _harness import run_and_check
+
+
+def test_ablation_polling(benchmark):
+    run_and_check(benchmark, run_ablation_polling)

@@ -1,0 +1,13 @@
+"""Ablation 3: hardware put-with-signal on CPUs — the paper's projection
+that one-sided then easily outperforms two-sided.
+
+Run: ``pytest benchmarks/bench_ablation_put_signal.py --benchmark-only -s``
+"""
+
+from repro.experiments.ablations import run_ablation_put_with_signal
+
+from _harness import run_and_check
+
+
+def test_ablation_put_signal(benchmark):
+    run_and_check(benchmark, run_ablation_put_with_signal)

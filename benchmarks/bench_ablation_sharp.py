@@ -1,0 +1,13 @@
+"""Ablation 2: sharp vs rounded junction — how unreachable the ideal
+roofline knee is.
+
+Run: ``pytest benchmarks/bench_ablation_sharp.py --benchmark-only -s``
+"""
+
+from repro.experiments.ablations import run_ablation_sharp_junction
+
+from _harness import run_and_check
+
+
+def test_ablation_sharp(benchmark):
+    run_and_check(benchmark, run_ablation_sharp_junction)

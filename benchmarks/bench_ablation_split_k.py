@@ -1,0 +1,13 @@
+"""Ablation 5: message-split factor k (2/4/8) on the 4-channel NVLink
+port group.
+
+Run: ``pytest benchmarks/bench_ablation_split_k.py --benchmark-only -s``
+"""
+
+from repro.experiments.ablations import run_ablation_split_factor
+
+from _harness import run_and_check
+
+
+def test_ablation_split_k(benchmark):
+    run_and_check(benchmark, run_ablation_split_factor)

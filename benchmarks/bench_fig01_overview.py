@@ -1,0 +1,13 @@
+"""Fig. 1: Message Roofline overview on Frontier — sharp vs rounded model,
+latency ceilings per msg/sync, measured dots.
+
+Run: ``pytest benchmarks/bench_fig01_overview.py --benchmark-only -s``
+"""
+
+from repro.experiments import run_fig01
+
+from _harness import run_and_check
+
+
+def test_fig01(benchmark):
+    run_and_check(benchmark, run_fig01)

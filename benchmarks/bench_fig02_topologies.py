@@ -1,0 +1,13 @@
+"""Fig. 2: node architectures of the four platforms, regenerated from the
+machine models with the paper's structural facts asserted.
+
+Run: ``pytest benchmarks/bench_fig02_topologies.py --benchmark-only -s``
+"""
+
+from repro.experiments import run_fig02
+
+from _harness import run_and_check
+
+
+def test_fig02(benchmark):
+    run_and_check(benchmark, run_fig02)

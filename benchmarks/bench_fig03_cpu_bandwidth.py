@@ -1,0 +1,13 @@
+"""Fig. 3: two-sided vs one-sided MPI sustained bandwidth on Perlmutter,
+Frontier and Summit CPUs, with fitted LogGP ceilings.
+
+Run: ``pytest benchmarks/bench_fig03_cpu_bandwidth.py --benchmark-only -s``
+"""
+
+from repro.experiments import run_fig03
+
+from _harness import run_and_check
+
+
+def test_fig03(benchmark):
+    run_and_check(benchmark, run_fig03)

@@ -1,0 +1,13 @@
+"""Fig. 4: NVSHMEM GPU-initiated put-with-signal bandwidth and remote
+atomic CAS latencies on Perlmutter and Summit GPUs.
+
+Run: ``pytest benchmarks/bench_fig04_gpu_bandwidth.py --benchmark-only -s``
+"""
+
+from repro.experiments import run_fig04
+
+from _harness import run_and_check
+
+
+def test_fig04(benchmark):
+    run_and_check(benchmark, run_fig04)

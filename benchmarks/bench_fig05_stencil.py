@@ -1,0 +1,13 @@
+"""Fig. 5: stencil time on CPUs and GPUs; two-sided == one-sided on CPUs
+(bandwidth-bound), GPUs win via bandwidth + parallelism.
+
+Run: ``pytest benchmarks/bench_fig05_stencil.py --benchmark-only -s``
+"""
+
+from repro.experiments import run_fig05
+
+from _harness import run_and_check
+
+
+def test_fig05(benchmark):
+    run_and_check(benchmark, run_fig05)

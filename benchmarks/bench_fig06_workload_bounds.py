@@ -1,0 +1,13 @@
+"""Fig. 6: Message-Roofline communication bounds of HashTable, Stencil
+and SpTRSV on Perlmutter CPUs.
+
+Run: ``pytest benchmarks/bench_fig06_workload_bounds.py --benchmark-only -s``
+"""
+
+from repro.experiments import run_fig06
+
+from _harness import run_and_check
+
+
+def test_fig06(benchmark):
+    run_and_check(benchmark, run_fig06)

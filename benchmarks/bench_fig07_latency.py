@@ -1,0 +1,13 @@
+"""Fig. 7: effective per-message latency of the three workloads —
+hashtable (1e6 msg/sync) < stencil (4) < SpTRSV (1).
+
+Run: ``pytest benchmarks/bench_fig07_latency.py --benchmark-only -s``
+"""
+
+from repro.experiments import run_fig07
+
+from _harness import run_and_check
+
+
+def test_fig07(benchmark):
+    run_and_check(benchmark, run_fig07)

@@ -1,0 +1,13 @@
+"""Fig. 8: SpTRSV time — one-sided slower than two-sided on CPUs;
+Perlmutter GPUs scale where Summit GPUs stall.
+
+Run: ``pytest benchmarks/bench_fig08_sptrsv.py --benchmark-only -s``
+"""
+
+from repro.experiments import run_fig08
+
+from _harness import run_and_check
+
+
+def test_fig08(benchmark):
+    run_and_check(benchmark, run_fig08)

@@ -1,0 +1,13 @@
+"""Fig. 9: distributed hashtable time — CAS one-sided wins at scale,
+loses at P=2; Summit GPUs stall across sockets.
+
+Run: ``pytest benchmarks/bench_fig09_hashtable.py --benchmark-only -s``
+"""
+
+from repro.experiments import run_fig09
+
+from _harness import run_and_check
+
+
+def test_fig09(benchmark):
+    run_and_check(benchmark, run_fig09)

@@ -1,0 +1,13 @@
+"""Fig. 10: splitting one large message into four concurrent ones on
+Perlmutter GPUs — up to ~2.9x past ~131 KB.
+
+Run: ``pytest benchmarks/bench_fig10_split.py --benchmark-only -s``
+"""
+
+from repro.experiments import run_fig10
+
+from _harness import run_and_check
+
+
+def test_fig10(benchmark):
+    run_and_check(benchmark, run_fig10)

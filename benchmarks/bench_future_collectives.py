@@ -1,0 +1,13 @@
+"""Future work #2 (paper SectionV): NCCL-style ring allreduce — host-MPI vs
+GPU-initiated, single-stream vs striped over the NVLink port group.
+
+Run: ``pytest benchmarks/bench_future_collectives.py --benchmark-only -s``
+"""
+
+from repro.experiments import run_future_collectives
+
+from _harness import run_and_check
+
+
+def test_future_collectives(benchmark):
+    run_and_check(benchmark, run_future_collectives)

@@ -1,0 +1,13 @@
+"""Future-work projection (paper SectionV): Frontier MI250X under ROC_SHMEM with the
+signal wait emulated in software, compared against Perlmutter A100s.
+
+Run: ``pytest benchmarks/bench_future_frontier.py --benchmark-only -s``
+"""
+
+from repro.experiments import run_future_frontier
+
+from _harness import run_and_check
+
+
+def test_future_frontier(benchmark):
+    run_and_check(benchmark, run_future_frontier)

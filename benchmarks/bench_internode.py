@@ -1,0 +1,13 @@
+"""Inter-node extension: two-node Perlmutter over Slingshot-11 and two-node
+Summit over InfiniBand EDR, against their on-node baselines.
+
+Run: ``pytest benchmarks/bench_internode.py --benchmark-only -s``
+"""
+
+from repro.experiments import run_internode
+
+from _harness import run_and_check
+
+
+def test_internode(benchmark):
+    run_and_check(benchmark, run_internode)

@@ -1,0 +1,13 @@
+"""Table I: evaluation-platform inventory regenerated from the machine
+models.
+
+Run: ``pytest benchmarks/bench_table1_platforms.py --benchmark-only -s``
+"""
+
+from repro.experiments import run_table1
+
+from _harness import run_and_check
+
+
+def test_table1(benchmark):
+    run_and_check(benchmark, run_table1)

@@ -1,0 +1,13 @@
+"""Table II: workload characterisation (msg/sync, words/msg, patterns)
+measured from instrumented runs.
+
+Run: ``pytest benchmarks/bench_table2_characterization.py --benchmark-only -s``
+"""
+
+from repro.experiments import run_table2
+
+from _harness import run_and_check
+
+
+def test_table2(benchmark):
+    run_and_check(benchmark, run_table2)

@@ -1,0 +1,2 @@
+"""Benchmarks directory conftest (sys.path setup is handled by pytest
+rootdir insertion; the shared helper lives in _harness.py)."""

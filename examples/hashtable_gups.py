@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Distributed hashtable GUPS benchmark (the paper's Fig. 9 scenario).
+
+Inserts a stream of random keys into a table distributed over P ranks.
+One-sided inserts are remote atomic compare-and-swaps (collisions chain
+into an overflow heap via fetch-and-add); two-sided inserts route a
+(ID, elem, pos) triplet to the owner with per-round synchronisation.
+
+Demonstrates the paper's crossover: two-sided wins at P=2 (one message
+beats a CAS round trip) while one-sided wins at scale — and Summit GPUs
+stop scaling once inserts cross the X-Bus.
+
+Run:  python examples/hashtable_gups.py
+"""
+
+import numpy as np
+
+from repro.machines import perlmutter_cpu, perlmutter_gpu, summit_gpu
+from repro.util import Table
+from repro.workloads.hashtable import (
+    HashTableConfig,
+    generate_keys,
+    run_hashtable,
+)
+
+
+def verify() -> None:
+    cfg = HashTableConfig(total_inserts=2000, seed=3)
+    keys = sorted(np.concatenate(generate_keys(cfg, 4)).tolist())
+    for runtime, machine in (
+        ("one_sided", perlmutter_cpu()),
+        ("two_sided", perlmutter_cpu()),
+        ("shmem", perlmutter_gpu()),
+    ):
+        res = run_hashtable(machine, runtime, cfg, 4)
+        ok = sorted(res.extras["values"]) == keys
+        extra = (
+            f", collisions={res.extras['collisions']}"
+            if res.extras["collisions"] is not None
+            else ""
+        )
+        print(f"  {runtime:10s}: every key stored exactly once = {ok}{extra}")
+        assert ok
+
+
+def scaling() -> None:
+    cfg = HashTableConfig(total_inserts=8000, seed=5)
+    table = Table(
+        ["machine", "variant", "P", "time (ms)", "KUPS", "one/two"],
+        title=f"Hashtable insert times ({cfg.total_inserts} inserts)",
+    )
+    for P in (2, 8, 32, 128):
+        one = run_hashtable(perlmutter_cpu(), "one_sided", cfg, P)
+        two = run_hashtable(perlmutter_cpu(), "two_sided", cfg, P)
+        table.add_row("perlmutter-cpu", "one_sided", P,
+                      f"{one.time * 1e3:.2f}",
+                      f"{one.extras['gups'] * 1e6:.0f}", "")
+        table.add_row("perlmutter-cpu", "two_sided", P,
+                      f"{two.time * 1e3:.2f}",
+                      f"{two.extras['gups'] * 1e6:.0f}",
+                      f"{one.time / two.time:.2f}x")
+    for machine, Ps in ((perlmutter_gpu(), (1, 2, 4)), (summit_gpu(), (1, 3, 6))):
+        for P in Ps:
+            r = run_hashtable(machine, "shmem", cfg, P)
+            table.add_row(machine.name, "shmem", P, f"{r.time * 1e3:.2f}",
+                          f"{r.extras['gups'] * 1e6:.0f}", "")
+    print(table.render())
+    print(
+        "\nPaper shape: one/two < 1 means one-sided is slower — true only"
+        "\nat P=2; at 32-128 ranks the CAS stream wins (paper: 5x at 128)."
+    )
+
+
+def main() -> None:
+    print("== correctness (all variants, 4 ranks) ==")
+    verify()
+    print("\n== scaling ==")
+    scaling()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""NCCL-style ring allreduce on simulated GPUs (paper §V future work).
+
+Compares host-initiated (CUDA-aware MPI) allreduce against the
+GPU-initiated put-with-signal ring, single-stream and striped over the
+A100's NVLink port group — and verifies the ring numerically.
+
+Run:  python examples/nccl_ring.py
+"""
+
+import numpy as np
+
+from repro.comm import Job, allreduce
+from repro.comm.gpu_collectives import run_ring_allreduce
+from repro.machines import perlmutter_gpu, summit_gpu
+from repro.util import Table
+
+
+def verify() -> None:
+    rng = np.random.default_rng(0)
+    values = [rng.normal(size=64) for _ in range(4)]
+    for stripes in (1, 4):
+        out = run_ring_allreduce(
+            perlmutter_gpu(), 4, 64, values=values, stripes=stripes
+        )
+        ok = all(
+            np.allclose(g, np.sum(values, axis=0)) for g in out["results"]
+        )
+        print(f"  ring (stripes={stripes}): matches numpy sum = {ok}")
+        assert ok
+
+
+def host_time(machine, nelems: int) -> float:
+    job = Job(machine, 4, "two_sided", placement="spread")
+
+    def program(ctx):
+        yield from ctx.barrier()
+        t0 = ctx.sim.now
+        yield from allreduce(ctx, np.zeros(nelems))
+        return ctx.sim.now - t0
+
+    return max(job.run(program).results)
+
+
+def sweep() -> None:
+    table = Table(
+        ["machine", "variant", "elements", "time (us)", "algo GB/s"],
+        title="Allreduce on 4 GPUs",
+    )
+    for mname, factory in (("perlmutter-gpu", perlmutter_gpu),
+                           ("summit-gpu", summit_gpu)):
+        for n in (4096, 262144, 4_194_304):
+            t = host_time(factory(), n)
+            bw = 2 * 3 / 4 * n * 8 / t
+            table.add_row(mname, "host-mpi", n, f"{t * 1e6:.1f}",
+                          f"{bw / 1e9:.2f}")
+            for label, stripes in (("gpu-ring", 1), ("gpu-ring-x4", 4)):
+                out = run_ring_allreduce(factory(), 4, n, stripes=stripes)
+                table.add_row(
+                    mname, label, n, f"{out['time'] * 1e6:.1f}",
+                    f"{out['algo_bandwidth'] / 1e9:.2f}",
+                )
+    print(table.render())
+    print(
+        "\nTakeaways: GPU-initiated wins everywhere (no host round trips);"
+        "\na single-stream ring uses one of the A100's four NVLink ports,"
+        "\nso V100 beats it — striping x4 (NCCL's multi-ring) recovers the"
+        "\nport group and the A100 pulls ahead."
+    )
+
+
+def main() -> None:
+    print("== correctness ==")
+    verify()
+    print("\n== bandwidth sweep ==")
+    sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Run the headline experiments at the paper's actual problem sizes.
+
+The default benchmarks use scaled-down workloads so the whole suite
+finishes in seconds; this script runs the paper-scale versions:
+
+* Stencil: 16384 x 16384 grid, 1000 iterations (paper §III-A);
+* HashTable: one million inserts (paper §III-C);
+* SpTRSV: a larger supernodal matrix (the paper's 126Kx126K / 1e8-nnz
+  factor is approached structurally; full size needs ~10 GB of dense
+  blocks, so the default here is ~1/8 of it — raise --supernodes to go
+  further).
+
+Simulation is event-driven, so the wall time scales with *messages*, not
+with the virtual seconds simulated. Expect a few minutes in total.
+
+Run:  python examples/paper_scale.py [--quick]
+"""
+
+import argparse
+import time
+
+from repro.machines import perlmutter_cpu, perlmutter_gpu
+from repro.util import Table
+from repro.workloads.hashtable import HashTableConfig, run_hashtable
+from repro.workloads.sptrsv import MatrixSpec, generate_matrix, run_sptrsv
+from repro.workloads.stencil import StencilConfig, run_stencil
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--quick", action="store_true",
+                    help="1/10 of the paper sizes (for a fast look)")
+    ap.add_argument("--supernodes", type=int, default=520)
+    args = ap.parse_args()
+    scale = 10 if args.quick else 1
+
+    table = Table(["experiment", "config", "P", "virtual time", "wall (s)"],
+                  title="Paper-scale runs")
+
+    # Stencil: 16384^2, 1000 iterations.
+    iters = 1000 // scale
+    cfg = StencilConfig(nx=16384, ny=16384, iters=iters, mode="simulate")
+    for P, machine in ((128, perlmutter_cpu()), (4, perlmutter_gpu())):
+        runtime = "two_sided" if P == 128 else "shmem"
+        w0 = time.perf_counter()
+        res = run_stencil(machine, runtime, cfg, P)
+        table.add_row("stencil", f"16384^2 x{iters}", P,
+                      f"{res.time:.3f} s", f"{time.perf_counter() - w0:.1f}")
+
+    # HashTable: 1e6 inserts.
+    inserts = 1_000_000 // scale
+    ht = HashTableConfig(total_inserts=inserts, seed=1)
+    for runtime, P in (("one_sided", 128), ("two_sided", 128)):
+        w0 = time.perf_counter()
+        res = run_hashtable(perlmutter_cpu(), runtime, ht, P)
+        table.add_row(f"hashtable/{runtime}", f"{inserts} inserts", P,
+                      f"{res.time * 1e3:.1f} ms",
+                      f"{time.perf_counter() - w0:.1f}")
+
+    # SpTRSV: large supernodal matrix.
+    n_sn = max(args.supernodes // scale, 60)
+    matrix = generate_matrix(
+        MatrixSpec(n_supernodes=n_sn, width_lo=3, width_hi=130, seed=2)
+    )
+    for runtime, P in (("two_sided", 32), ("one_sided", 32)):
+        w0 = time.perf_counter()
+        res = run_sptrsv(perlmutter_cpu(), runtime, matrix, P)
+        table.add_row(
+            f"sptrsv/{runtime}", f"n={matrix.n} nnz={matrix.nnz}", P,
+            f"{res.time * 1e3:.2f} ms", f"{time.perf_counter() - w0:.1f}",
+        )
+
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: simulate MPI on a modelled supercomputer in ~40 lines.
+
+Builds the Perlmutter CPU model, runs a two-rank ping-pong and a flood
+benchmark over the simulated Infinity Fabric, and places the measured
+bandwidth on the Message Roofline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.comm import Job
+from repro.machines import perlmutter_cpu
+from repro.roofline import MessageRoofline
+from repro.util import fmt_bw, fmt_time
+from repro.workloads.flood import run_flood
+
+
+def pingpong(ctx):
+    """Each rank program is a generator; comm verbs advance virtual time."""
+    if ctx.rank == 0:
+        req = yield from ctx.isend(1, nbytes=8, payload=b"ping")
+        yield from ctx.waitall([req])
+        payload, status = yield from ctx.recv(source=1)
+        return payload
+    payload, _ = yield from ctx.recv(source=0)
+    req = yield from ctx.isend(0, nbytes=8, payload=b"pong")
+    yield from ctx.waitall([req])
+    return payload
+
+
+def main() -> None:
+    machine = perlmutter_cpu()
+    print(machine.describe())
+    print()
+
+    # 1. Ping-pong: the simulator's virtual clock gives the latency.
+    job = Job(machine, 2, "two_sided", placement="spread")
+    result = job.run(pingpong)
+    print(f"ping-pong round trip : {fmt_time(result.time)}")
+    print(f"one-way latency      : {fmt_time(result.time / 2)}  (paper: ~3.3 us)")
+    print()
+
+    # 2. Flood: n messages per synchronization -> sustained bandwidth.
+    print("flood bandwidth vs messages-per-sync (64 KiB messages):")
+    for n in (1, 16, 256):
+        r = run_flood(perlmutter_cpu(), "two_sided", 65536, n, iters=3)
+        print(f"  n={n:4d}  {fmt_bw(r.bandwidth)}")
+    print()
+
+    # 3. The analytic Message Roofline bound for the same operating points.
+    params = machine.loggp("two_sided", 0, 1, nranks=2, placement="spread",
+                           sided="two")
+    roofline = MessageRoofline(params, name="perlmutter-cpu/two-sided")
+    print("Message Roofline bound at the same points:")
+    for n in (1, 16, 256):
+        print(f"  n={n:4d}  {fmt_bw(float(roofline.bandwidth(65536, n)))}")
+    print()
+    print(f"horizontal ceiling (peak): {fmt_bw(roofline.peak_bandwidth)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Sparse triangular solve over a supernodal DAG (the paper's Fig. 8
+scenario).
+
+Generates a synthetic SuperLU-style supernodal matrix, prints its DAG and
+communication-plan statistics, verifies the distributed solve against
+scipy, and compares two-sided vs one-sided vs GPU variants — showing the
+paper's result that one-sided SpTRSV *loses* on CPUs (four MPI ops plus a
+user-built notification loop per message at one message per sync).
+
+Run:  python examples/sptrsv_dag.py
+"""
+
+import numpy as np
+
+from repro.machines import perlmutter_cpu, perlmutter_gpu, summit_gpu
+from repro.util import Table
+from repro.workloads.sptrsv import (
+    BlockCyclicLayout,
+    CommPlan,
+    MatrixSpec,
+    SpTrsvConfig,
+    generate_matrix,
+    reference_solve,
+    run_sptrsv,
+)
+
+
+def main() -> None:
+    # A verification-scale matrix with the paper's message-size profile.
+    matrix = generate_matrix(
+        MatrixSpec(n_supernodes=40, width_lo=3, width_hi=60, seed=11)
+    )
+    plan = CommPlan.build(matrix, BlockCyclicLayout.square_ish(4))
+    print("== matrix & communication plan ==")
+    print(plan.describe())
+
+    print("\n== correctness (execute mode vs scipy) ==")
+    b = np.linspace(1.0, 2.0, matrix.n)
+    xref = reference_solve(matrix, b)
+    cfg = SpTrsvConfig(mode="execute")
+    for runtime, machine in (
+        ("two_sided", perlmutter_cpu()),
+        ("one_sided", perlmutter_cpu()),
+        ("shmem", perlmutter_gpu()),
+    ):
+        res = run_sptrsv(machine, runtime, matrix, 4, cfg=cfg, b=b)
+        err = float(np.max(np.abs(res.extras["x"] - xref)))
+        print(f"  {runtime:10s}: max |x - x_ref| = {err:.2e}")
+        assert err < 1e-9
+
+    print("\n== performance (simulate mode, larger matrix) ==")
+    big = generate_matrix(
+        MatrixSpec(n_supernodes=220, width_lo=3, width_hi=130, seed=2)
+    )
+    table = Table(
+        ["machine", "variant", "P", "time (ms)", "msgs", "one/two"],
+        title=f"SpTRSV times (n={big.n}, nnz={big.nnz})",
+    )
+    for P in (1, 4, 16, 32):
+        two = run_sptrsv(perlmutter_cpu(), "two_sided", big, P)
+        one = run_sptrsv(perlmutter_cpu(), "one_sided", big, P)
+        table.add_row("perlmutter-cpu", "two_sided", P,
+                      f"{two.time * 1e3:.3f}", two.counters.messages, "")
+        table.add_row("perlmutter-cpu", "one_sided", P,
+                      f"{one.time * 1e3:.3f}", one.counters.messages,
+                      f"{one.time / two.time:.2f}x")
+    for machine, Ps in ((perlmutter_gpu(), (1, 2, 4)), (summit_gpu(), (1, 4, 6))):
+        for P in Ps:
+            r = run_sptrsv(machine, "shmem", big, P)
+            table.add_row(machine.name, "shmem", P, f"{r.time * 1e3:.3f}",
+                          r.counters.messages, "")
+    print(table.render())
+    print(
+        "\nPaper shape: one-sided slower than two-sided on CPUs (4 ops +"
+        "\nListing-1 polling per message); Perlmutter GPUs scale where"
+        "\nSummit GPUs stall (NVLink3 latency + cheap signal polling)."
+    )
+
+
+if __name__ == "__main__":
+    main()

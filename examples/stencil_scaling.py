@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Stencil scaling study (the paper's Fig. 5 scenario).
+
+Verifies the distributed Jacobi solver against the serial reference on a
+small grid, then sweeps process counts on the paper's 16384^2 grid across
+CPU two-sided, CPU one-sided, and GPU put-with-signal variants.
+
+Run:  python examples/stencil_scaling.py
+"""
+
+import numpy as np
+
+from repro.machines import perlmutter_cpu, perlmutter_gpu, summit_gpu
+from repro.util import Table, fmt_bytes
+from repro.workloads.stencil import (
+    StencilConfig,
+    initial_grid,
+    jacobi_reference,
+    run_stencil,
+)
+
+
+def verify() -> None:
+    """Execute-mode run with real numerics, checked against serial Jacobi."""
+    n, iters = 48, 8
+    cfg = StencilConfig(nx=n, ny=n, iters=iters, mode="execute")
+    ref = jacobi_reference(initial_grid(n, n), iters)
+    for runtime, machine in (
+        ("two_sided", perlmutter_cpu()),
+        ("one_sided", perlmutter_cpu()),
+        ("shmem", perlmutter_gpu()),
+    ):
+        res = run_stencil(machine, runtime, cfg, 4)
+        ok = np.allclose(res.extras["field"], ref, atol=1e-12)
+        print(f"  {runtime:10s}: field matches serial reference = {ok}")
+        assert ok
+
+
+def scaling() -> None:
+    cfg = StencilConfig(nx=16384, ny=16384, iters=10, mode="simulate")
+    table = Table(
+        ["machine", "variant", "P", "halo msg", "time (ms)", "speedup vs P=4"],
+        title="Stencil scaling, 16384^2 grid, 10 iterations",
+    )
+    base = {}
+    for runtime in ("two_sided", "one_sided"):
+        for P in (4, 16, 64, 128):
+            res = run_stencil(perlmutter_cpu(), runtime, cfg, P)
+            key = ("perlmutter-cpu", runtime)
+            base.setdefault(key, res.time)
+            table.add_row(
+                "perlmutter-cpu",
+                runtime,
+                P,
+                fmt_bytes(max(res.extras["halo_bytes"].values())),
+                f"{res.time * 1e3:.2f}",
+                f"{base[key] / res.time:.2f}x",
+            )
+    for machine, P_list in ((perlmutter_gpu(), (2, 4)), (summit_gpu(), (2, 6))):
+        for P in P_list:
+            res = run_stencil(machine, "shmem", cfg, P)
+            key = (machine.name, "shmem")
+            base.setdefault(key, res.time)
+            table.add_row(
+                machine.name,
+                "shmem",
+                P,
+                fmt_bytes(max(res.extras["halo_bytes"].values())),
+                f"{res.time * 1e3:.2f}",
+                f"{base[key] / res.time:.2f}x",
+            )
+    print(table.render())
+    print(
+        "\nPaper shape: CPU one-sided == two-sided (bandwidth-bound); GPUs"
+        "\nfaster via higher achieved bandwidth + in-kernel parallelism;"
+        "\nstencil insensitive to Summit's dual-island topology."
+    )
+
+
+def main() -> None:
+    print("== correctness (execute mode, 4 ranks, all variants) ==")
+    verify()
+    print("\n== scaling (simulate mode, paper-scale grid) ==")
+    scaling()
+
+
+if __name__ == "__main__":
+    main()

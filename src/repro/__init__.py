@@ -1,0 +1,17 @@
+"""repro: reproduction of "Evaluating the Performance of One-sided
+Communication on CPUs and GPUs" (Ding, Haseeb, Groves, Williams; SC 2023).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.sim` — discrete-event engine;
+* :mod:`repro.net` — LogGP links, topologies, fabric;
+* :mod:`repro.machines` — Perlmutter / Frontier / Summit models;
+* :mod:`repro.comm` — two-sided MPI, one-sided RMA, GPU SHMEM;
+* :mod:`repro.roofline` — the Message Roofline model (the paper's core);
+* :mod:`repro.workloads` — Stencil, SpTRSV, Distributed HashTable;
+* :mod:`repro.experiments` — per-figure/table experiment runners.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

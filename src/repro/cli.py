@@ -1,0 +1,235 @@
+"""Command-line interface: run experiments, ablations, and quick tools.
+
+Usage (also via ``python -m repro``):
+
+    repro list                      # available experiments & machines
+    repro run fig08                 # run one experiment, print the report
+    repro run all                   # every figure/table
+    repro ablation polling          # run one ablation (or 'all')
+    repro machines                  # platform inventory (Table I detail)
+    repro flood perlmutter-cpu two_sided --size 64KiB --msgs 256
+    repro roofline frontier-cpu one_sided --size 4KiB --msgs 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Evaluating the Performance of One-sided "
+            "Communication on CPUs and GPUs' (SC 2023)"
+        ),
+    )
+    p.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments, ablations and machines")
+
+    runp = sub.add_parser("run", help="run a figure/table experiment")
+    runp.add_argument("experiment", help="e.g. fig08, table2, or 'all'")
+    runp.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    abp = sub.add_parser("ablation", help="run an ablation study")
+    abp.add_argument("name", help="gap|sharp|put_signal|polling|split_k|all")
+
+    sub.add_parser("machines", help="describe the modelled platforms")
+
+    fp = sub.add_parser("flood", help="run a flood bandwidth point")
+    fp.add_argument("machine")
+    fp.add_argument("runtime", choices=["two_sided", "one_sided", "shmem"])
+    fp.add_argument("--size", default="64KiB", help="message size (e.g. 4KiB)")
+    fp.add_argument("--msgs", type=int, default=64, help="messages per sync")
+    fp.add_argument("--iters", type=int, default=3)
+
+    ep = sub.add_parser(
+        "export", help="run experiments and write JSON reports to a directory"
+    )
+    ep.add_argument("outdir", help="output directory (created if missing)")
+    ep.add_argument(
+        "--experiments", default="all",
+        help="comma-separated names, or 'all' (default)",
+    )
+
+    rp = sub.add_parser("roofline", help="query the analytic bound")
+    rp.add_argument("machine")
+    rp.add_argument("runtime", choices=["two_sided", "one_sided", "shmem"])
+    rp.add_argument("--size", default="64KiB")
+    rp.add_argument("--msgs", type=int, default=64)
+    return p
+
+
+def _cmd_list() -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments.ablations import ALL_ABLATIONS
+    from repro.machines import machine_names
+
+    print("experiments:", ", ".join(sorted(ALL_EXPERIMENTS)))
+    print("ablations  :", ", ".join(sorted(ALL_ABLATIONS)))
+    print("machines   :", ", ".join(machine_names(include_projections=True)))
+    return 0
+
+
+def _cmd_run(name: str, as_json: bool = False) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    if name == "all":
+        names = sorted(ALL_EXPERIMENTS)
+    elif name in ALL_EXPERIMENTS:
+        names = [name]
+    else:
+        print(
+            f"unknown experiment {name!r}; available: "
+            f"{', '.join(sorted(ALL_EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    ok = True
+    for n in names:
+        report = ALL_EXPERIMENTS[n]()
+        print(report.to_json() if as_json else report.render())
+        if not as_json:
+            print()
+        ok = ok and report.all_expectations_met
+    return 0 if ok else 1
+
+
+def _cmd_ablation(name: str) -> int:
+    from repro.experiments.ablations import ALL_ABLATIONS
+
+    if name == "all":
+        names = sorted(ALL_ABLATIONS)
+    elif name in ALL_ABLATIONS:
+        names = [name]
+    else:
+        print(
+            f"unknown ablation {name!r}; available: "
+            f"{', '.join(sorted(ALL_ABLATIONS))}",
+            file=sys.stderr,
+        )
+        return 2
+    ok = True
+    for n in names:
+        report = ALL_ABLATIONS[n]()
+        print(report.render())
+        print()
+        ok = ok and report.all_expectations_met
+    return 0 if ok else 1
+
+
+def _cmd_export(outdir: str, which: str) -> int:
+    import pathlib
+
+    from repro.experiments import ALL_EXPERIMENTS
+
+    names = sorted(ALL_EXPERIMENTS) if which == "all" else which.split(",")
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+    out = pathlib.Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    ok = True
+    for n in names:
+        report = ALL_EXPERIMENTS[n]()
+        (out / f"{n}.json").write_text(report.to_json() + "\n")
+        (out / f"{n}.txt").write_text(report.render() + "\n")
+        status = "ok" if report.all_expectations_met else "CHECKS FAILED"
+        print(f"  {n}: {status} -> {out / n}.{{json,txt}}")
+        ok = ok and report.all_expectations_met
+    return 0 if ok else 1
+
+
+def _cmd_machines() -> int:
+    from repro.machines import get_machine, machine_names
+
+    for name in machine_names(include_projections=True):
+        print(get_machine(name).describe())
+        print()
+    return 0
+
+
+def _resolve_machine(name: str):
+    from repro.machines import get_machine
+
+    try:
+        return get_machine(name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return None
+
+
+def _cmd_flood(args: argparse.Namespace) -> int:
+    from repro.util import fmt_bw, fmt_time, parse_size
+    from repro.workloads.flood import run_flood
+
+    machine = _resolve_machine(args.machine)
+    if machine is None:
+        return 2
+    r = run_flood(
+        machine, args.runtime, parse_size(args.size), args.msgs, iters=args.iters
+    )
+    print(f"machine   : {r.machine} / {r.runtime}")
+    print(f"message   : {args.size} x {args.msgs}/sync x {args.iters} iters")
+    print(f"bandwidth : {fmt_bw(r.bandwidth)}")
+    print(f"latency   : {fmt_time(r.latency_per_message)} per message")
+    return 0
+
+
+def _cmd_roofline(args: argparse.Namespace) -> int:
+    from repro.roofline import MessageRoofline
+    from repro.util import fmt_bw, fmt_time, parse_size
+
+    machine = _resolve_machine(args.machine)
+    if machine is None:
+        return 2
+    sided = {"two_sided": "two", "one_sided": "one", "shmem": "shmem"}[args.runtime]
+    params = machine.loggp(
+        args.runtime, 0, 1, nranks=2, placement="spread", sided=sided
+    )
+    roof = MessageRoofline(params)
+    B = parse_size(args.size)
+    bound = roof.bound(B, args.msgs)
+    print(f"machine : {machine.name} / {args.runtime}")
+    print(
+        f"params  : L={params.L * 1e6:.2f} us, o={params.o * 1e6:.2f} us, "
+        f"g={params.g * 1e6:.2f} us, o_sync={params.o_sync * 1e6:.2f} us, "
+        f"peak={fmt_bw(params.peak_bandwidth)}"
+    )
+    print(f"bound   : {fmt_bw(bound['bound_bandwidth'])} "
+          f"({bound['fraction_of_peak'] * 100:.1f}% of peak)")
+    print(f"per sync: {fmt_time(bound['bound_time_per_sync'])}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, as_json=args.json)
+    if args.command == "ablation":
+        return _cmd_ablation(args.name)
+    if args.command == "machines":
+        return _cmd_machines()
+    if args.command == "export":
+        return _cmd_export(args.outdir, args.experiments)
+    if args.command == "flood":
+        return _cmd_flood(args)
+    if args.command == "roofline":
+        return _cmd_roofline(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

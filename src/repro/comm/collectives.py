@@ -1,0 +1,266 @@
+"""Collective operations built from point-to-point messages.
+
+Unlike the Job-level :meth:`~repro.comm.context.RankContext.barrier` /
+``allreduce_sum`` (closed-form cost models used by the workloads), these
+collectives are real message-passing algorithms executed over the fabric —
+every hop is a simulated ``isend``/``recv`` pair, so their cost emerges
+from the same LogGP machinery as everything else and their results are
+computed from actually-moved payloads.
+
+Algorithms (the textbook choices for small/medium messages):
+
+* :func:`bcast` — binomial tree;
+* :func:`reduce` — binomial tree (mirror of bcast);
+* :func:`allreduce` — recursive doubling (power-of-two ranks) with a
+  fold-in pre/post phase for the remainder;
+* :func:`allgather` — ring;
+* :func:`alltoall` — pairwise exchange (XOR schedule when P is a power of
+  two, shifted ring otherwise);
+* :func:`dissemination_barrier` — the classic log-round barrier.
+
+All take/return numpy arrays and are driven with ``yield from`` inside a
+rank program, like every other verb.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+import numpy as np
+
+from repro.comm.base import CommError
+
+__all__ = [
+    "bcast",
+    "reduce",
+    "allreduce",
+    "allgather",
+    "alltoall",
+    "dissemination_barrier",
+]
+
+_TAG_BCAST = 101
+_TAG_REDUCE = 102
+_TAG_ALLREDUCE = 103
+_TAG_ALLGATHER = 104
+_TAG_ALLTOALL = 105
+_TAG_BARRIER = 106
+_TAG_FOLD = 107
+
+_OPS = {
+    "sum": np.add,
+    "max": np.maximum,
+    "min": np.minimum,
+    "prod": np.multiply,
+}
+
+
+def _as_array(value) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float64)
+    return np.atleast_1d(arr).ravel().copy()
+
+
+def _combine(op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    try:
+        fn = _OPS[op]
+    except KeyError:
+        raise CommError(
+            f"unsupported reduction op {op!r}; available: {sorted(_OPS)}"
+        ) from None
+    return fn(a, b)
+
+
+def bcast(ctx, value=None, root: int = 0) -> Generator:
+    """Binomial-tree broadcast; returns the root's array on every rank.
+
+    ``ceil(log2 P)`` rounds: in round k, ranks within distance ``2**k`` of
+    the root relay to rank ``+2**k`` (relative ranking puts the root at 0).
+    """
+    P = ctx.size
+    if not 0 <= root < P:
+        raise CommError(f"bcast root {root} out of range")
+    me = (ctx.rank - root) % P
+    buf = _as_array(value) if ctx.rank == root else None
+    if P == 1:
+        return buf
+    mask = 1
+    while mask < P:
+        if me < mask:  # already has the data: relay
+            peer = me + mask
+            if peer < P:
+                req = yield from ctx.isend(
+                    (peer + root) % P,
+                    nbytes=buf.nbytes,
+                    tag=_TAG_BCAST,
+                    payload=buf,
+                )
+                yield from ctx.waitall([req])
+        elif me < 2 * mask:  # receives in this round
+            payload, _ = yield from ctx.recv(
+                source=(me - mask + root) % P, tag=_TAG_BCAST
+            )
+            buf = payload.copy()
+        mask <<= 1
+    return buf
+
+
+def reduce(ctx, value, op: str = "sum", root: int = 0) -> Generator:
+    """Binomial-tree reduction; the root returns the combined array, other
+    ranks return None."""
+    P = ctx.size
+    if not 0 <= root < P:
+        raise CommError(f"reduce root {root} out of range")
+    me = (ctx.rank - root) % P
+    acc = _as_array(value)
+    mask = 1
+    while mask < P:
+        if me & mask:
+            dest = ((me & ~mask) + root) % P
+            req = yield from ctx.isend(
+                dest, nbytes=acc.nbytes, tag=_TAG_REDUCE, payload=acc
+            )
+            yield from ctx.waitall([req])
+            return None
+        peer = me | mask
+        if peer < P:
+            payload, _ = yield from ctx.recv(
+                source=(peer + root) % P, tag=_TAG_REDUCE
+            )
+            acc = _combine(op, acc, payload)
+        mask <<= 1
+    return acc if ctx.rank == root else None
+
+
+def allreduce(ctx, value, op: str = "sum") -> Generator:
+    """Recursive-doubling allreduce; every rank returns the combined array.
+
+    For non-power-of-two P the ``r = P - 2**floor(log2 P)`` extra ranks
+    fold their contribution into a partner first and receive the final
+    result at the end (the standard MPICH scheme).
+    """
+    P = ctx.size
+    acc = _as_array(value)
+    if P == 1:
+        return acc
+    pof2 = 1 << (P.bit_length() - 1)
+    if pof2 == P:
+        rem = 0
+    else:
+        rem = P - pof2
+    me = ctx.rank
+    in_core = True
+    if me < 2 * rem:
+        if me % 2 == 1:  # odd ranks fold in and wait
+            req = yield from ctx.isend(
+                me - 1, nbytes=acc.nbytes, tag=_TAG_FOLD, payload=acc
+            )
+            yield from ctx.waitall([req])
+            in_core = False
+        else:  # even ranks absorb their odd neighbor
+            payload, _ = yield from ctx.recv(source=me + 1, tag=_TAG_FOLD)
+            acc = _combine(op, acc, payload)
+    if in_core:
+        core_rank = me // 2 if me < 2 * rem else me - rem
+        mask = 1
+        while mask < pof2:
+            peer_core = core_rank ^ mask
+            peer = peer_core * 2 if peer_core < rem else peer_core + rem
+            send_req = yield from ctx.isend(
+                peer, nbytes=acc.nbytes, tag=_TAG_ALLREDUCE, payload=acc
+            )
+            payload, _ = yield from ctx.recv(source=peer, tag=_TAG_ALLREDUCE)
+            yield from ctx.waitall([send_req])
+            acc = _combine(op, acc, payload)
+            mask <<= 1
+    if me < 2 * rem:
+        if me % 2 == 0:
+            req = yield from ctx.isend(
+                me + 1, nbytes=acc.nbytes, tag=_TAG_FOLD, payload=acc
+            )
+            yield from ctx.waitall([req])
+        else:
+            payload, _ = yield from ctx.recv(source=me - 1, tag=_TAG_FOLD)
+            acc = payload.copy()
+    return acc
+
+
+def allgather(ctx, value) -> Generator:
+    """Ring allgather; returns the concatenation over ranks (rank order)."""
+    P = ctx.size
+    mine = _as_array(value)
+    n = mine.size
+    out: list[np.ndarray | None] = [None] * P
+    out[ctx.rank] = mine
+    if P == 1:
+        return mine.copy()
+    right = (ctx.rank + 1) % P
+    left = (ctx.rank - 1) % P
+    carried = mine
+    for step in range(P - 1):
+        send_req = yield from ctx.isend(
+            right, nbytes=carried.nbytes, tag=_TAG_ALLGATHER, payload=carried
+        )
+        payload, _ = yield from ctx.recv(source=left, tag=_TAG_ALLGATHER)
+        yield from ctx.waitall([send_req])
+        src_rank = (ctx.rank - step - 1) % P
+        out[src_rank] = payload.copy()
+        carried = payload
+    if any(o is None for o in out):
+        raise CommError("allgather ring left gaps (internal error)")
+    if any(o.size != n for o in out):
+        raise CommError("allgather requires equal contribution sizes")
+    return np.concatenate(out)
+
+
+def alltoall(ctx, blocks) -> Generator:
+    """Pairwise-exchange all-to-all.
+
+    ``blocks`` is a list of P equal-size arrays (``blocks[j]`` goes to rank
+    ``j``); returns the list of P arrays received (``out[i]`` came from
+    rank ``i``).  Power-of-two P uses the XOR schedule; otherwise a shifted
+    ring of sendrecvs.
+    """
+    P = ctx.size
+    if len(blocks) != P:
+        raise CommError(f"alltoall needs {P} blocks, got {len(blocks)}")
+    blocks = [_as_array(b) for b in blocks]
+    out: list[np.ndarray | None] = [None] * P
+    out[ctx.rank] = blocks[ctx.rank].copy()
+    if P == 1:
+        return [b for b in out]  # type: ignore[misc]
+    pow2 = P & (P - 1) == 0
+    for step in range(1, P):
+        peer = (ctx.rank ^ step) if pow2 else (ctx.rank + step) % P
+        src = peer if pow2 else (ctx.rank - step) % P
+        send_req = yield from ctx.isend(
+            peer,
+            nbytes=blocks[peer].nbytes,
+            tag=_TAG_ALLTOALL + step,
+            payload=blocks[peer],
+        )
+        payload, _ = yield from ctx.recv(source=src, tag=_TAG_ALLTOALL + step)
+        yield from ctx.waitall([send_req])
+        out[src] = payload.copy()
+    return out  # type: ignore[return-value]
+
+
+def dissemination_barrier(ctx) -> Generator:
+    """The log-round dissemination barrier, as real messages.
+
+    Round k: rank ``i`` signals rank ``(i + 2**k) % P`` and waits for the
+    signal from ``(i - 2**k) % P``.  After ``ceil(log2 P)`` rounds every
+    rank transitively depends on every other.
+    """
+    P = ctx.size
+    if P == 1:
+        return
+    mask = 1
+    rnd = 0
+    while mask < P:
+        to = (ctx.rank + mask) % P
+        frm = (ctx.rank - mask) % P
+        req = yield from ctx.isend(to, nbytes=8, tag=_TAG_BARRIER + rnd)
+        _payload, _ = yield from ctx.recv(source=frm, tag=_TAG_BARRIER + rnd)
+        yield from ctx.waitall([req])
+        mask <<= 1
+        rnd += 1

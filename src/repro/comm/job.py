@@ -1,0 +1,204 @@
+"""Job runner: launch N rank programs on a machine and collect results.
+
+A :class:`Job` owns the simulator, the fabric, and one context per rank.
+Rank programs are generator functions ``program(ctx, *args)``; the job runs
+them to completion and reports the virtual makespan plus per-rank
+instrumentation::
+
+    job = Job(perlmutter_cpu(), nranks=4, runtime="two_sided")
+    result = job.run(my_program, some_arg)
+    print(result.time, result.counters.msg_per_sync())
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Callable
+from functools import reduce
+from typing import Any
+
+import numpy as np
+
+from repro.comm.base import OpCounter
+from repro.comm.context import RankContext
+from repro.comm.shmem import ShmemContext
+from repro.comm.window import Window
+from repro.machines.base import MachineModel, Placement
+from repro.net.fabric import Fabric
+from repro.sim.engine import Simulator
+from repro.sim.event import Event
+from repro.sim.rng import RngFactory
+from repro.sim.trace import NullTracer, Tracer
+
+__all__ = ["Job", "JobResult"]
+
+
+@dataclass
+class JobResult:
+    """Outcome of a job run."""
+
+    time: float  # virtual makespan (seconds)
+    results: list[Any]  # per-rank program return values
+    per_rank: list[OpCounter]
+    counters: OpCounter  # merged across ranks
+    events_processed: int
+
+    def gups(self, total_updates: int) -> float:
+        """Giga-updates/s for ``total_updates`` completed in this run."""
+        if self.time <= 0:
+            raise ValueError("run time is zero; cannot compute GUPS")
+        return total_updates / self.time / 1e9
+
+
+class Job:
+    """N simulated ranks on one machine under one runtime profile."""
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        nranks: int,
+        runtime: str,
+        *,
+        placement: Placement = "block",
+        seed: int = 0,
+        trace: bool = False,
+    ):
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        if nranks > machine.max_ranks:
+            raise ValueError(
+                f"{nranks} ranks exceed {machine.name!r} capacity {machine.max_ranks}"
+            )
+        self.machine = machine
+        self.nranks = nranks
+        self.runtime_name = runtime
+        self.costs = machine.runtime(runtime)
+        self.placement = placement
+        self.sim = Simulator()
+        self.tracer: Tracer = Tracer() if trace else NullTracer()
+        self.fabric = Fabric(self.sim, machine.topology, self.tracer)
+        self.rng = RngFactory(seed)
+        self.endpoints = [
+            machine.endpoint_of_rank(r, nranks, placement) for r in range(nranks)
+        ]
+        self.sharing = machine.ranks_per_endpoint(nranks, placement)
+        ctx_cls = ShmemContext if runtime == "shmem" else RankContext
+        self.contexts: list[RankContext] = [
+            ctx_cls(self, r) for r in range(nranks)
+        ]
+        self.windows: list[Window] = []
+        # Barrier state.
+        self._barrier_gen = 0
+        self._barrier_count = 0
+        self._barrier_event: Event | None = None
+        self._barrier_delay = self._collective_delay()
+        # Allreduce state.
+        self._allreduce_count = 0
+        self._allreduce_event: Event | None = None
+        self._allreduce_acc = 0.0
+
+    # ------------------------------------------------------------------
+    # topology helpers
+    # ------------------------------------------------------------------
+
+    def route_latency(self, a: int, b: int) -> float:
+        """Wire latency between the endpoints hosting ranks ``a`` and ``b``."""
+        return self.machine.topology.route(self.endpoints[a], self.endpoints[b]).latency
+
+    def max_route_latency(self, rank: int) -> float:
+        """Worst-case wire latency from ``rank`` to any other rank."""
+        src = self.endpoints[rank]
+        eps = set(self.endpoints)
+        return max(self.machine.topology.route(src, dst).latency for dst in eps)
+
+    def _collective_delay(self) -> float:
+        """Per-rank cost of one dissemination barrier/allreduce release:
+        ``ceil(log2 P)`` rounds of small-message exchange."""
+        if self.nranks == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(self.nranks))
+        eps = sorted(set(self.endpoints))
+        worst = max(
+            self.machine.topology.route(a, b).latency for a in eps for b in eps
+        )
+        per_round = (
+            max(self.costs.isend, self.costs.put, self.costs.put_signal) + worst
+        )
+        return rounds * per_round
+
+    # ------------------------------------------------------------------
+    # collectives (rendezvous machinery used by the contexts)
+    # ------------------------------------------------------------------
+
+    def _barrier_arrive(self) -> tuple[Event, float]:
+        if self._barrier_event is None:
+            self._barrier_event = self.sim.event()
+        ev = self._barrier_event
+        self._barrier_count += 1
+        if self._barrier_count == self.nranks:
+            ev.succeed(self._barrier_gen)
+            self._barrier_gen += 1
+            self._barrier_count = 0
+            self._barrier_event = None
+        return ev, self._barrier_delay
+
+    def _allreduce_arrive(self, rank: int, value: float):
+        if self._allreduce_event is None:
+            self._allreduce_event = self.sim.event()
+            self._allreduce_acc = 0.0
+        ev = self._allreduce_event
+        self._allreduce_acc += value
+        self._allreduce_count += 1
+        if self._allreduce_count == self.nranks:
+            ev.succeed(self._allreduce_acc)
+            self._allreduce_count = 0
+            self._allreduce_event = None
+        return ev, self._barrier_delay, ev
+
+    # ------------------------------------------------------------------
+    # windows
+    # ------------------------------------------------------------------
+
+    def window(self, count: int, dtype=np.float64, fill: Any = 0) -> Window:
+        """Allocate a symmetric RMA window (``count`` elems per rank).
+
+        Like ``MPI_Win_allocate`` this is logically collective; here it is
+        performed before the run starts, at zero simulated cost.
+        """
+        win = Window(self, count, dtype=dtype, fill=fill)
+        self.windows.append(win)
+        return win
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        program: Callable[..., Any],
+        *args: Any,
+        max_events: int | None = None,
+        **kwargs: Any,
+    ) -> JobResult:
+        """Run ``program(ctx, *args, **kwargs)`` on every rank to completion.
+
+        ``max_events`` caps the processed-event count as a livelock guard
+        (see :meth:`repro.sim.Simulator.run`).
+        """
+        procs = [
+            self.sim.process(program(ctx, *args, **kwargs), name=f"rank{ctx.rank}")
+            for ctx in self.contexts
+        ]
+        done = self.sim.all_of(procs)
+        self.sim.run(until=done, max_events=max_events)
+        results = [p.value for p in procs]
+        per_rank = [ctx.counter for ctx in self.contexts]
+        merged = reduce(OpCounter.merge, per_rank, OpCounter())
+        return JobResult(
+            time=self.sim.now,
+            results=results,
+            per_rank=per_rank,
+            counters=merged,
+            events_processed=self.sim.event_count,
+        )

@@ -1,0 +1,235 @@
+"""GPU-initiated one-sided communication (NVSHMEM-style).
+
+:class:`ShmemContext` extends the rank context with the device-side verbs
+the paper's GPU implementations use:
+
+* ``put_signal_nbi`` — ``nvshmem_double_put_signal_nbi``: one fused
+  operation moves the data and then sets a signal word at the target, with
+  the library guaranteeing the signal is observable only after the data
+  (the *put-with-signal* primitive whose absence from one-sided MPI costs
+  CPUs two extra ops per message);
+* ``wait_until_all`` / ``wait_until_any`` —
+  ``nvshmem_uint64_wait_until_{all,any}``: block on signal words, waking
+  ``costs.wait_wakeup`` after the satisfying write lands;
+* ``atomic_compare_swap`` — device-initiated remote atomic;
+* ``quiet`` — complete all outstanding non-blocking puts from this PE.
+
+Signals live in a dedicated uint64 :class:`~repro.comm.window.Window`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator, Sequence
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.comm.base import CommError, Request
+from repro.comm.context import RankContext
+from repro.comm.window import Window
+from repro.sim.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.comm.job import Job
+
+__all__ = ["ShmemContext", "SIGNAL_SET", "SIGNAL_ADD"]
+
+SIGNAL_SET = "set"
+SIGNAL_ADD = "add"
+
+
+class ShmemContext(RankContext):
+    """A PE (processing element) with device-initiated one-sided verbs."""
+
+    def __init__(self, job: "Job", rank: int):
+        super().__init__(job, rank)
+        self._outstanding_puts: list[Event] = []
+
+    # ------------------------------------------------------------------
+    # put with signal
+    # ------------------------------------------------------------------
+
+    def put_signal_nbi(
+        self,
+        data_win: Window,
+        target: int,
+        values: np.ndarray | None = None,
+        *,
+        offset: int = 0,
+        nelems: int | None = None,
+        signal_win: Window,
+        signal_idx: int,
+        signal_value: int = 1,
+        signal_op: str = SIGNAL_SET,
+    ) -> Generator:
+        """Fused non-blocking put + signal (``nvshmem_*_put_signal_nbi``).
+
+        The data lands in ``data_win`` at ``target``; the signal word
+        ``signal_win[target][signal_idx]`` is updated *after* the data is
+        visible.  Returns a :class:`Request` tracking remote completion
+        (``quiet`` also covers it).
+        """
+        if not 0 <= target < self.size:
+            raise CommError(f"put_signal target {target} out of range")
+        if signal_op not in (SIGNAL_SET, SIGNAL_ADD):
+            raise CommError(f"unknown signal_op {signal_op!r}")
+        if values is None and nelems is None:
+            raise CommError("put_signal_nbi needs values or nelems")
+        if values is not None:
+            values = np.asarray(values, dtype=data_win.dtype).ravel()
+            nelems = len(values)
+        nbytes = nelems * data_win.dtype.itemsize + signal_win.dtype.itemsize
+        self.counter.operations += 1
+        self.counter.messages += 1
+        self.counter.bytes_sent += nbytes
+        yield self.sim.timeout(self.costs.put_signal)
+        target_ep = self.job.endpoints[target]
+        delivery = self.fabric.transfer(self.endpoint, target_ep, nbytes)
+        done = self.sim.event()
+
+        def land(_ev: Event) -> None:
+            # Data first, then the signal becomes observable: one atomic
+            # step at the same simulated instant preserves the ordering
+            # guarantee (no waiter can observe signal-without-data).
+            data_win._apply_write(target, offset, values)
+            sig = signal_win.buffers[target]
+            if signal_op == SIGNAL_SET:
+                sig[signal_idx] = signal_value
+            else:
+                sig[signal_idx] += signal_value
+            signal_win._apply_write(target, signal_idx, None)  # ring watchers
+            done.succeed()
+
+        delivery.event.add_callback(land)
+        self._outstanding_puts.append(done)
+        self.job.tracer.emit(
+            self.sim.now,
+            "put_signal",
+            self.rank,
+            target=target,
+            nbytes=nbytes,
+            signal_idx=signal_idx,
+        )
+        return Request(done, "put_signal", nbytes)
+
+    # ------------------------------------------------------------------
+    # waiting on signals
+    # ------------------------------------------------------------------
+
+    def _signals_satisfied(
+        self, signal_win: Window, idxs: Sequence[int], value: int, require_all: bool
+    ) -> list[int]:
+        sig = signal_win.buffers[self.rank]
+        hit = [i for i in idxs if sig[i] >= value]
+        if require_all:
+            return hit if len(hit) == len(idxs) else []
+        return hit
+
+    def wait_until_all(
+        self, signal_win: Window, idxs: Sequence[int], value: int = 1
+    ) -> Generator:
+        """Block until every ``signal_win[self][i] >= value``.
+
+        An epoch-style cold wait: cheap counter checks per arrival
+        (``poll_slot`` per watched slot), one full ``wait_wakeup`` when the
+        epoch completes.
+        """
+        idxs = list(idxs)
+        self.counter.syncs += 1
+        self.counter.operations += 1
+        if not idxs:
+            return  # vacuously satisfied (e.g. a rank with no neighbors)
+        blocked = False
+        while not self._signals_satisfied(signal_win, idxs, value, require_all=True):
+            blocked = True
+            yield signal_win.on_write(self.rank)
+            recheck = self.costs.poll_slot * len(idxs)
+            if recheck > 0:
+                yield self.sim.timeout(recheck)
+        if blocked and self.costs.wait_wakeup > 0:
+            yield self.sim.timeout(self.costs.wait_wakeup)
+
+    def wait_until_any(
+        self,
+        signal_win: Window,
+        idxs: Sequence[int],
+        value: int = 1,
+        *,
+        consume: bool = False,
+    ) -> Generator:
+        """Block until some ``signal_win[self][i] >= value``; returns that
+        index.  With ``consume=True`` the signal is reset to 0 on return
+        (the SpTRSV receive-loop idiom).
+
+        Unlike :meth:`wait_until_all` (an epoch-style cold wait, which pays
+        the full ``wait_wakeup`` on completion), ``wait_until_any`` is the
+        hot-loop receive primitive of persistent-kernel solvers: the warp
+        stays resident, but every wake must *scan* the slot array to find
+        which signal fired — ``wait_poll + poll_slot * slots`` per pass.
+        ``wait_poll`` is architecture-sensitive (uncached global-memory
+        scans on V100 vs L2-resident signals on A100), one of the reasons
+        SpTRSV stops scaling on Summit GPUs but scales on Perlmutter.
+        """
+        idxs = list(idxs)
+        if not idxs:
+            raise CommError("wait_until_any needs at least one index")
+        self.counter.syncs += 1
+        self.counter.operations += 1
+        while True:
+            hit = self._signals_satisfied(signal_win, idxs, value, require_all=False)
+            if hit:
+                break
+            yield signal_win.on_write(self.rank)
+            recheck = self.costs.wait_poll + self.costs.poll_slot * len(idxs)
+            if recheck > 0:
+                yield self.sim.timeout(recheck)
+        idx = hit[0]
+        if consume:
+            signal_win.buffers[self.rank][idx] = 0
+        return idx
+
+    # ------------------------------------------------------------------
+    # atomics and completion
+    # ------------------------------------------------------------------
+
+    def atomic_compare_swap(
+        self, win: Window, target: int, offset: int, compare: Any, value: Any
+    ) -> Generator:
+        """Blocking device-initiated remote CAS; returns the old value."""
+        handle = win.handle(self)
+        req = yield from handle.compare_and_swap(target, offset, compare, value)
+        if not req.done:
+            old = yield req.event
+        else:
+            old = req.event.value
+        return old
+
+    def atomic_fetch_add(
+        self, win: Window, target: int, offset: int, value: Any
+    ) -> Generator:
+        """Blocking device-initiated remote fetch-and-add; returns old value."""
+        handle = win.handle(self)
+        req = yield from handle.fetch_and_add(target, offset, value)
+        if not req.done:
+            old = yield req.event
+        else:
+            old = req.event.value
+        return old
+
+    def quiet(self) -> Generator:
+        """``nvshmem_quiet``: complete all outstanding puts from this PE."""
+        self.counter.syncs += 1
+        self.counter.operations += 1
+        if self.costs.flush > 0:
+            yield self.sim.timeout(self.costs.flush)
+        pending = [ev for ev in self._outstanding_puts if not ev.triggered]
+        if pending:
+            yield self.sim.all_of(pending)
+        self._outstanding_puts = [
+            ev for ev in self._outstanding_puts if not ev.triggered
+        ]
+
+    def barrier_all(self) -> Generator:
+        """``nvshmem_barrier_all``: quiet + barrier."""
+        yield from self.quiet()
+        yield from self.barrier()

@@ -1,0 +1,61 @@
+"""Per-figure/table experiment runners.
+
+Each ``run_*`` returns an
+:class:`~repro.experiments.report.ExperimentReport` whose rows mirror the
+paper's figure series, whose ``expectations`` encode the paper's claims as
+booleans, and whose ``render()`` prints both — the benchmarks in
+``benchmarks/`` are thin wrappers over these.
+"""
+
+from repro.experiments.fig01_overview import run_fig01
+from repro.experiments.fig02_topologies import run_fig02
+from repro.experiments.fig03_cpu_bandwidth import run_fig03
+from repro.experiments.fig04_gpu_bandwidth import run_fig04
+from repro.experiments.fig05_stencil import run_fig05
+from repro.experiments.fig06_workload_bounds import run_fig06
+from repro.experiments.fig07_latency import run_fig07
+from repro.experiments.fig08_sptrsv import run_fig08
+from repro.experiments.fig09_hashtable import run_fig09
+from repro.experiments.fig10_split import run_fig10
+from repro.experiments.future import run_future_frontier
+from repro.experiments.future_collectives import run_future_collectives
+from repro.experiments.internode import run_internode
+from repro.experiments.report import ExperimentReport
+from repro.experiments.tables import run_table1, run_table2
+
+__all__ = [
+    "ExperimentReport",
+    "run_fig01",
+    "run_fig02",
+    "run_fig03",
+    "run_fig04",
+    "run_fig05",
+    "run_fig06",
+    "run_fig07",
+    "run_fig08",
+    "run_fig09",
+    "run_fig10",
+    "run_future_frontier",
+    "run_future_collectives",
+    "run_internode",
+    "run_table1",
+    "run_table2",
+]
+
+ALL_EXPERIMENTS = {
+    "fig01": run_fig01,
+    "fig02": run_fig02,
+    "fig03": run_fig03,
+    "fig04": run_fig04,
+    "fig05": run_fig05,
+    "fig06": run_fig06,
+    "fig07": run_fig07,
+    "fig08": run_fig08,
+    "fig09": run_fig09,
+    "fig10": run_fig10,
+    "table1": run_table1,
+    "table2": run_table2,
+    "future_frontier": run_future_frontier,
+    "future_collectives": run_future_collectives,
+    "internode": run_internode,
+}

@@ -1,0 +1,73 @@
+"""Fig. 7 — effective per-message latency of the three workloads.
+
+The paper's point: more messages per synchronization overlap the latency,
+so the effective per-message cost ranks HashTable (1e6 msg/sync, smallest)
+< Stencil (4 msg/sync) < SpTRSV (1 msg/sync, largest).  We measure the
+three workloads' per-message latency on Perlmutter (GPU runtime, as in the
+figure) and on the CPU and check the ordering.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentReport
+from repro.machines import perlmutter_cpu, perlmutter_gpu
+from repro.roofline import MessageRoofline
+
+__all__ = ["run_fig07"]
+
+_WORKLOAD_POINTS = {
+    # workload -> (typical message bytes, msgs per sync)
+    "sptrsv": (800.0, 1),
+    "stencil": (float(2**14), 4),
+    "hashtable": (8.0, 1_000_000),
+}
+
+
+def run_fig07() -> ExperimentReport:
+    headers = ["workload", "machine", "B (bytes)", "msg/sync", "us/message"]
+    rows = []
+    lat: dict[tuple[str, str], float] = {}
+    for mname, machine, runtime, sided in (
+        ("perlmutter-gpu", perlmutter_gpu(), "shmem", "shmem"),
+        ("perlmutter-cpu", perlmutter_cpu(), "one_sided", "one"),
+    ):
+        params = machine.loggp(
+            runtime, 0, 1, nranks=2, placement="spread", sided=sided,
+            ops_per_message=4,
+        )
+        roofline = MessageRoofline(params)
+        for wl, (B, n) in _WORKLOAD_POINTS.items():
+            us_per_msg = float(roofline.latency_per_message(B, n)) * 1e6
+            lat[(wl, mname)] = us_per_msg
+            rows.append([wl, mname, int(B), n, us_per_msg])
+
+    expectations = {
+        "hashtable latency < stencil latency (GPU)": (
+            lat[("hashtable", "perlmutter-gpu")] < lat[("stencil", "perlmutter-gpu")]
+        ),
+        "stencil latency < sptrsv latency (GPU)": (
+            lat[("stencil", "perlmutter-gpu")] < lat[("sptrsv", "perlmutter-gpu")]
+        ),
+        "same ordering on the CPU": (
+            lat[("hashtable", "perlmutter-cpu")]
+            < lat[("stencil", "perlmutter-cpu")]
+            < lat[("sptrsv", "perlmutter-cpu")]
+        ),
+        "sptrsv (1 msg/sync) pays the full one-sided latency (>= 4 us GPU)": (
+            lat[("sptrsv", "perlmutter-gpu")] >= 3.0
+        ),
+        "hashtable effective latency < 1 us": (
+            lat[("hashtable", "perlmutter-gpu")] < 1.0
+        ),
+    }
+    return ExperimentReport(
+        experiment="fig07",
+        title="Per-message latency vs messages per synchronization",
+        headers=headers,
+        rows=rows,
+        expectations=expectations,
+        notes=[
+            "latencies are the analytic rounded-model T(n,B)/n at each "
+            "workload's operating point; Fig. 7 plots the same quantity",
+        ],
+    )

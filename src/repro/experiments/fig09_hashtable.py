@@ -1,0 +1,82 @@
+"""Fig. 9 — distributed hashtable time on CPUs and GPUs.
+
+Paper observations reproduced and checked:
+
+* one-sided (CAS) inserts beat two-sided triplet messages at high
+  parallelism on Perlmutter CPUs (the paper measures 5x at 128 processes),
+  but **lose at P=2** where one two-sided message (~1.1 us) is cheaper
+  than a ~2 us CAS round trip;
+* on Summit GPUs the benchmark stops scaling past one island: a
+  cross-socket CAS costs ~1.6 us against ~1.0 us within the island, and
+  cross-socket atomic throughput saturates the X-Bus;
+* Perlmutter GPUs (0.8 us CAS, all-to-all NVLink3) keep scaling to 4 GPUs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentReport
+from repro.machines import perlmutter_cpu, perlmutter_gpu, summit_gpu
+from repro.workloads.hashtable import HashTableConfig, run_hashtable
+
+__all__ = ["run_fig09"]
+
+
+def run_fig09(*, total_inserts: int = 8000, seed: int = 5) -> ExperimentReport:
+    cfg = HashTableConfig(total_inserts=total_inserts, seed=seed)
+    headers = ["machine", "variant", "P", "time (ms)", "KUPS"]
+    rows = []
+    t: dict[tuple[str, str, int], float] = {}
+
+    def record(mname, factory, runtime, P):
+        res = run_hashtable(factory(), runtime, cfg, P)
+        t[(mname, runtime, P)] = res.time
+        rows.append(
+            [mname, runtime, P, res.time * 1e3, res.extras["gups"] * 1e6]
+        )
+
+    for P in (2, 8, 32, 128):
+        record("perlmutter-cpu", perlmutter_cpu, "one_sided", P)
+        record("perlmutter-cpu", perlmutter_cpu, "two_sided", P)
+    for P in (1, 2, 4):
+        record("perlmutter-gpu", perlmutter_gpu, "shmem", P)
+    for P in (1, 3, 4, 6):
+        record("summit-gpu", summit_gpu, "shmem", P)
+
+    speedup_128 = (
+        t[("perlmutter-cpu", "two_sided", 128)]
+        / t[("perlmutter-cpu", "one_sided", 128)]
+    )
+    expectations = {
+        "one-sided slower than two-sided at P=2": (
+            t[("perlmutter-cpu", "one_sided", 2)]
+            > t[("perlmutter-cpu", "two_sided", 2)]
+        ),
+        "one-sided faster at P=128 (paper: 5x)": speedup_128 > 1.5,
+        "one-sided advantage grows with P": (
+            speedup_128
+            > t[("perlmutter-cpu", "two_sided", 8)]
+            / t[("perlmutter-cpu", "one_sided", 8)]
+        ),
+        "perlmutter GPUs scale 1 -> 4": (
+            t[("perlmutter-gpu", "shmem", 4)] < t[("perlmutter-gpu", "shmem", 1)]
+        ),
+        "summit GPUs stop scaling past the island (4 >= ~3)": (
+            t[("summit-gpu", "shmem", 4)] > t[("summit-gpu", "shmem", 3)] * 0.9
+        ),
+        "summit GPUs scale within the island (3 < 1)": (
+            t[("summit-gpu", "shmem", 3)] < t[("summit-gpu", "shmem", 1)]
+        ),
+    }
+    return ExperimentReport(
+        experiment="fig09",
+        title=f"Distributed hashtable time ({total_inserts} inserts)",
+        headers=headers,
+        rows=rows,
+        expectations=expectations,
+        notes=[
+            f"one-sided speedup at P=128: {speedup_128:.1f}x (paper: 5x; "
+            "scaled insert count and the owner-routed two-sided variant — "
+            "see EXPERIMENTS.md for the deviation discussion)",
+            "paper: 1e6 inserts; pass total_inserts=1_000_000 to match",
+        ],
+    )

@@ -1,0 +1,79 @@
+"""Table I (platforms) and Table II (workload characterisation) runners."""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentReport
+from repro.machines import get_machine, machine_names, table1_rows
+from repro.workloads.instrument import characterize_workloads
+
+__all__ = ["run_table1", "run_table2"]
+
+
+def run_table1() -> ExperimentReport:
+    """Regenerate Table I from the machine registry."""
+    rows = [
+        [r["machine"], r["gpus"], r["cpus/cores"], r["runtimes"], r["links"]]
+        for r in table1_rows()
+    ]
+    expectations = {
+        "five platform views registered": len(rows) == 5,
+        "both GPU machines expose NVSHMEM-style runtime": all(
+            "shmem" in r[3]
+            for r in rows
+            if r[0] in ("perlmutter-gpu", "summit-gpu")
+        ),
+        "all CPU machines expose both MPI runtimes": all(
+            "one_sided" in r[3] and "two_sided" in r[3]
+            for r in rows
+            if r[0].endswith("-cpu") and "gpu" not in r[0]
+        ),
+    }
+    notes = [get_machine(name).describe() for name in machine_names()]
+    return ExperimentReport(
+        experiment="table1",
+        title="Evaluation platforms",
+        headers=["machine", "GPUs", "CPUs/cores", "runtimes", "links"],
+        rows=rows,
+        expectations=expectations,
+        notes=notes,
+    )
+
+
+def run_table2(machine_name: str = "perlmutter-cpu") -> ExperimentReport:
+    """Regenerate Table II from instrumented workload runs."""
+    machine = get_machine(machine_name)
+    t2 = characterize_workloads(machine)
+    rows = [r.cells() for r in t2]
+    by_name = {r.workload: r for r in t2}
+    expectations = {
+        "stencil: 4 messages per synchronization": (
+            by_name["Stencil"].msgs_per_sync.startswith("4")
+        ),
+        "sptrsv: 1 message per synchronization": (
+            by_name["SpTRSV"].msgs_per_sync.startswith("1")
+        ),
+        "hashtable: all inserts in one sync epoch": (
+            "all inserts" in by_name["Hashtable"].msgs_per_sync
+        ),
+        "patterns match the paper": (
+            by_name["Stencil"].pattern == "BSP sync"
+            and by_name["SpTRSV"].pattern == "DAG async"
+            and by_name["Hashtable"].pattern == "Random async"
+        ),
+    }
+    return ExperimentReport(
+        experiment="table2",
+        title=f"Workload characterisation (measured on {machine_name})",
+        headers=[
+            "workload",
+            "pattern",
+            "notify",
+            "two-sided op",
+            "one-sided op",
+            "P2P pair",
+            "#msg/sync",
+            "words/msg",
+        ],
+        rows=rows,
+        expectations=expectations,
+    )

@@ -1,0 +1,34 @@
+"""Evaluation-platform models: Perlmutter, Frontier, Summit (Table I)."""
+
+from repro.machines.base import CommCosts, GpuSpec, MachineModel
+from repro.machines.cluster import INFINIBAND_EDR, SLINGSHOT11, make_cluster
+from repro.machines.frontier import frontier_cpu, frontier_gpu_projection
+from repro.machines.perlmutter import perlmutter_cpu, perlmutter_gpu
+from repro.machines.registry import (
+    MACHINES,
+    PROJECTIONS,
+    get_machine,
+    machine_names,
+    table1_rows,
+)
+from repro.machines.summit import summit_cpu, summit_gpu
+
+__all__ = [
+    "CommCosts",
+    "GpuSpec",
+    "MachineModel",
+    "frontier_cpu",
+    "frontier_gpu_projection",
+    "perlmutter_cpu",
+    "perlmutter_gpu",
+    "summit_cpu",
+    "summit_gpu",
+    "make_cluster",
+    "SLINGSHOT11",
+    "INFINIBAND_EDR",
+    "MACHINES",
+    "PROJECTIONS",
+    "get_machine",
+    "machine_names",
+    "table1_rows",
+]

@@ -1,0 +1,155 @@
+"""Frontier CPU partition model (paper Fig. 2b, Table I) and a Frontier
+GPU *projection* for the paper's stated future work.
+
+A Frontier node has one optimized-3rd-gen-EPYC (7A53) CPU and four MI250X
+GPUs; the NICs hang off the GPUs, so the paper's on-node CPU communication
+data path is Infinity Fabric CPU-GPU (36 GB/s) -> PCIe4 ESM (50 GB/s), with
+the 36 GB/s IF stage as the ultimate bound (Fig. 1).
+
+Substitution note (DESIGN.md §2): for the CPU-partition experiments we model
+the socket as two NUMA halves joined by the 36 GB/s IF stage, which exposes
+exactly the bound the paper measures, and keep the GPU/NIC endpoints in the
+inventory for the topology description.  The paper runs no Frontier GPU
+experiments (ROC_SHMEM lacked ``wait_until_any``), and neither do we.
+"""
+
+from __future__ import annotations
+
+from repro.machines.base import CommCosts, GpuSpec, MachineModel
+from repro.machines.perlmutter import CRAYMPI_ONE_SIDED, CRAYMPI_TWO_SIDED
+from repro.net.loggp import LinkParams
+from repro.net.topology import TopologySpec
+from repro.util.units import GBps, us
+
+__all__ = ["frontier_cpu", "frontier_gpu_projection"]
+
+
+def frontier_cpu() -> MachineModel:
+    """Frontier CPU node: one Milan-class socket, IF on-node fabric at 36 GB/s."""
+    topo = TopologySpec(
+        name="frontier-cpu",
+        loopback=LinkParams(
+            latency=us(0.20), bandwidth=GBps(100), gap=us(0.02), name="shm"
+        ),
+    )
+    topo.add_link(
+        "numa0",
+        "numa1",
+        LinkParams(
+            latency=us(0.75), bandwidth=GBps(36), gap=us(0.02), name="IF CPU-GPU"
+        ),
+    )
+    # Inventory endpoints: the four MI250X GPUs and their NICs (PCIe4 ESM).
+    for i in range(4):
+        topo.add_link(
+            "numa1" if i >= 2 else "numa0",
+            f"gpu{i}",
+            LinkParams(
+                latency=us(0.60), bandwidth=GBps(36), gap=us(0.20), name="IF CPU-GPU"
+            ),
+        )
+        topo.add_link(
+            f"gpu{i}",
+            f"nic{i}",
+            LinkParams(
+                latency=us(0.50), bandwidth=GBps(50), gap=us(0.20), name="PCIe4 ESM"
+            ),
+        )
+    return MachineModel(
+        name="frontier-cpu",
+        description="1x AMD EPYC 7A53, Infinity Fabric on-node, CrayMPI",
+        topology=topo,
+        compute_endpoints=["numa0", "numa1"],
+        runtimes={
+            "two_sided": CRAYMPI_TWO_SIDED,
+            "one_sided": CRAYMPI_ONE_SIDED,
+        },
+        cores_per_endpoint=32,
+        mem_bandwidth_per_endpoint=GBps(102.4),
+        nominal_link_specs={
+            "IF CPU-GPU": "36 GB/s/direction",
+            "PCIe4 ESM": "50 GB/s/direction",
+        },
+    )
+
+
+# ROC_SHMEM projection: the paper skipped Frontier GPUs because ROC_SHMEM
+# lacked ``wait_until_any``; this profile models the library with the wait
+# *emulated in software* (a device-side polling loop over the signal
+# array), which is exactly the Listing-1 cost structure — so the projected
+# SpTRSV behaviour can be studied before the primitive exists.
+ROCSHMEM_PROJECTED = CommCosts(
+    put_signal=us(0.60),
+    wait_wakeup=us(5.00),
+    fetch_op=us(0.35),
+    atomic_apply=us(0.10),
+    # Emulated wait_until_any: every wake re-scans the signal slots from
+    # device memory — an order of magnitude above the A100's native path.
+    poll_slot=us(0.002),
+    wait_poll=us(1.50),
+    flush=us(0.15),
+)
+
+
+def frontier_gpu_projection() -> MachineModel:
+    """Projected Frontier GPU node: 4x MI250X over Infinity Fabric.
+
+    Marked a *projection* (DESIGN.md): the paper ran no Frontier GPU
+    experiments; link rates follow the public MI250X specifications and
+    the software profile models ROC_SHMEM with software-emulated signal
+    waiting.  Used by the future-work experiment
+    (:func:`repro.experiments.future.run_future_frontier`).
+    """
+    topo = TopologySpec(
+        name="frontier-gpu",
+        loopback=LinkParams(
+            latency=us(0.12), bandwidth=GBps(1200), gap=us(0.02), name="hbm"
+        ),
+    )
+    gpus = [f"gpu{i}" for i in range(4)]
+    # MI250X GPUs are pairwise connected by Infinity Fabric links:
+    # 100 GB/s/dir between in-group pairs, 50 GB/s/dir otherwise; we model
+    # the all-to-all mesh at 50 GB/s/dir with 2 sub-channels.
+    if_gg = LinkParams(
+        latency=us(0.40), bandwidth=GBps(50), gap=us(0.15), channels=2,
+        name="IF GPU-GPU",
+    )
+    for i in range(4):
+        for j in range(i + 1, 4):
+            topo.add_link(gpus[i], gpus[j], if_gg)
+    for g in gpus:
+        topo.add_link(
+            "cpu0",
+            g,
+            LinkParams(latency=us(0.55), bandwidth=GBps(36), gap=us(0.15),
+                       name="IF CPU-GPU"),
+        )
+        topo.add_link(
+            g,
+            f"nic-{g}",
+            LinkParams(latency=us(0.50), bandwidth=GBps(50), gap=us(0.20),
+                       name="PCIe4 ESM"),
+        )
+        topo.set_injection(
+            g, LinkParams(latency=0.0, bandwidth=GBps(150), name="inj")
+        )
+    return MachineModel(
+        name="frontier-gpu",
+        description="PROJECTION: 4x AMD MI250X, Infinity Fabric, ROC_SHMEM "
+        "with software-emulated signal waiting",
+        topology=topo,
+        compute_endpoints=gpus,
+        runtimes={"shmem": ROCSHMEM_PROJECTED},
+        cores_per_endpoint=1,
+        mem_bandwidth_per_endpoint=GBps(204.8),
+        gpu=GpuSpec(
+            mem_bandwidth=GBps(1600),
+            thread_blocks=80,
+            flop_rate=24e12,
+            kernel_launch=us(6.0),
+        ),
+        nominal_link_specs={
+            "IF GPU-GPU": "50-100 GB/s/direction",
+            "PCIe4 ESM": "50 GB/s/direction",
+        },
+    )

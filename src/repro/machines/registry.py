@@ -1,0 +1,80 @@
+"""Registry of evaluation platforms (the paper's Table I / Table III).
+
+Machines are constructed lazily and fresh on every call — a
+:class:`~repro.machines.base.MachineModel` carries mutable route caches and
+must not be shared across concurrently running simulations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.machines.base import MachineModel
+from repro.machines.frontier import frontier_cpu, frontier_gpu_projection
+from repro.machines.perlmutter import perlmutter_cpu, perlmutter_gpu
+from repro.machines.summit import summit_cpu, summit_gpu
+
+__all__ = [
+    "MACHINES",
+    "PROJECTIONS",
+    "get_machine",
+    "machine_names",
+    "table1_rows",
+]
+
+# The five platform views the paper evaluates (Table I).
+MACHINES: dict[str, Callable[[], MachineModel]] = {
+    "perlmutter-cpu": perlmutter_cpu,
+    "perlmutter-gpu": perlmutter_gpu,
+    "frontier-cpu": frontier_cpu,
+    "summit-cpu": summit_cpu,
+    "summit-gpu": summit_gpu,
+}
+
+# Platforms the paper names as future work, modelled here as projections;
+# excluded from Table I but reachable by name everywhere else.
+PROJECTIONS: dict[str, Callable[[], MachineModel]] = {
+    "frontier-gpu": frontier_gpu_projection,
+}
+
+
+def get_machine(name: str) -> MachineModel:
+    """Build a fresh machine model by registry name (incl. projections)."""
+    factory = MACHINES.get(name) or PROJECTIONS.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown machine {name!r}; available: "
+            f"{sorted(MACHINES) + sorted(PROJECTIONS)}"
+        )
+    return factory()
+
+
+def machine_names(*, include_projections: bool = False) -> list[str]:
+    names = sorted(MACHINES)
+    if include_projections:
+        names += sorted(PROJECTIONS)
+    return names
+
+
+def table1_rows() -> list[dict[str, str]]:
+    """Rows of the paper's Table I, regenerated from the machine models."""
+    rows = []
+    for name in machine_names():
+        m = get_machine(name)
+        gpus = (
+            f"{len(m.compute_endpoints)}x GPU" if m.is_gpu_machine else "-"
+        )
+        rows.append(
+            {
+                "machine": m.name,
+                "gpus": gpus,
+                "cpus/cores": f"{len(m.compute_endpoints)}x{m.cores_per_endpoint}"
+                if not m.is_gpu_machine
+                else "host",
+                "runtimes": "+".join(sorted(m.runtimes)),
+                "links": "; ".join(
+                    f"{k}: {v}" for k, v in sorted(m.nominal_link_specs.items())
+                ),
+            }
+        )
+    return rows

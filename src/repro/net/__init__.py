@@ -1,0 +1,17 @@
+"""Network fabric model: LogGP links, topologies, routing, contention."""
+
+from repro.net.fabric import Delivery, Fabric
+from repro.net.link import Channel, Link
+from repro.net.loggp import LinkParams, LogGPParams
+from repro.net.topology import Route, TopologySpec
+
+__all__ = [
+    "Delivery",
+    "Fabric",
+    "Channel",
+    "Link",
+    "LinkParams",
+    "LogGPParams",
+    "Route",
+    "TopologySpec",
+]

@@ -1,0 +1,116 @@
+"""The simulated physical link.
+
+A :class:`Link` is full duplex: each direction is an independent
+:class:`_Channel` with its own injection port.  Injection is serialised —
+a channel accepts the next message only ``max(gap, nbytes * G)`` after the
+previous one started, which is exactly the LogGP statement that the gap
+``g`` *cannot* be overlapped by issuing more messages.  Contention between
+concurrent senders sharing a link therefore appears as queueing delay at the
+injection port.
+
+Delivery time for a message accepted at ``start`` is
+``start + latency + nbytes * G`` (cut-through; bytes stream behind the head).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.loggp import LinkParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["Link", "Channel"]
+
+
+class Channel:
+    """One direction of a link: ``channels`` parallel serialised sub-ports.
+
+    A message claims the sub-channel that frees up first.  With one
+    sub-channel this is plain FIFO serialisation; with ``k`` sub-channels up
+    to ``k`` messages stream concurrently, each at ``bandwidth / k`` — the
+    NVLink port-group behaviour the paper exploits in Fig. 10.
+    """
+
+    __slots__ = ("sim", "params", "_next_free", "bytes_carried", "messages_carried")
+
+    def __init__(self, sim: "Simulator", params: LinkParams):
+        self.sim = sim
+        self.params = params
+        self._next_free: list[float] = [0.0] * params.channels
+        self.bytes_carried: float = 0.0
+        self.messages_carried: int = 0
+
+    def reserve(
+        self, nbytes: float, earliest: float, *, atomic: bool = False
+    ) -> tuple[float, float]:
+        """Claim one sub-channel for one message.
+
+        Args:
+            nbytes: message size in bytes.
+            earliest: the earliest time the head of the message can be at
+                this port (sender ready time, or upstream hop time).
+            atomic: remote-atomic traffic uses the (usually much larger)
+                ``atomic_gap`` spacing.
+
+        Returns:
+            ``(start, head_out)``: when injection begins, and when the head
+            of the message leaves the far end of this channel
+            (``start + latency``).  The tail arrives ``nbytes * G`` later
+            (sub-channel per-byte time); multi-hop routes take the max
+            per-byte time across hops.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        # Earliest-free sub-channel; ties resolve to the lowest index so the
+        # schedule is deterministic.
+        idx = min(range(len(self._next_free)), key=self._next_free.__getitem__)
+        start = max(earliest, self._next_free[idx])
+        gap = self.params.effective_atomic_gap if atomic else self.params.gap
+        occupancy = max(gap, nbytes * self.params.G)
+        self._next_free[idx] = start + occupancy
+        self.bytes_carried += nbytes
+        self.messages_carried += 1
+        return start, start + self.params.latency
+
+    @property
+    def utilization_until(self) -> float:
+        """Time at which some sub-channel becomes free (tests/introspection)."""
+        return min(self._next_free)
+
+
+class Link:
+    """A bidirectional connection between two topology endpoints."""
+
+    __slots__ = ("sim", "a", "b", "params", "_fwd", "_rev")
+
+    def __init__(self, sim: "Simulator", a: str, b: str, params: LinkParams):
+        if a == b:
+            raise ValueError(f"link endpoints must differ, got {a!r} twice")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.params = params
+        self._fwd = Channel(sim, params)
+        self._rev = Channel(sim, params)
+
+    def channel(self, src: str, dst: str) -> Channel:
+        """The directional channel carrying traffic ``src -> dst``."""
+        if (src, dst) == (self.a, self.b):
+            return self._fwd
+        if (src, dst) == (self.b, self.a):
+            return self._rev
+        raise KeyError(f"link {self.a}<->{self.b} does not connect {src}->{dst}")
+
+    def stats(self) -> dict[str, float]:
+        """Cumulative per-direction traffic counters."""
+        return {
+            f"{self.a}->{self.b}.bytes": self._fwd.bytes_carried,
+            f"{self.a}->{self.b}.messages": self._fwd.messages_carried,
+            f"{self.b}->{self.a}.bytes": self._rev.bytes_carried,
+            f"{self.b}->{self.a}.messages": self._rev.messages_carried,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.a}<->{self.b} {self.params.name}>"

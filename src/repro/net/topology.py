@@ -1,0 +1,159 @@
+"""Node topology: a graph of endpoints connected by LogGP links.
+
+Endpoints are string-named devices: CPU sockets (``"cpu0"``), GPUs
+(``"gpu3"``), NICs (``"nic0"``).  The machine models in ``repro.machines``
+build one :class:`TopologySpec` each from the paper's Fig. 2 node diagrams.
+
+Routing is static shortest-path by latency (computed once with networkx and
+cached); the paper's node fabrics are small enough that this is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.net.loggp import LinkParams
+
+__all__ = ["TopologySpec", "Route"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """A resolved path: the ordered endpoints and per-hop link parameters."""
+
+    src: str
+    dst: str
+    hops: tuple[tuple[str, str], ...]  # directed (u, v) pairs
+    latency: float  # sum of per-hop latencies
+    bandwidth: float  # min per-hop aggregate bandwidth (bottleneck)
+    message_bandwidth: float  # min per-hop single-sub-channel bandwidth
+    gap: float  # max per-hop gap
+
+    @property
+    def nhops(self) -> int:
+        return len(self.hops)
+
+    @property
+    def G(self) -> float:
+        """Per-byte time one message observes (bottleneck sub-channel)."""
+        return 1.0 / self.message_bandwidth
+
+
+@dataclass
+class TopologySpec:
+    """Declarative description of a node/system fabric.
+
+    Build with :meth:`add_link`; query with :meth:`route`.  Loopback routes
+    (``src == dst``) are legal and resolve to a zero-hop route whose
+    parameters come from ``loopback`` (an on-device memcpy model).
+    """
+
+    name: str
+    loopback: LinkParams = field(
+        default_factory=lambda: LinkParams(latency=1e-7, bandwidth=200e9, name="local")
+    )
+    injection: dict[str, LinkParams] = field(default_factory=dict)
+    _links: dict[frozenset[str], LinkParams] = field(default_factory=dict)
+    _graph: nx.Graph = field(default_factory=nx.Graph)
+    _route_cache: dict[tuple[str, str], Route] = field(default_factory=dict)
+
+    def add_link(self, a: str, b: str, params: LinkParams) -> None:
+        """Connect endpoints ``a`` and ``b`` (undirected, full duplex)."""
+        if a == b:
+            raise ValueError(f"cannot link endpoint {a!r} to itself")
+        key = frozenset((a, b))
+        if key in self._links:
+            raise ValueError(f"duplicate link {a!r}<->{b!r} in topology {self.name!r}")
+        self._links[key] = params
+        self._graph.add_edge(a, b, weight=params.latency, params=params)
+        self._route_cache.clear()
+
+    def set_injection(self, endpoint: str, params: LinkParams) -> None:
+        """Give ``endpoint`` a serialised injection port.
+
+        All messages leaving the endpoint stream through this port at
+        ``params.bandwidth`` before fanning out onto per-peer links.  Models
+        the copy/DMA engine an endpoint funnels traffic through; omitting it
+        means injection is unconstrained.
+        """
+        self.injection[endpoint] = params
+
+    @property
+    def endpoints(self) -> list[str]:
+        return sorted(self._graph.nodes)
+
+    @property
+    def links(self) -> dict[frozenset[str], LinkParams]:
+        return dict(self._links)
+
+    def link_params(self, a: str, b: str) -> LinkParams:
+        key = frozenset((a, b))
+        if key not in self._links:
+            raise KeyError(f"no link {a!r}<->{b!r} in topology {self.name!r}")
+        return self._links[key]
+
+    def has_endpoint(self, name: str) -> bool:
+        return name in self._graph
+
+    def route(self, src: str, dst: str) -> Route:
+        """Resolve the (cached) minimum-latency route ``src -> dst``."""
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        if src == dst:
+            route = Route(
+                src=src,
+                dst=dst,
+                hops=(),
+                latency=self.loopback.latency,
+                bandwidth=self.loopback.bandwidth,
+                message_bandwidth=self.loopback.channel_bandwidth,
+                gap=self.loopback.gap,
+            )
+            self._route_cache[key] = route
+            return route
+        for ep in (src, dst):
+            if ep not in self._graph:
+                raise KeyError(f"endpoint {ep!r} not in topology {self.name!r}")
+        try:
+            path = nx.shortest_path(self._graph, src, dst, weight="weight")
+        except nx.NetworkXNoPath:
+            raise KeyError(
+                f"no path {src!r} -> {dst!r} in topology {self.name!r}"
+            ) from None
+        hops = tuple(zip(path[:-1], path[1:]))
+        latency = 0.0
+        bandwidth = float("inf")
+        msg_bandwidth = float("inf")
+        gap = 0.0
+        for u, v in hops:
+            p = self._links[frozenset((u, v))]
+            latency += p.latency
+            bandwidth = min(bandwidth, p.bandwidth)
+            msg_bandwidth = min(msg_bandwidth, p.channel_bandwidth)
+            gap = max(gap, p.gap)
+        route = Route(
+            src=src,
+            dst=dst,
+            hops=hops,
+            latency=latency,
+            bandwidth=bandwidth,
+            message_bandwidth=msg_bandwidth,
+            gap=gap,
+        )
+        self._route_cache[key] = route
+        return route
+
+    def describe(self) -> str:
+        """Human-readable inventory of the fabric (for Table I benches)."""
+        lines = [f"topology {self.name}: {len(self.endpoints)} endpoints"]
+        for key, p in sorted(self._links.items(), key=lambda kv: sorted(kv[0])):
+            a, b = sorted(key)
+            lines.append(
+                f"  {a} <-> {b}: {p.name}, "
+                f"{p.bandwidth / 1e9:.0f} GB/s/dir, {p.latency * 1e6:.2f} us"
+            )
+        return "\n".join(lines)

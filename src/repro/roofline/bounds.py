@@ -1,0 +1,136 @@
+"""Workload communication bounds (paper Fig. 6).
+
+Given a workload's instrumented communication profile — its message-size
+distribution and messages per synchronization — place it on the Message
+Roofline of a machine/runtime and report the bound and the headroom, as the
+paper does for HashTable, Stencil and SpTRSV on Perlmutter CPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.machines.base import MachineModel
+from repro.roofline.model import MessageRoofline
+
+__all__ = ["WorkloadProfile", "WorkloadBound", "bound_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Communication profile of one workload (a Table II row, measured)."""
+
+    name: str
+    message_sizes: tuple[float, ...]  # bytes, the tested sizes (Fig. 6 verticals)
+    msgs_per_sync: float
+    sided: str  # "two" | "one" | "shmem"
+    ops_per_message: int
+
+    def __post_init__(self) -> None:
+        if not self.message_sizes:
+            raise ValueError("profile needs at least one message size")
+        if any(b <= 0 for b in self.message_sizes):
+            raise ValueError("message sizes must be positive")
+        if self.msgs_per_sync < 1:
+            raise ValueError("msgs_per_sync must be >= 1")
+
+
+@dataclass(frozen=True)
+class WorkloadBound:
+    """Roofline placement of one workload on one machine/runtime."""
+
+    profile: WorkloadProfile
+    machine: str
+    runtime: str
+    roofline: MessageRoofline
+    bound_bandwidth: tuple[float, ...]  # per tested size
+    time_per_sync: tuple[float, ...]
+    peak_bandwidth: float
+
+    def rows(self) -> list[dict[str, float]]:
+        out = []
+        n = max(int(round(self.profile.msgs_per_sync)), 1)
+        for B, bw, t in zip(
+            self.profile.message_sizes, self.bound_bandwidth, self.time_per_sync
+        ):
+            out.append(
+                {
+                    "message_size_B": B,
+                    "msgs_per_sync": n,
+                    "bound_GBps": bw / 1e9,
+                    "time_per_sync_us": t * 1e6,
+                    "fraction_of_peak": bw / self.peak_bandwidth,
+                }
+            )
+        return out
+
+
+def bound_workload(
+    machine: MachineModel,
+    runtime: str,
+    profile: WorkloadProfile,
+    *,
+    src: int = 0,
+    dst: int = 1,
+    nranks: int = 2,
+) -> WorkloadBound:
+    """Place ``profile`` on the machine's Message Roofline.
+
+    The LogGP parameters come from the machine model via
+    :meth:`~repro.machines.base.MachineModel.loggp`, using the workload's
+    sidedness to pick the op accounting (2 ops two-sided, 4 ops one-sided
+    CPU, 1 fused op GPU).
+    """
+    params = machine.loggp(
+        runtime,
+        src,
+        dst,
+        nranks=nranks,
+        placement="spread",
+        ops_per_message=profile.ops_per_message,
+        sided=profile.sided,
+    )
+    roofline = MessageRoofline(params, name=f"{machine.name}/{runtime}")
+    n = max(int(round(profile.msgs_per_sync)), 1)
+    sizes = np.asarray(profile.message_sizes, dtype=float)
+    bw = roofline.bandwidth(sizes, n)
+    t = roofline.time(sizes, n)
+    return WorkloadBound(
+        profile=profile,
+        machine=machine.name,
+        runtime=runtime,
+        roofline=roofline,
+        bound_bandwidth=tuple(float(v) for v in np.atleast_1d(bw)),
+        time_per_sync=tuple(float(v) for v in np.atleast_1d(t)),
+        peak_bandwidth=roofline.peak_bandwidth,
+    )
+
+
+def profile_from_counters(
+    name: str,
+    counters,
+    *,
+    sided: str,
+    sizes: Sequence[float] | None = None,
+) -> WorkloadProfile:
+    """Derive a :class:`WorkloadProfile` from a job's merged
+    :class:`~repro.comm.base.OpCounter` (measured, not assumed)."""
+    msgs_per_sync = counters.msg_per_sync()
+    if not np.isfinite(msgs_per_sync) or msgs_per_sync < 1:
+        msgs_per_sync = 1.0
+    if sizes is None:
+        mean = (
+            counters.bytes_sent / counters.messages if counters.messages else 8.0
+        )
+        sizes = (max(mean, 1.0),)
+    ops = counters.ops_per_message()
+    return WorkloadProfile(
+        name=name,
+        message_sizes=tuple(float(s) for s in sizes),
+        msgs_per_sync=float(msgs_per_sync),
+        sided=sided,
+        ops_per_message=int(ops) if np.isfinite(ops) else 1,
+    )

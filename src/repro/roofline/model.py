@@ -1,0 +1,206 @@
+"""The Message Roofline Model (paper §II) — the core contribution.
+
+Characterises sustained messaging bandwidth (bytes/s) as a function of
+
+* message size ``B`` (bytes),
+* **messages per synchronization** ``n`` (the paper's new axis),
+* peak network bandwidth (``1/G``),
+* network latency ``L`` and software overhead ``o``.
+
+Two variants, as in the paper's Fig. 1:
+
+* the **sharp** model ``n*B / max(n*o, n*max(g, B*G), L)`` — perfect overlap
+  of everything that can overlap; the junction between the diagonal
+  (latency) and horizontal (bandwidth) ceilings is "an ideal region one can
+  never practically reach";
+* the **rounded** model, where per-message overhead is serial::
+
+      T(n, B) = n*o + (n-1)*max(g, B*G) + B*G + L
+
+  i.e. the sender pays ``o`` per message, injections are spaced by the gap
+  or the transmission time (whichever dominates — LogGP's statement that
+  ``g`` cannot be overlapped), the last message streams out and the wire
+  latency is paid once at the tail.
+
+At ``n = 1`` the rounded model reduces to the paper's
+``B / (o + L + B*G)`` ~= ``B / (o + max(L, B*G))`` form, and as ``n`` grows
+the achieved bandwidth approaches ``min(B / max(g, o), 1/G)`` — the
+latency is overlapped but the gap and overhead are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.net.loggp import LogGPParams
+
+__all__ = ["MessageRoofline", "RooflineSeries"]
+
+
+@dataclass(frozen=True)
+class RooflineSeries:
+    """One plotted curve: bandwidth vs message size at fixed msg/sync."""
+
+    label: str
+    msgs_per_sync: int
+    sizes: np.ndarray  # bytes
+    bandwidth: np.ndarray  # bytes/s
+
+
+@dataclass(frozen=True)
+class MessageRoofline:
+    """Analytic Message Roofline for one (machine, runtime, path) triple."""
+
+    params: LogGPParams
+    name: str = "roofline"
+
+    # -- core model ------------------------------------------------------------
+
+    def time(
+        self, nbytes, msgs_per_sync: int = 1, *, sharp: bool = False
+    ) -> np.ndarray:
+        """Time to complete one synchronization batch (vectorised in B)."""
+        B = np.asarray(nbytes, dtype=float)
+        if np.any(B < 0):
+            raise ValueError("message sizes must be >= 0")
+        n = int(msgs_per_sync)
+        if n < 1:
+            raise ValueError(f"msgs_per_sync must be >= 1, got {msgs_per_sync}")
+        p = self.params
+        spacing = np.maximum.reduce(
+            [np.full_like(B, p.o), np.full_like(B, p.g), B * p.G]
+        )
+        if sharp:
+            return np.maximum(n * spacing, np.full_like(B, p.L + p.o_sync))
+        return p.o + (n - 1) * spacing + B * p.G + p.L + p.o_sync
+
+    def bandwidth(
+        self, nbytes, msgs_per_sync: int = 1, *, sharp: bool = False
+    ) -> np.ndarray:
+        """Sustained bandwidth of the batch: ``n*B / T(n, B)``."""
+        B = np.asarray(nbytes, dtype=float)
+        if np.any(B <= 0):
+            raise ValueError("bandwidth requires positive message sizes")
+        n = int(msgs_per_sync)
+        return n * B / self.time(B, n, sharp=sharp)
+
+    def latency_per_message(self, nbytes, msgs_per_sync: int = 1) -> np.ndarray:
+        """Effective per-message latency ``T / n`` (the paper's Fig. 7 metric:
+        more messages per sync => lower effective latency)."""
+        n = int(msgs_per_sync)
+        return self.time(nbytes, n) / n
+
+    # -- ceilings ----------------------------------------------------------------
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """The horizontal ceiling, ``1/G`` (bytes/s)."""
+        return self.params.peak_bandwidth
+
+    def saturation_bandwidth(self, nbytes) -> np.ndarray:
+        """Large-``n`` limit: ``B / max(o, g, B*G)`` — what infinite message
+        concurrency buys; the gap/overhead term is the part that can never
+        be overlapped."""
+        B = np.asarray(nbytes, dtype=float)
+        p = self.params
+        return B / np.maximum.reduce(
+            [np.full_like(B, p.o), np.full_like(B, p.g), B * p.G]
+        )
+
+    def knee_size(self, msgs_per_sync: int = 1) -> float:
+        """Message size where the diagonal (latency) ceiling of the sharp
+        model meets the horizontal (bandwidth) ceiling:
+        ``n * B * G = max(n*o, n*g, L + o_sync)``."""
+        n = int(msgs_per_sync)
+        p = self.params
+        return max(n * p.o, n * p.g, p.L + p.o_sync) / (n * p.G)
+
+    # -- msg/sync implications -----------------------------------------------------
+
+    def overlap_gain(self, nbytes, msgs_per_sync: int) -> np.ndarray:
+        """Bandwidth improvement over serialized messages:
+        ``BW(B, n) / BW(B, 1)`` — the paper's "at maximum you can get 10x
+        improvement by sending one hundred messages per sync when L >> G"."""
+        return self.bandwidth(nbytes, msgs_per_sync) / self.bandwidth(nbytes, 1)
+
+    def required_msgs_per_sync(
+        self, nbytes: float, target_fraction: float
+    ) -> int | None:
+        """Smallest msg/sync reaching ``target_fraction`` of the large-n
+        limit bandwidth for this message size — the paper's "how much
+        optimization room do I have by overlapping messages", inverted.
+
+        Returns None when the target exceeds what any concurrency can buy
+        (i.e. ``target_fraction`` of peak is above the saturation
+        bandwidth ``B / max(o, g, B*G)``).
+        """
+        if not 0 < target_fraction <= 1:
+            raise ValueError(
+                f"target_fraction must be in (0, 1], got {target_fraction}"
+            )
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        target = target_fraction * float(self.saturation_bandwidth(nbytes))
+        if float(self.bandwidth(nbytes, 1)) >= target:
+            return 1
+        # T(n) = n*spacing + C with C the fixed terms, so n solves directly.
+        p = self.params
+        spacing = max(p.o, p.g, nbytes * p.G)
+        fixed = p.o - spacing + nbytes * p.G + p.L + p.o_sync
+        # n*B/ (n*spacing + fixed) >= target
+        denom = nbytes - target * spacing
+        if denom <= 0:
+            return None
+        n = int(np.ceil(target * fixed / denom))
+        return max(n, 1)
+
+    def max_overlap_gain(self, nbytes) -> np.ndarray:
+        """The ``n -> inf`` limit of :meth:`overlap_gain`."""
+        B = np.asarray(nbytes, dtype=float)
+        p = self.params
+        t1 = p.o + B * p.G + p.L + p.o_sync
+        tinf = np.maximum.reduce(
+            [np.full_like(B, p.o), np.full_like(B, p.g), B * p.G]
+        )
+        return t1 / tinf
+
+    # -- plot data ----------------------------------------------------------------
+
+    def series(
+        self,
+        sizes: Sequence[float],
+        msgs_per_sync: Sequence[int] = (1, 10, 100, 1_000, 10_000, 100_000, 1_000_000),
+        *,
+        sharp: bool = False,
+    ) -> list[RooflineSeries]:
+        """Bandwidth-vs-size curves, one per msg/sync value (Fig. 1 family)."""
+        sizes_arr = np.asarray(list(sizes), dtype=float)
+        out = []
+        for n in msgs_per_sync:
+            out.append(
+                RooflineSeries(
+                    label=f"{n} msg/sync",
+                    msgs_per_sync=int(n),
+                    sizes=sizes_arr,
+                    bandwidth=self.bandwidth(sizes_arr, int(n), sharp=sharp),
+                )
+            )
+        return out
+
+    def bound(self, nbytes: float, msgs_per_sync: int = 1) -> dict[str, float]:
+        """Point query used by the Fig. 6 workload-bound plots."""
+        bw = float(self.bandwidth(nbytes, msgs_per_sync))
+        return {
+            "message_size": float(nbytes),
+            "msgs_per_sync": float(msgs_per_sync),
+            "bound_bandwidth": bw,
+            "bound_time_per_sync": float(self.time(nbytes, msgs_per_sync)),
+            "bound_latency_per_message": float(
+                self.latency_per_message(nbytes, msgs_per_sync)
+            ),
+            "peak_bandwidth": self.peak_bandwidth,
+            "fraction_of_peak": bw / self.peak_bandwidth,
+        }

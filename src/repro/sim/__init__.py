@@ -1,0 +1,36 @@
+"""Discrete-event simulation engine.
+
+The engine provides virtual time (:class:`Simulator`), one-shot coordination
+points (:class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf`),
+generator-based concurrency (:class:`Process`), queueing primitives
+(:class:`Resource`, :class:`Store`, :class:`Pipe`), reproducible randomness
+(:class:`RngFactory`) and structured tracing (:class:`Tracer`).
+
+All of ``repro.net``, ``repro.comm`` and the workloads are built on this
+package and nothing else; there is no hidden wall-clock anywhere.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.event import AllOf, AnyOf, Event, SimulationError, Timeout
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import Pipe, Resource, Store
+from repro.sim.rng import RngFactory
+from repro.sim.trace import NullTracer, TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+    "Process",
+    "Interrupt",
+    "Resource",
+    "Store",
+    "Pipe",
+    "RngFactory",
+    "Tracer",
+    "NullTracer",
+    "TraceRecord",
+]

@@ -1,0 +1,200 @@
+"""Events: the unit of coordination in the discrete-event engine.
+
+The design follows the classic process-interaction style (as in SimPy, but
+self-contained): an :class:`Event` starts *untriggered*; calling
+:meth:`Event.succeed` or :meth:`Event.fail` schedules it for processing, at
+which point the engine invokes its callbacks.  Processes (see
+``repro.sim.process``) suspend on events by ``yield``-ing them.
+
+Composite events (:class:`AllOf`, :class:`AnyOf`) let a process wait for a
+set of messages — the building block for ``MPI_Waitall`` and
+``nvshmem_wait_until_any`` in the communication layers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["Event", "Timeout", "AllOf", "AnyOf", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for violations of engine invariants (double-trigger, etc.)."""
+
+
+_PENDING = object()  # sentinel: event value not yet set
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    State machine: *untriggered* -> (*succeed* | *fail*) -> *processed*.
+    Callbacks registered before processing run exactly once, in registration
+    order, when the engine pops the event off its queue.  Callbacks added
+    after processing raise: by then the moment has passed.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool | None = None
+        self._defused = False
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once succeed/fail has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the engine has run this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered; 'ok' is undefined")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception. Only valid once triggered."""
+        if self._value is _PENDING:
+            raise SimulationError("event not yet triggered; value is undefined")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None, *, delay: float = 0.0) -> "Event":
+        """Mark the event successful; callbacks run after ``delay`` sim-time."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, *, delay: float = 0.0) -> "Event":
+        """Mark the event failed; the exception propagates into waiters."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exc!r}")
+        self._ok = False
+        self._value = exc
+        self.sim._schedule(self, delay)
+        return self
+
+    def defuse(self) -> None:
+        """Suppress the 'unhandled failed event' check for this event."""
+        self._defused = True
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn(event)`` to run when the event is processed."""
+        if self.callbacks is None:
+            raise SimulationError("cannot add callback to a processed event")
+        self.callbacks.append(fn)
+
+    # -- engine hook ---------------------------------------------------------
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks is None:
+            raise SimulationError(f"event {self!r} processed twice")
+        for fn in callbacks:
+            fn(self)
+        if self._ok is False and not self._defused and not callbacks:
+            # A failed event nobody was waiting on: surface it rather than
+            # silently dropping the error.
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "processed"
+            if self.processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that succeeds automatically after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf: resolves from the states of child events."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = tuple(events)
+        self._n_done = 0
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        if not self.events:
+            # Vacuously satisfied.
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._on_child(ev)
+            else:
+                ev.add_callback(self._on_child)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            ev.defuse()
+            self.fail(ev.value)
+            return
+        self._n_done += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds when *all* child events have succeeded (``MPI_Waitall``)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Succeeds when *any* child event has succeeded (``MPI_Waitany``)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done >= 1

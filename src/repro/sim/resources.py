@@ -1,0 +1,137 @@
+"""Queuing primitives built on the event engine.
+
+:class:`Resource` models a server with finite capacity and a FIFO queue —
+used for NIC injection ports and shared links (contention shows up as queue
+wait).  :class:`Store` is an unbounded FIFO message mailbox — the substrate
+under the MPI matching engine.  :class:`Pipe` is a convenience latency/`
+bandwidth stage used in unit tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.event import Event, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["Resource", "Store", "Pipe"]
+
+
+class Resource:
+    """A server with ``capacity`` concurrent slots and a FIFO wait queue.
+
+    ``request()`` returns an event that fires when a slot is granted;
+    ``release()`` frees a slot and wakes the next waiter.  The common
+    pattern inside a process::
+
+        grant = resource.request()
+        yield grant
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def request(self) -> Event:
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._queue.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._queue:
+            # Hand the slot directly to the next waiter; in_use stays constant.
+            self._queue.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """Unbounded FIFO of items with event-based ``get``.
+
+    ``put`` never blocks.  ``get`` returns an event that fires with the next
+    item — immediately if one is queued, else when one arrives.  Waiters are
+    served in FIFO order.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def peek_all(self) -> list[Any]:
+        """Non-destructive snapshot of queued items (for tracing/tests)."""
+        return list(self._items)
+
+
+class Pipe:
+    """A fixed-latency, fixed-bandwidth stage: ``send`` delivers after
+    ``latency + nbytes / bandwidth`` into an internal :class:`Store`.
+
+    Transfers are *not* serialised (infinite parallelism) — use a
+    :class:`Resource` in front for serialisation.  Mainly a test fixture and
+    a reference behaviour for the full link model in ``repro.net.link``.
+    """
+
+    def __init__(self, sim: "Simulator", latency: float, bandwidth: float):
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
+        self.sim = sim
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.store = Store(sim)
+
+    def send(self, item: Any, nbytes: float = 0.0) -> Event:
+        """Inject; returns the delivery event (also enqueued into .store)."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        delay = self.latency + nbytes / self.bandwidth
+        done = self.sim.timeout(delay, value=item)
+        done.add_callback(lambda ev: self.store.put(ev.value))
+        return done
+
+    def recv(self) -> Event:
+        return self.store.get()

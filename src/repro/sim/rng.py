@@ -1,0 +1,43 @@
+"""Deterministic, stream-split random number generation.
+
+Every stochastic element of a simulation (workload key streams, jitter,
+matrix generation) draws from a named child stream of one root seed, so runs
+are reproducible and adding a new consumer does not perturb existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RngFactory"]
+
+
+class RngFactory:
+    """Produce independent ``numpy.random.Generator`` streams by name.
+
+    The stream for a name is a pure function of ``(seed, name)``: stable
+    across runs and across machines, and insensitive to the order in which
+    streams are requested.
+    """
+
+    def __init__(self, seed: int = 0):
+        if not isinstance(seed, int) or seed < 0:
+            raise ValueError(f"seed must be a non-negative int, got {seed!r}")
+        self.seed = seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """A generator whose state depends only on (seed, name)."""
+        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+        # 4 x 64-bit words of entropy from the digest seeds the bit generator.
+        words = np.frombuffer(digest, dtype=np.uint64)[:4]
+        return np.random.Generator(np.random.PCG64(words))
+
+    def child(self, name: str) -> "RngFactory":
+        """A derived factory, for namespacing per-component streams."""
+        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+        return RngFactory(int.from_bytes(digest[:8], "little"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RngFactory(seed={self.seed})"

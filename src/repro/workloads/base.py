@@ -1,0 +1,55 @@
+"""Shared workload result types.
+
+Every workload runner returns a :class:`WorkloadResult` so the experiment
+harness and the Table II instrumentation can treat Stencil, SpTRSV and
+HashTable uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.comm.base import OpCounter
+
+__all__ = ["WorkloadResult"]
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one workload run on one machine/runtime/variant."""
+
+    workload: str
+    machine: str
+    runtime: str
+    variant: str  # "two_sided" | "one_sided" | "shmem"
+    nranks: int
+    time: float  # virtual seconds for the measured region
+    counters: OpCounter  # merged across ranks
+    per_rank: list[OpCounter]
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def msgs_per_sync(self) -> float:
+        return self.counters.msg_per_sync()
+
+    @property
+    def ops_per_message(self) -> float:
+        return self.counters.ops_per_message()
+
+    @property
+    def words_per_message(self) -> float:
+        return self.counters.words_per_message()
+
+    def row(self) -> dict[str, Any]:
+        """Flat summary row for report tables."""
+        return {
+            "workload": self.workload,
+            "machine": self.machine,
+            "variant": self.variant,
+            "P": self.nranks,
+            "time_ms": self.time * 1e3,
+            "msg/sync": round(self.msgs_per_sync, 2),
+            "ops/msg": round(self.ops_per_message, 2),
+            "words/msg": round(self.words_per_message, 1),
+        }

@@ -1,0 +1,254 @@
+"""Flood (bandwidth) microbenchmarks: the measured dots of Figs. 1, 3, 4.
+
+A flood run sends ``msgs_per_sync`` messages of ``nbytes`` each from rank 0
+to rank 1, then synchronises — repeated ``iters`` times.  Three variants
+match the paper's three communication flavours:
+
+* two-sided: ``Isend`` x n  /  pre-posted ``Irecv`` x n + ``Waitall``;
+* one-sided MPI: ``Put`` x n + ``flush``, then the put/flush signal pair,
+  receiver in the Listing-1 polling loop (4 MPI ops per *synchronised*
+  message group, matching the paper's accounting);
+* GPU SHMEM: ``put_signal_nbi`` x n, receiver ``wait_until_all``.
+
+There is also an atomic-CAS flood for the Fig. 4 compare-and-swap series.
+
+Bandwidth is measured at the *receiver* (time from batch start to the data
+being usable), which is what the paper's sustained-bandwidth plots show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.comm.job import Job
+from repro.machines.base import MachineModel
+from repro.roofline.fit import FloodSample
+
+__all__ = [
+    "FloodResult",
+    "run_flood",
+    "sweep_flood",
+    "run_cas_flood",
+    "DEFAULT_SIZES",
+    "DEFAULT_MSGS_PER_SYNC",
+]
+
+# 64 B .. 4 MiB in x8 steps: the span of the paper's bandwidth plots.
+DEFAULT_SIZES: tuple[int, ...] = tuple(64 * 8**k for k in range(6))
+# msg/sync axis; capped at 1024 in simulation (the analytic model extends
+# the curves to the paper's 1e6 — see EXPERIMENTS.md).
+DEFAULT_MSGS_PER_SYNC: tuple[int, ...] = (1, 4, 16, 64, 256, 1024)
+
+
+@dataclass(frozen=True)
+class FloodResult:
+    """Measured flood outcome for one (size, msg/sync) point."""
+
+    machine: str
+    runtime: str
+    nbytes: int
+    msgs_per_sync: int
+    iters: int
+    time_total: float
+    bandwidth: float  # bytes/s sustained, receiver-observed
+    latency_per_message: float  # seconds
+
+    def as_sample(self) -> FloodSample:
+        return FloodSample(
+            nbytes=float(self.nbytes),
+            msgs_per_sync=self.msgs_per_sync,
+            bandwidth=self.bandwidth,
+        )
+
+
+def _flood_two_sided(ctx, nbytes: int, n: int, iters: int):
+    """Rank 0 floods rank 1; both measure the batch window."""
+    yield from ctx.barrier()
+    t0 = ctx.sim.now
+    for _ in range(iters):
+        if ctx.rank == 0:
+            reqs = []
+            for _ in range(n):
+                r = yield from ctx.isend(1, nbytes=nbytes, tag=7)
+                reqs.append(r)
+            yield from ctx.waitall(reqs)
+        elif ctx.rank == 1:
+            reqs = []
+            for _ in range(n):
+                r = yield from ctx.irecv(source=0, tag=7)
+                reqs.append(r)
+            yield from ctx.waitall(reqs)
+        yield from ctx.barrier()
+    return ctx.sim.now - t0
+
+
+def _flood_one_sided(ctx, data_win, sig_win, nbytes: int, n: int, iters: int):
+    """One-sided MPI flood with the paper's 4-op completion sequence."""
+    nelems = max(int(nbytes // data_win.dtype.itemsize), 1)
+    h = data_win.handle(ctx)
+    s = sig_win.handle(ctx)
+    yield from ctx.barrier()
+    t0 = ctx.sim.now
+    for it in range(iters):
+        if ctx.rank == 0:
+            for _ in range(n):
+                yield from h.put(1, nelems=nelems)
+            yield from h.flush(1)
+            yield from s.put(
+                1, np.array([it + 1], dtype=np.int64), offset=0
+            )
+            yield from s.flush(1)
+        elif ctx.rank == 1:
+            yield from ctx.poll_wait_signals(sig_win, [0], 1, value=it + 1)
+        yield from ctx.barrier()
+    return ctx.sim.now - t0
+
+
+def _flood_shmem(ctx, data_win, sig_win, nbytes: int, n: int, iters: int):
+    """GPU-initiated put-with-signal flood."""
+    nelems = max(int(nbytes // data_win.dtype.itemsize), 1)
+    yield from ctx.barrier()
+    t0 = ctx.sim.now
+    for it in range(iters):
+        if ctx.rank == 0:
+            for _ in range(n):
+                yield from ctx.put_signal_nbi(
+                    data_win,
+                    1,
+                    nelems=nelems,
+                    signal_win=sig_win,
+                    signal_idx=0,
+                    signal_value=1,
+                    signal_op="add",
+                )
+            yield from ctx.quiet()
+        elif ctx.rank == 1:
+            yield from ctx.wait_until_all(sig_win, [0], value=(it + 1) * n)
+        yield from ctx.barrier()
+    return ctx.sim.now - t0
+
+
+def run_flood(
+    machine: MachineModel,
+    runtime: str,
+    nbytes: int,
+    msgs_per_sync: int,
+    *,
+    iters: int = 3,
+    nranks: int = 2,
+    placement: str = "spread",
+) -> FloodResult:
+    """Run one flood point and return the measured bandwidth.
+
+    ``placement="spread"`` puts ranks 0/1 on adjacent endpoints (on-node
+    paths); on a multi-node cluster, ``placement="block"`` puts them on
+    different nodes, measuring the switched fabric instead.
+    """
+    if nbytes < 8:
+        raise ValueError(f"flood nbytes must be >= 8, got {nbytes}")
+    if msgs_per_sync < 1:
+        raise ValueError(f"msgs_per_sync must be >= 1, got {msgs_per_sync}")
+    job = Job(machine, nranks, runtime, placement=placement)
+    if runtime == "two_sided":
+        result = job.run(_flood_two_sided, nbytes, msgs_per_sync, iters)
+    elif runtime == "one_sided":
+        nelems = max(int(nbytes // 8), 1)
+        data_win = job.window(nelems)
+        sig_win = job.window(4, dtype=np.int64)
+        result = job.run(
+            _flood_one_sided, data_win, sig_win, nbytes, msgs_per_sync, iters
+        )
+    elif runtime == "shmem":
+        nelems = max(int(nbytes // 8), 1)
+        data_win = job.window(nelems)
+        sig_win = job.window(4, dtype=np.uint64)
+        result = job.run(
+            _flood_shmem, data_win, sig_win, nbytes, msgs_per_sync, iters
+        )
+    else:
+        raise ValueError(f"unknown flood runtime {runtime!r}")
+    # Receiver-observed window (rank 1's elapsed time over the batches).
+    elapsed = result.results[1]
+    total_bytes = float(nbytes) * msgs_per_sync * iters
+    # Subtract the inter-iteration barrier cost so the number reflects the
+    # communication itself, matching how flood benchmarks report.
+    barrier_cost = job._barrier_delay * iters
+    net = max(elapsed - barrier_cost, 1e-12)
+    bw = total_bytes / net
+    return FloodResult(
+        machine=machine.name,
+        runtime=runtime,
+        nbytes=nbytes,
+        msgs_per_sync=msgs_per_sync,
+        iters=iters,
+        time_total=elapsed,
+        bandwidth=bw,
+        latency_per_message=net / (msgs_per_sync * iters),
+    )
+
+
+def sweep_flood(
+    machine_factory,
+    runtime: str,
+    *,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    msgs_per_sync: Sequence[int] = DEFAULT_MSGS_PER_SYNC,
+    iters: int = 3,
+) -> list[FloodResult]:
+    """Full (size x msg/sync) sweep; a fresh machine per point keeps the
+    fabric counters independent."""
+    out = []
+    for n in msgs_per_sync:
+        for b in sizes:
+            out.append(
+                run_flood(machine_factory(), runtime, b, n, iters=iters)
+            )
+    return out
+
+
+def _cas_flood(ctx, win, n: int, target: int):
+    """Back-to-back remote CAS stream, rank 0 -> ``target`` (Fig. 4 series)."""
+    yield from ctx.barrier()
+    t0 = ctx.sim.now
+    if ctx.rank == 0:
+        for i in range(n):
+            if hasattr(ctx, "atomic_compare_swap"):
+                yield from ctx.atomic_compare_swap(win, target, 0, i, i + 1)
+            else:
+                h = win.handle(ctx)
+                yield from h.cas_blocking(target, 0, i, i + 1)
+        return ctx.sim.now - t0
+    # Target rank is passive.
+    return 0.0
+
+
+def run_cas_flood(
+    machine: MachineModel,
+    runtime: str,
+    *,
+    n_ops: int = 64,
+    target_rank: int = 1,
+    nranks: int = 2,
+) -> dict[str, float]:
+    """Measure the sustained remote atomic CAS latency (seconds/op).
+
+    ``target_rank`` selects the victim — on Summit GPUs, a rank in the other
+    island exposes the cross-socket atomic penalty (1.6 us vs 1.0 us).
+    """
+    if not 0 < target_rank < nranks:
+        raise ValueError(f"target_rank {target_rank} out of range (1..{nranks - 1})")
+    job = Job(machine, nranks, runtime, placement="spread")
+    win = job.window(8, dtype=np.int64)
+    result = job.run(_cas_flood, win, n_ops, target_rank)
+    elapsed = result.results[0]
+    return {
+        "machine": machine.name,
+        "runtime": runtime,
+        "ops": n_ops,
+        "time": elapsed,
+        "latency_per_cas": elapsed / n_ops,
+        "cas_rate": n_ops / elapsed,
+    }

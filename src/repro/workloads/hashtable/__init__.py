@@ -1,0 +1,25 @@
+"""Distributed HashTable workload (paper §III-C): random atomic inserts."""
+
+from repro.workloads.hashtable.table import (
+    EMPTY,
+    TableGeometry,
+    chain_lengths,
+    collect_values,
+    local_insert,
+)
+from repro.workloads.hashtable.runner import (
+    HashTableConfig,
+    generate_keys,
+    run_hashtable,
+)
+
+__all__ = [
+    "EMPTY",
+    "TableGeometry",
+    "chain_lengths",
+    "collect_values",
+    "local_insert",
+    "HashTableConfig",
+    "generate_keys",
+    "run_hashtable",
+]

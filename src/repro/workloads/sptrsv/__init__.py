@@ -1,0 +1,29 @@
+"""SpTRSV workload (paper §III-B): supernodal DAG solve, three comm variants."""
+
+from repro.workloads.sptrsv.matrix import (
+    MatrixSpec,
+    SupernodalMatrix,
+    generate_matrix,
+)
+from repro.workloads.sptrsv.plan import (
+    LSUM_MSG,
+    X_MSG,
+    BlockCyclicLayout,
+    CommPlan,
+    ExpectedMsg,
+)
+from repro.workloads.sptrsv.runner import SpTrsvConfig, reference_solve, run_sptrsv
+
+__all__ = [
+    "MatrixSpec",
+    "SupernodalMatrix",
+    "generate_matrix",
+    "BlockCyclicLayout",
+    "CommPlan",
+    "ExpectedMsg",
+    "X_MSG",
+    "LSUM_MSG",
+    "SpTrsvConfig",
+    "reference_solve",
+    "run_sptrsv",
+]

@@ -1,0 +1,133 @@
+"""The stencil compute kernel and its serial reference.
+
+The kernel is the classic 5-point Jacobi relaxation with fixed (Dirichlet)
+boundaries — the computation behind the paper's stencil benchmark (from the
+SC16 MPI tutorial code it cites).  Vectorised numpy throughout, per the
+hpc-parallel guides: no Python-level cell loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "jacobi_step",
+    "jacobi_reference",
+    "initial_grid",
+    "stencil_flops",
+    "stencil_bytes",
+]
+
+
+def initial_grid(nx: int, ny: int, *, hot_edge: float = 1.0) -> np.ndarray:
+    """Global initial condition: zero interior, one hot (north) edge.
+
+    Deterministic, so distributed runs can be verified bit-for-bit against
+    the serial reference.
+    """
+    if nx < 3 or ny < 3:
+        raise ValueError(f"grid must be at least 3x3, got {nx}x{ny}")
+    u = np.zeros((ny, nx), dtype=np.float64)
+    u[0, :] = hot_edge
+    return u
+
+
+def jacobi_step(u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """One Jacobi sweep over the interior of ``u`` (halo/boundary in place).
+
+    ``u`` includes its boundary (or halo) ring; only ``u[1:-1, 1:-1]`` is
+    updated.  Pass ``out`` to avoid an allocation per step.
+    """
+    if u.ndim != 2 or u.shape[0] < 3 or u.shape[1] < 3:
+        raise ValueError(f"jacobi_step needs a 2D array >= 3x3, got {u.shape}")
+    if out is None:
+        out = u.copy()
+    else:
+        out[:] = u
+    out[1:-1, 1:-1] = 0.25 * (
+        u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:]
+    )
+    return out
+
+
+def jacobi_reference(u0: np.ndarray, iters: int) -> np.ndarray:
+    """Serial reference: ``iters`` Jacobi sweeps with fixed boundaries."""
+    if iters < 0:
+        raise ValueError(f"iters must be >= 0, got {iters}")
+    u = u0.copy()
+    scratch = u.copy()
+    for _ in range(iters):
+        scratch = jacobi_step(u, scratch)
+        u, scratch = scratch, u
+    return u
+
+
+def heat_step(
+    u: np.ndarray,
+    out: np.ndarray | None = None,
+    *,
+    sources: list[tuple[int, int]] | None = None,
+    energy: float = 0.0,
+) -> np.ndarray:
+    """One explicit heat-equation step with energy injection.
+
+    This is the paper's actual tutorial stencil (the SC16 MPI course code
+    its artifact cites): ``u' = u/2 + (N+S+E+W)/8`` on the interior, then
+    ``energy`` added at each source cell.  Unlike the Laplace/Jacobi
+    variant, total heat is conserved up to the injected energy and the
+    (zero) boundary outflux — the invariant the tests check.
+
+    ``sources`` are (row, col) positions in the same (halo-inclusive)
+    coordinates as ``u``.
+    """
+    if u.ndim != 2 or u.shape[0] < 3 or u.shape[1] < 3:
+        raise ValueError(f"heat_step needs a 2D array >= 3x3, got {u.shape}")
+    if out is None:
+        out = u.copy()
+    else:
+        out[:] = u
+    out[1:-1, 1:-1] = u[1:-1, 1:-1] / 2.0 + (
+        u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:]
+    ) / 8.0
+    if sources:
+        for r, c in sources:
+            if not (1 <= r < u.shape[0] - 1 and 1 <= c < u.shape[1] - 1):
+                raise ValueError(f"source ({r}, {c}) outside the interior")
+            out[r, c] += energy
+    return out
+
+
+def heat_reference(
+    nx: int,
+    ny: int,
+    iters: int,
+    *,
+    sources: list[tuple[int, int]],
+    energy: float = 1.0,
+) -> np.ndarray:
+    """Serial reference for the heat/energy stencil on a zero field with
+    zero (cold) boundaries."""
+    if iters < 0:
+        raise ValueError(f"iters must be >= 0, got {iters}")
+    u = np.zeros((ny, nx), dtype=np.float64)
+    scratch = u.copy()
+    for _ in range(iters):
+        scratch = heat_step(u, scratch, sources=sources, energy=energy)
+        u, scratch = scratch, u
+    return u
+
+
+def total_heat(u: np.ndarray) -> float:
+    """Total energy in the field (interior; boundaries are sinks)."""
+    return float(u[1:-1, 1:-1].sum())
+
+
+def stencil_flops(cells: int) -> float:
+    """FLOPs per sweep: 3 adds + 1 multiply per interior cell."""
+    return 4.0 * cells
+
+
+def stencil_bytes(cells: int, itemsize: int = 8) -> float:
+    """Memory traffic per sweep: read u + write out (streaming, the 4
+    neighbor loads hit cache)."""
+    return 2.0 * cells * itemsize

@@ -1,0 +1,417 @@
+"""Distributed 2D stencil: two-sided, one-sided, and GPU-SHMEM variants.
+
+Per iteration every rank exchanges four halo strips with its grid neighbors
+and then relaxes its local block (paper §III-A):
+
+* **two-sided**: four ``Isend`` + four ``Irecv`` + ``Waitall`` — the halo
+  data is usable after the waitall;
+* **one-sided**: four ``Put`` bracketed by a pair of ``Win_fence`` — the
+  fence closes the epoch and doubles as the BSP barrier;
+* **shmem** (GPU): four ``put_signal_nbi`` + ``wait_until_all`` on the
+  neighbor signals — everything happens inside the (persistent) kernel.
+
+All three variants share the same decomposition and the same communication
+structure (message concurrency = number of neighbors, message size = halo
+size), exactly the design-portability point the paper makes.
+
+``mode="execute"`` does the real numpy Jacobi math on the payloads and the
+result is verifiable against the serial reference; ``mode="simulate"`` moves
+only byte counts (for paper-scale grids).  Both charge the same modelled
+compute time, so timings are comparable across modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import reduce
+
+import numpy as np
+
+from repro.comm.base import OpCounter
+from repro.comm.job import Job
+from repro.machines.base import MachineModel
+from repro.workloads.base import WorkloadResult
+from repro.workloads.stencil.decomposition import ProcessGrid
+from repro.workloads.stencil.kernels import (
+    heat_step,
+    initial_grid,
+    jacobi_step,
+    stencil_bytes,
+    stencil_flops,
+)
+
+__all__ = ["StencilConfig", "run_stencil"]
+
+_DIR_ORDER = ("north", "south", "west", "east")
+_DIR_INDEX = {d: i for i, d in enumerate(_DIR_ORDER)}
+
+
+@dataclass(frozen=True)
+class StencilConfig:
+    """Stencil problem description.
+
+    The paper's test case is ``nx = ny = 16384``, 1000 iterations, process
+    grids 2x2 .. 16x8 (message sizes 2^16 down to 2^13 bytes).
+    """
+
+    nx: int = 16384
+    ny: int = 16384
+    iters: int = 10
+    mode: str = "simulate"  # "simulate" | "execute"
+    # "jacobi": Laplace relaxation with a hot edge (default, simplest to
+    # verify).  "heat": the paper's tutorial stencil — explicit heat
+    # diffusion with ``nsources`` point sources injecting ``energy`` per
+    # iteration into a cold field (its CLI: grid, energy, iters, px, py).
+    variant: str = "jacobi"
+    energy: float = 1.0
+    nsources: int = 3
+
+    def __post_init__(self) -> None:
+        if self.nx < 3 or self.ny < 3:
+            raise ValueError(f"grid must be >= 3x3, got {self.nx}x{self.ny}")
+        if self.iters < 1:
+            raise ValueError(f"iters must be >= 1, got {self.iters}")
+        if self.mode not in ("simulate", "execute"):
+            raise ValueError(f"mode must be simulate|execute, got {self.mode!r}")
+        if self.variant not in ("jacobi", "heat"):
+            raise ValueError(f"variant must be jacobi|heat, got {self.variant!r}")
+        if self.nsources < 0:
+            raise ValueError("nsources must be >= 0")
+
+    def source_positions(self) -> list[tuple[int, int]]:
+        """Deterministic global (row, col) source positions, interior-only."""
+        out = []
+        for i in range(self.nsources):
+            r = min(max(self.ny * (i + 1) // (self.nsources + 1), 1), self.ny - 2)
+            c = min(max(self.nx * (i + 1) // (self.nsources + 1), 1), self.nx - 2)
+            out.append((r, c))
+        return out
+
+
+@dataclass
+class _RankPlan:
+    """Precomputed per-rank geometry shared by all three variants."""
+
+    grid: ProcessGrid
+    rank: int
+    bx: int
+    by: int
+    neighbors: dict[str, int]
+    halo_elems: dict[str, int] = field(default_factory=dict)
+    # Window layout: direction -> (offset, length) in the halo window.
+    win_segment: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, grid: ProcessGrid, rank: int, nx: int, ny: int) -> "_RankPlan":
+        bx, by = grid.block_shape(rank, nx, ny)
+        plan = cls(
+            grid=grid, rank=rank, bx=bx, by=by, neighbors=grid.neighbors(rank)
+        )
+        plan.halo_elems = {"north": bx, "south": bx, "west": by, "east": by}
+        offset = 0
+        for d in _DIR_ORDER:
+            plan.win_segment[d] = (offset, plan.halo_elems[d])
+            offset += plan.halo_elems[d]
+        return plan
+
+    @property
+    def window_count(self) -> int:
+        return 2 * self.bx + 2 * self.by
+
+    def edge_strip(self, local: np.ndarray, direction: str) -> np.ndarray:
+        """The owned edge row/column to send toward ``direction``."""
+        if direction == "north":
+            return local[1, 1:-1]
+        if direction == "south":
+            return local[-2, 1:-1]
+        if direction == "west":
+            return local[1:-1, 1]
+        if direction == "east":
+            return local[1:-1, -2]
+        raise ValueError(f"unknown direction {direction!r}")
+
+    def write_halo(self, local: np.ndarray, direction: str, data: np.ndarray) -> None:
+        """Store data received *from* ``direction`` into the halo ring."""
+        if direction == "north":
+            local[0, 1:-1] = data
+        elif direction == "south":
+            local[-1, 1:-1] = data
+        elif direction == "west":
+            local[1:-1, 0] = data
+        elif direction == "east":
+            local[1:-1, -1] = data
+        else:
+            raise ValueError(f"unknown direction {direction!r}")
+
+
+def _local_sources(plan: _RankPlan, cfg: StencilConfig) -> list[tuple[int, int]]:
+    """This rank's heat sources in local (halo-inclusive) coordinates."""
+    rows, cols = plan.grid.block(plan.rank, cfg.nx, cfg.ny)
+    out = []
+    for r, c in cfg.source_positions():
+        if rows.start <= r < rows.stop and cols.start <= c < cols.stop:
+            out.append((r - rows.start + 1, c - cols.start + 1))
+    return out
+
+
+def _local_setup(plan: _RankPlan, cfg: StencilConfig) -> np.ndarray | None:
+    """Initial local block (with halo ring) in execute mode."""
+    if cfg.mode != "execute":
+        return None
+    rows, cols = plan.grid.block(plan.rank, cfg.nx, cfg.ny)
+    if cfg.variant == "heat":
+        u0 = np.zeros((cfg.ny, cfg.nx), dtype=np.float64)
+    else:
+        u0 = initial_grid(cfg.nx, cfg.ny)
+    local = np.zeros((plan.by + 2, plan.bx + 2), dtype=np.float64)
+    local[1:-1, 1:-1] = u0[rows, cols]
+    # Global-boundary halo cells hold the fixed Dirichlet values.
+    ix, iy = plan.grid.coords(plan.rank)
+    if iy == 0:
+        local[0, 1:-1] = u0[0, cols]
+    if iy == plan.grid.py - 1:
+        local[-1, 1:-1] = u0[-1, cols]
+    if ix == 0:
+        local[1:-1, 0] = u0[rows, 0]
+    if ix == plan.grid.px - 1:
+        local[1:-1, -1] = u0[rows, -1]
+    return local
+
+
+def _pin_global_boundary(plan: _RankPlan, local: np.ndarray, pinned: dict) -> None:
+    """Re-apply Dirichlet values on owned global-boundary cells."""
+    for key, values in pinned.items():
+        if key == "top":
+            local[1, :] = values
+        elif key == "bottom":
+            local[-2, :] = values
+        elif key == "left":
+            local[:, 1] = values
+        elif key == "right":
+            local[:, -2] = values
+
+
+def _pinned_slices(plan: _RankPlan, local: np.ndarray | None) -> dict:
+    if local is None:
+        return {}
+    ix, iy = plan.grid.coords(plan.rank)
+    pinned = {}
+    if iy == 0:
+        pinned["top"] = local[1, :].copy()
+    if iy == plan.grid.py - 1:
+        pinned["bottom"] = local[-2, :].copy()
+    if ix == 0:
+        pinned["left"] = local[:, 1].copy()
+    if ix == plan.grid.px - 1:
+        pinned["right"] = local[:, -2].copy()
+    return pinned
+
+
+def _compute_sweep(ctx, plan: _RankPlan, cfg: StencilConfig, local, scratch,
+                   pinned, sources):
+    """Charge modelled compute; do the real sweep in execute mode."""
+    cells = plan.bx * plan.by
+    if local is not None:
+        if cfg.variant == "heat":
+            scratch = heat_step(
+                local, scratch, sources=sources, energy=cfg.energy
+            )
+        else:
+            scratch = jacobi_step(local, scratch)
+        local, scratch = scratch, local
+        _pin_global_boundary(plan, local, pinned)
+    yield from ctx.compute(
+        nbytes=stencil_bytes(cells), flops=stencil_flops(cells)
+    )
+    return local, scratch
+
+
+def _program_two_sided(ctx, cfg: StencilConfig, grid: ProcessGrid):
+    plan = _RankPlan.build(grid, ctx.rank, cfg.nx, cfg.ny)
+    local = _local_setup(plan, cfg)
+    scratch = local.copy() if local is not None else None
+    pinned = _pinned_slices(plan, local)
+    sources = _local_sources(plan, cfg)
+    itemsize = 8
+    yield from ctx.barrier()
+    t0 = ctx.sim.now
+    for _ in range(cfg.iters):
+        recvs = []
+        sends = []
+        for d, nb in plan.neighbors.items():
+            r = yield from ctx.irecv(source=nb, tag=_DIR_INDEX[d])
+            recvs.append((d, r))
+        for d, nb in plan.neighbors.items():
+            payload = (
+                plan.edge_strip(local, d).copy() if local is not None else None
+            )
+            # Tag by the direction the receiver sees it coming from.
+            tag = _DIR_INDEX[ProcessGrid.opposite(d)]
+            s = yield from ctx.isend(
+                nb, nbytes=plan.halo_elems[d] * itemsize, tag=tag, payload=payload
+            )
+            sends.append(s)
+        yield from ctx.waitall([r for _, r in recvs] + sends)
+        if local is not None:
+            for d, r in recvs:
+                data, _status = r.value
+                plan.write_halo(local, d, data)
+        local, scratch = yield from _compute_sweep(
+            ctx, plan, cfg, local, scratch, pinned, sources
+        )
+    elapsed = ctx.sim.now - t0
+    return {"time": elapsed, "block": local[1:-1, 1:-1] if local is not None else None}
+
+
+def _program_one_sided(ctx, cfg: StencilConfig, grid: ProcessGrid, win):
+    plan = _RankPlan.build(grid, ctx.rank, cfg.nx, cfg.ny)
+    local = _local_setup(plan, cfg)
+    scratch = local.copy() if local is not None else None
+    pinned = _pinned_slices(plan, local)
+    sources = _local_sources(plan, cfg)
+    # Remote offsets follow the *receiver's* window layout (blocks can be
+    # uneven, so neighbor layouts differ from ours).
+    nb_plans = {
+        nb: _RankPlan.build(grid, nb, cfg.nx, cfg.ny)
+        for nb in plan.neighbors.values()
+    }
+    h = win.handle(ctx)
+    yield from ctx.barrier()
+    t0 = ctx.sim.now
+    for _ in range(cfg.iters):
+        # Epoch open (paper: "four MPI_Put within a pair of MPI_Win_fence").
+        yield from h.fence()
+        for d, nb in plan.neighbors.items():
+            # Data lands in the segment the *receiver* reads for the
+            # opposite direction.
+            seg_dir = ProcessGrid.opposite(d)
+            offset, length = nb_plans[nb].win_segment[seg_dir]
+            if local is not None:
+                yield from h.put(nb, plan.edge_strip(local, d), offset=offset)
+            else:
+                yield from h.put(nb, nelems=length, offset=offset)
+        yield from h.fence()
+        if local is not None:
+            for d in plan.neighbors:
+                offset, length = plan.win_segment[d]
+                plan.write_halo(
+                    local, d, win.local(ctx.rank)[offset : offset + length]
+                )
+        local, scratch = yield from _compute_sweep(
+            ctx, plan, cfg, local, scratch, pinned, sources
+        )
+    elapsed = ctx.sim.now - t0
+    return {"time": elapsed, "block": local[1:-1, 1:-1] if local is not None else None}
+
+
+def _program_shmem(ctx, cfg: StencilConfig, grid: ProcessGrid, win, sig):
+    # The halo window is double-buffered by iteration parity: without the
+    # strict fence of the one-sided variant, a fast neighbor's iteration
+    # k+1 put must not overwrite halo data this rank has not yet consumed
+    # for iteration k (the standard NVSHMEM stencil idiom).
+    plan = _RankPlan.build(grid, ctx.rank, cfg.nx, cfg.ny)
+    local = _local_setup(plan, cfg)
+    scratch = local.copy() if local is not None else None
+    pinned = _pinned_slices(plan, local)
+    sources = _local_sources(plan, cfg)
+    nb_plans = {
+        nb: _RankPlan.build(grid, nb, cfg.nx, cfg.ny)
+        for nb in plan.neighbors.values()
+    }
+    yield from ctx.barrier()
+    t0 = ctx.sim.now
+    for it in range(cfg.iters):
+        parity = it % 2
+        for d, nb in plan.neighbors.items():
+            seg_dir = ProcessGrid.opposite(d)
+            nbp = nb_plans[nb]
+            offset, length = nbp.win_segment[seg_dir]
+            offset += parity * nbp.window_count
+            values = plan.edge_strip(local, d) if local is not None else None
+            yield from ctx.put_signal_nbi(
+                win,
+                nb,
+                values=values,
+                nelems=length,
+                offset=offset,
+                signal_win=sig,
+                signal_idx=_DIR_INDEX[seg_dir],
+                signal_value=it + 1,
+            )
+        expected = [_DIR_INDEX[d] for d in plan.neighbors]
+        yield from ctx.wait_until_all(sig, expected, value=it + 1)
+        if local is not None:
+            for d in plan.neighbors:
+                offset, length = plan.win_segment[d]
+                start = parity * plan.window_count + offset
+                plan.write_halo(
+                    local, d, win.local(ctx.rank)[start : start + length]
+                )
+        local, scratch = yield from _compute_sweep(
+            ctx, plan, cfg, local, scratch, pinned, sources
+        )
+    elapsed = ctx.sim.now - t0
+    return {"time": elapsed, "block": local[1:-1, 1:-1] if local is not None else None}
+
+
+def run_stencil(
+    machine: MachineModel,
+    runtime: str,
+    cfg: StencilConfig,
+    nranks: int,
+    *,
+    grid: ProcessGrid | None = None,
+    placement: str | None = None,
+) -> WorkloadResult:
+    """Run the stencil and return timing + instrumentation.
+
+    ``runtime`` selects the variant: ``two_sided``, ``one_sided`` (CPU MPI
+    RMA), or ``shmem`` (GPU-initiated).  In execute mode the assembled
+    global field is returned in ``extras["field"]`` for verification.
+    """
+    grid = grid if grid is not None else ProcessGrid.square_ish(nranks)
+    if grid.nranks != nranks:
+        raise ValueError(f"grid {grid.px}x{grid.py} != nranks {nranks}")
+    if placement is None:
+        placement = "spread" if machine.is_gpu_machine else "block"
+    job = Job(machine, nranks, runtime, placement=placement)
+    bx = -(-cfg.nx // grid.px)  # ceil: largest block dims size the windows
+    by = -(-cfg.ny // grid.py)
+    if runtime == "two_sided":
+        result = job.run(_program_two_sided, cfg, grid)
+    elif runtime == "one_sided":
+        win = job.window(2 * bx + 2 * by, dtype=np.float64)
+        result = job.run(_program_one_sided, cfg, grid, win)
+    elif runtime == "shmem":
+        # Double-buffered halo window (iteration parity), 4 signal slots.
+        win = job.window(2 * (2 * bx + 2 * by), dtype=np.float64)
+        sig = job.window(4, dtype=np.uint64)
+        result = job.run(_program_shmem, cfg, grid, win, sig)
+    else:
+        raise ValueError(f"unknown stencil runtime {runtime!r}")
+    times = [r["time"] for r in result.results]
+    extras: dict = {
+        "grid": f"{grid.px}x{grid.py}",
+        "halo_bytes": grid.halo_bytes(cfg.nx, cfg.ny),
+        "iters": cfg.iters,
+    }
+    if cfg.mode == "execute":
+        field_out = np.zeros((cfg.ny, cfg.nx), dtype=np.float64)
+        if cfg.variant != "heat":
+            field_out[:] = initial_grid(cfg.nx, cfg.ny)  # fixed boundary ring
+        for rank in range(nranks):
+            rows, cols = grid.block(rank, cfg.nx, cfg.ny)
+            field_out[rows, cols] = result.results[rank]["block"]
+        extras["field"] = field_out
+    merged = reduce(OpCounter.merge, result.per_rank, OpCounter())
+    return WorkloadResult(
+        workload="stencil",
+        machine=machine.name,
+        runtime=runtime,
+        variant=runtime,
+        nranks=nranks,
+        time=max(times),
+        counters=merged,
+        per_rank=result.per_rank,
+        extras=extras,
+    )

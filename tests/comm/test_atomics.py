@@ -1,0 +1,170 @@
+"""Window atomics: CAS, fetch-and-add, swap, target serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommError, Job
+
+
+def job_n(machine, n=2, runtime="one_sided"):
+    return Job(machine, n, runtime, placement="spread")
+
+
+class TestCas:
+    def test_cas_success_swaps(self, pm_cpu):
+        job = job_n(pm_cpu)
+        win = job.window(4, dtype=np.int64)
+
+        def program(ctx):
+            h = win.handle(ctx)
+            if ctx.rank == 0:
+                old = yield from h.cas_blocking(1, 0, 0, 42)
+                return old
+            yield from ctx.compute(seconds=0)
+
+        res = job.run(program)
+        assert res.results[0] == 0
+        assert win.local(1)[0] == 42
+
+    def test_cas_failure_leaves_value(self, pm_cpu):
+        job = job_n(pm_cpu)
+        win = job.window(4, dtype=np.int64, fill=7)
+
+        def program(ctx):
+            h = win.handle(ctx)
+            if ctx.rank == 0:
+                old = yield from h.cas_blocking(1, 0, 0, 42)
+                return old
+            yield from ctx.compute(seconds=0)
+
+        res = job.run(program)
+        assert res.results[0] == 7
+        assert win.local(1)[0] == 7  # unchanged
+
+    def test_concurrent_cas_exactly_one_winner(self, pm_cpu):
+        job = Job(pm_cpu, 4, "one_sided", placement="spread")
+        win = job.window(1, dtype=np.int64)
+
+        def program(ctx):
+            h = win.handle(ctx)
+            if ctx.rank == 0:
+                yield from ctx.compute(seconds=0)
+                return None
+            old = yield from h.cas_blocking(0, 0, 0, ctx.rank)
+            return old == 0  # True for the winner
+
+        res = job.run(program)
+        winners = [r for r in res.results[1:] if r]
+        assert len(winners) == 1
+        assert win.local(0)[0] in (1, 2, 3)
+
+    def test_atomic_offset_bounds(self, pm_cpu):
+        job = job_n(pm_cpu)
+        win = job.window(2, dtype=np.int64)
+
+        def program(ctx):
+            h = win.handle(ctx)
+            if ctx.rank == 0:
+                yield from h.cas_blocking(1, 5, 0, 1)
+            else:
+                yield from ctx.compute(seconds=0)
+
+        with pytest.raises(CommError, match="out of bounds"):
+            job.run(program)
+
+
+class TestFetchOps:
+    def test_faa_returns_old_and_adds(self, pm_cpu):
+        job = job_n(pm_cpu)
+        win = job.window(1, dtype=np.int64, fill=10)
+
+        def program(ctx):
+            h = win.handle(ctx)
+            if ctx.rank == 0:
+                old = yield from h.faa_blocking(1, 0, 5)
+                return old
+            yield from ctx.compute(seconds=0)
+
+        res = job.run(program)
+        assert res.results[0] == 10
+        assert win.local(1)[0] == 15
+
+    def test_concurrent_faa_all_unique(self, pm_cpu):
+        """Fetch-and-add as an allocator: every rank gets a distinct index
+        (the hashtable overflow-heap idiom)."""
+        job = Job(pm_cpu, 8, "one_sided", placement="spread")
+        win = job.window(1, dtype=np.int64)
+
+        def program(ctx):
+            h = win.handle(ctx)
+            if ctx.rank == 0:
+                yield from ctx.compute(seconds=0)
+                return None
+            old = yield from h.faa_blocking(0, 0, 1)
+            return old
+
+        res = job.run(program)
+        indices = res.results[1:]
+        assert sorted(indices) == list(range(7))
+        assert win.local(0)[0] == 7
+
+    def test_fetch_and_replace_swaps(self, pm_cpu):
+        job = job_n(pm_cpu)
+        win = job.window(1, dtype=np.int64, fill=99)
+
+        def program(ctx):
+            h = win.handle(ctx)
+            if ctx.rank == 0:
+                req = yield from h.fetch_and_replace(1, 0, 123)
+                old = yield from ctx.wait(req)
+                return old
+            yield from ctx.compute(seconds=0)
+
+        res = job.run(program)
+        assert res.results[0] == 99
+        assert win.local(1)[0] == 123
+
+
+class TestAtomicTiming:
+    def test_atomics_serialise_at_target(self, pm_cpu):
+        """Two concurrent atomics on the same target are spaced at least by
+        atomic_apply at the target's atomic unit."""
+        job = Job(pm_cpu, 3, "one_sided", placement="spread")
+        win = job.window(1, dtype=np.int64)
+
+        def program(ctx):
+            h = win.handle(ctx)
+            if ctx.rank == 0:
+                yield from ctx.compute(seconds=0)
+                return None
+            t0 = ctx.sim.now
+            yield from h.faa_blocking(0, 0, 1)
+            return ctx.sim.now - t0
+
+        res = job.run(program)
+        t1, t2 = sorted(res.results[1:])
+        apply_cost = pm_cpu.runtime("one_sided").atomic_apply
+        assert t2 >= t1  # loser waited at the atomic unit
+
+    def test_atomic_gap_throttles_cross_socket(self, sm_gpu):
+        """Summit X-Bus atomics are rate limited (atomic_gap); in-island
+        atomics are not."""
+        from repro.machines import summit_gpu
+
+        def streaming(target, nranks):
+            job = Job(summit_gpu(), nranks, "shmem", placement="spread")
+            win = job.window(1, dtype=np.int64)
+
+            def program(ctx):
+                if ctx.rank == 0:
+                    t0 = ctx.sim.now
+                    for i in range(32):
+                        yield from ctx.atomic_fetch_add(win, target, 0, 1)
+                    return (ctx.sim.now - t0) / 32
+                yield from ctx.compute(seconds=0)
+
+            return job.run(program).results[0]
+
+        in_island = streaming(1, 2)
+        cross = streaming(3, 6)
+        assert cross > in_island

@@ -1,0 +1,189 @@
+"""Message-passing collectives: correctness at awkward rank counts plus
+cost-scaling sanity."""
+
+import numpy as np
+import pytest
+
+from repro.comm import Job
+from repro.comm.base import CommError
+from repro.comm.collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    bcast,
+    dissemination_barrier,
+    reduce,
+)
+
+PS = [1, 2, 3, 4, 5, 7, 8, 12]
+
+
+def run(machine, nranks, program):
+    return Job(machine, nranks, "two_sided", placement="spread").run(program)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("P", PS)
+    def test_all_ranks_get_root_value(self, pm_cpu, P):
+        def program(ctx):
+            value = np.arange(5.0) if ctx.rank == 0 else None
+            got = yield from bcast(ctx, value, root=0)
+            return got
+
+        res = run(pm_cpu, P, program)
+        for got in res.results:
+            assert np.array_equal(got, np.arange(5.0))
+
+    @pytest.mark.parametrize("root", [0, 1, 2])
+    def test_nonzero_root(self, pm_cpu, root):
+        def program(ctx):
+            value = np.full(3, 9.0) if ctx.rank == root else None
+            got = yield from bcast(ctx, value, root=root)
+            return got
+
+        res = run(pm_cpu, 3, program)
+        assert all(np.all(g == 9.0) for g in res.results)
+
+    def test_invalid_root(self, pm_cpu):
+        def program(ctx):
+            yield from bcast(ctx, 1.0, root=7)
+
+        with pytest.raises(CommError):
+            run(pm_cpu, 2, program)
+
+    def test_log_rounds_cost(self, pm_cpu):
+        """A binomial tree costs ~log2(P) latencies, far below P."""
+        from repro.machines import perlmutter_cpu
+
+        def program(ctx):
+            t0 = ctx.sim.now
+            yield from bcast(ctx, np.zeros(1) if ctx.rank == 0 else None)
+            return ctx.sim.now - t0
+
+        t16 = max(run(perlmutter_cpu(), 16, program).results)
+        t2 = max(run(perlmutter_cpu(), 2, program).results)
+        assert t16 < 6 * t2  # log2(16)=4 rounds, not 15
+
+
+class TestReduce:
+    @pytest.mark.parametrize("P", PS)
+    def test_sum_at_root(self, pm_cpu, P):
+        def program(ctx):
+            got = yield from reduce(ctx, np.array([float(ctx.rank + 1)]))
+            return got
+
+        res = run(pm_cpu, P, program)
+        assert res.results[0] == pytest.approx(P * (P + 1) / 2)
+        assert all(r is None for r in res.results[1:])
+
+    @pytest.mark.parametrize("op,expected", [("max", 7.0), ("min", 0.0), ("prod", 0.0)])
+    def test_other_ops(self, pm_cpu, op, expected):
+        def program(ctx):
+            got = yield from reduce(ctx, np.array([float(ctx.rank)]), op=op)
+            return got
+
+        res = run(pm_cpu, 8, program)
+        assert res.results[0] == pytest.approx(expected)
+
+    def test_unknown_op(self, pm_cpu):
+        def program(ctx):
+            yield from reduce(ctx, 1.0, op="xor")
+
+        with pytest.raises(CommError, match="unsupported"):
+            run(pm_cpu, 2, program)
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("P", PS)
+    def test_sum_everywhere(self, pm_cpu, P):
+        def program(ctx):
+            got = yield from allreduce(ctx, np.array([float(ctx.rank + 1), 1.0]))
+            return got
+
+        res = run(pm_cpu, P, program)
+        expected = np.array([P * (P + 1) / 2, float(P)])
+        for got in res.results:
+            assert np.allclose(got, expected)
+
+    @pytest.mark.parametrize("P", [3, 5, 6, 7])
+    def test_non_power_of_two_fold(self, pm_cpu, P):
+        """The remainder fold must neither drop nor double-count ranks."""
+
+        def program(ctx):
+            got = yield from allreduce(ctx, np.array([2.0**ctx.rank]))
+            return got
+
+        res = run(pm_cpu, P, program)
+        expected = sum(2.0**r for r in range(P))
+        for got in res.results:
+            assert got[0] == pytest.approx(expected)
+
+    def test_max_op(self, pm_cpu):
+        def program(ctx):
+            got = yield from allreduce(ctx, np.array([float(ctx.rank)]), op="max")
+            return got
+
+        res = run(pm_cpu, 6, program)
+        assert all(g[0] == 5.0 for g in res.results)
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("P", PS)
+    def test_concatenates_in_rank_order(self, pm_cpu, P):
+        def program(ctx):
+            got = yield from allgather(ctx, np.array([float(ctx.rank)] * 2))
+            return got
+
+        res = run(pm_cpu, P, program)
+        expected = np.concatenate([[float(r)] * 2 for r in range(P)])
+        for got in res.results:
+            assert np.array_equal(got, expected)
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("P", [1, 2, 4, 8, 3, 6])
+    def test_transpose_property(self, pm_cpu, P):
+        """out[i] at rank j == blocks[j] prepared at rank i."""
+
+        def program(ctx):
+            blocks = [
+                np.array([10.0 * ctx.rank + j]) for j in range(ctx.size)
+            ]
+            got = yield from alltoall(ctx, blocks)
+            return got
+
+        res = run(pm_cpu, P, program)
+        for j in range(P):
+            for i in range(P):
+                assert res.results[j][i][0] == pytest.approx(10.0 * i + j)
+
+    def test_wrong_block_count(self, pm_cpu):
+        def program(ctx):
+            yield from alltoall(ctx, [np.zeros(1)])
+
+        with pytest.raises(CommError, match="blocks"):
+            run(pm_cpu, 2, program)
+
+
+class TestDisseminationBarrier:
+    @pytest.mark.parametrize("P", [2, 3, 5, 8])
+    def test_no_rank_escapes_early(self, pm_cpu, P):
+        """No rank may leave the barrier before the slowest rank arrives."""
+        arrive = {}
+        leave = {}
+
+        def program(ctx):
+            yield from ctx.compute(seconds=(ctx.rank + 1) * 1e-5)
+            arrive[ctx.rank] = ctx.sim.now
+            yield from dissemination_barrier(ctx)
+            leave[ctx.rank] = ctx.sim.now
+
+        run(pm_cpu, P, program)
+        assert min(leave.values()) >= max(arrive.values())
+
+    def test_single_rank_noop(self, pm_cpu):
+        def program(ctx):
+            yield from dissemination_barrier(ctx)
+            return ctx.sim.now
+
+        assert run(pm_cpu, 1, program).results == [0.0]

@@ -1,0 +1,207 @@
+"""Extended verbs: sendrecv, iprobe, accumulate, passive-target locks."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommError, Job
+
+
+class TestSendrecv:
+    def test_paired_exchange(self, pm_cpu):
+        def program(ctx):
+            other = 1 - ctx.rank
+            payload, status = yield from ctx.sendrecv(
+                other, nbytes=8, payload=f"from {ctx.rank}"
+            )
+            return payload, status.source
+
+        job = Job(pm_cpu, 2, "two_sided", placement="spread")
+        res = job.run(program)
+        assert res.results[0] == ("from 1", 1)
+        assert res.results[1] == ("from 0", 0)
+
+    def test_ring_shift_no_deadlock(self, pm_cpu):
+        def program(ctx):
+            right = (ctx.rank + 1) % ctx.size
+            left = (ctx.rank - 1) % ctx.size
+            payload, _ = yield from ctx.sendrecv(
+                right, nbytes=8, source=left, payload=ctx.rank
+            )
+            return payload
+
+        res = Job(pm_cpu, 6, "two_sided").run(program)
+        assert res.results == [5, 0, 1, 2, 3, 4]
+
+
+class TestIprobe:
+    def test_probe_miss_and_hit(self, pm_cpu):
+        def program(ctx):
+            if ctx.rank == 0:
+                miss = yield from ctx.iprobe()
+                r = None
+                while r is None:
+                    r = yield from ctx.iprobe(source=1, tag=9)
+                    if r is None:
+                        yield from ctx.compute(seconds=1e-6)
+                # Probe does not consume: the recv still sees it.
+                payload, _ = yield from ctx.recv(source=1, tag=9)
+                return miss, r.nbytes, payload
+            req = yield from ctx.isend(0, nbytes=64, tag=9, payload="here")
+            yield from ctx.waitall([req])
+
+        job = Job(pm_cpu, 2, "two_sided", placement="spread")
+        res = job.run(program)
+        miss, nbytes, payload = res.results[0]
+        assert miss is None
+        assert nbytes == 64
+        assert payload == "here"
+
+
+class TestAccumulate:
+    def test_sum_accumulate(self, pm_cpu):
+        job = Job(pm_cpu, 3, "one_sided", placement="spread")
+        win = job.window(4, fill=1.0)
+
+        def program(ctx):
+            h = win.handle(ctx)
+            if ctx.rank > 0:
+                yield from h.accumulate(0, np.full(4, float(ctx.rank)))
+                yield from h.flush(0)
+            yield from ctx.barrier()
+
+        job.run(program)
+        assert np.allclose(win.local(0), 1.0 + 1.0 + 2.0)
+
+    def test_concurrent_accumulates_lose_nothing(self, pm_cpu):
+        job = Job(pm_cpu, 8, "one_sided", placement="spread")
+        win = job.window(1, fill=0.0)
+
+        def program(ctx):
+            h = win.handle(ctx)
+            if ctx.rank > 0:
+                for _ in range(5):
+                    yield from h.accumulate(0, np.ones(1))
+                yield from h.flush(0)
+            yield from ctx.barrier()
+
+        job.run(program)
+        assert win.local(0)[0] == 35.0  # 7 ranks x 5
+
+    def test_max_and_replace_ops(self, pm_cpu):
+        job = Job(pm_cpu, 2, "one_sided", placement="spread")
+        win = job.window(2, fill=5.0)
+
+        def program(ctx):
+            h = win.handle(ctx)
+            if ctx.rank == 0:
+                yield from h.accumulate(1, np.array([9.0, 1.0]), op="max")
+                yield from h.flush(1)
+                yield from h.accumulate(1, np.array([2.0]), offset=1, op="replace")
+                yield from h.flush(1)
+            yield from ctx.barrier()
+
+        job.run(program)
+        assert list(win.local(1)) == [9.0, 2.0]
+
+    def test_invalid_op_and_bounds(self, pm_cpu):
+        job = Job(pm_cpu, 2, "one_sided")
+        win = job.window(2)
+
+        def bad_op(ctx):
+            h = win.handle(ctx)
+            if ctx.rank == 0:
+                yield from h.accumulate(1, np.ones(1), op="xor")
+            else:
+                yield from ctx.compute(seconds=0)
+
+        with pytest.raises(CommError, match="accumulate op"):
+            job.run(bad_op)
+
+
+class TestPassiveLocks:
+    def test_lock_put_unlock_epoch(self, pm_cpu):
+        job = Job(pm_cpu, 2, "one_sided", placement="spread")
+        win = job.window(2)
+
+        def program(ctx):
+            h = win.handle(ctx)
+            if ctx.rank == 0:
+                yield from h.lock(1)
+                yield from h.put(1, np.array([4.0]))
+                yield from h.unlock(1)
+                # unlock implies flush: data is visible.
+                return float(win.local(1)[0])
+            yield from ctx.compute(seconds=0)
+
+        res = job.run(program)
+        assert res.results[0] == 4.0
+
+    def test_exclusive_locks_serialise(self, pm_cpu):
+        job = Job(pm_cpu, 3, "one_sided", placement="spread")
+        win = job.window(1)
+        spans = {}
+
+        def program(ctx):
+            h = win.handle(ctx)
+            if ctx.rank > 0:
+                yield from h.lock(0, exclusive=True)
+                start = ctx.sim.now
+                yield from ctx.compute(seconds=1e-4)
+                yield from h.unlock(0)
+                spans[ctx.rank] = (start, ctx.sim.now)
+            else:
+                yield from ctx.compute(seconds=0)
+
+        job.run(program)
+        (s1, e1), (s2, e2) = spans[1], spans[2]
+        # Critical sections must not overlap.
+        assert e1 <= s2 or e2 <= s1
+
+    def test_shared_locks_coexist(self, pm_cpu):
+        job = Job(pm_cpu, 3, "one_sided", placement="spread")
+        win = job.window(1)
+        starts = {}
+
+        def program(ctx):
+            h = win.handle(ctx)
+            if ctx.rank > 0:
+                yield from h.lock(0)
+                starts[ctx.rank] = ctx.sim.now
+                yield from ctx.compute(seconds=1e-4)
+                yield from h.unlock(0)
+            else:
+                yield from ctx.compute(seconds=0)
+
+        job.run(program)
+        # Both shared holders entered within one lock-acquisition time of
+        # each other: no serialisation.
+        assert abs(starts[1] - starts[2]) < 5e-5
+
+    def test_double_lock_rejected(self, pm_cpu):
+        job = Job(pm_cpu, 2, "one_sided")
+        win = job.window(1)
+
+        def program(ctx):
+            h = win.handle(ctx)
+            if ctx.rank == 0:
+                yield from h.lock(1)
+                yield from h.lock(1)
+            else:
+                yield from ctx.compute(seconds=0)
+
+        with pytest.raises(CommError, match="already holds"):
+            job.run(program)
+
+    def test_unlock_without_lock_rejected(self, pm_cpu):
+        job = Job(pm_cpu, 2, "one_sided")
+        win = job.window(1)
+
+        def program(ctx):
+            h = win.handle(ctx)
+            if ctx.rank == 0:
+                yield from h.unlock(1)
+            else:
+                yield from ctx.compute(seconds=0)
+
+        with pytest.raises(CommError, match="does not hold"):
+            job.run(program)

@@ -1,0 +1,83 @@
+"""Shared fixtures: machine models, small matrices, reusable jobs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machines import (
+    frontier_cpu,
+    perlmutter_cpu,
+    perlmutter_gpu,
+    summit_cpu,
+    summit_gpu,
+)
+from repro.sim import Simulator
+from repro.workloads.sptrsv import MatrixSpec, generate_matrix
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def pm_cpu():
+    return perlmutter_cpu()
+
+
+@pytest.fixture
+def pm_gpu():
+    return perlmutter_gpu()
+
+
+@pytest.fixture
+def sm_cpu():
+    return summit_cpu()
+
+
+@pytest.fixture
+def sm_gpu():
+    return summit_gpu()
+
+
+@pytest.fixture
+def fr_cpu():
+    return frontier_cpu()
+
+
+@pytest.fixture(
+    params=["perlmutter-cpu", "frontier-cpu", "summit-cpu"],
+    ids=["perlmutter", "frontier", "summit"],
+)
+def any_cpu_machine(request):
+    return {
+        "perlmutter-cpu": perlmutter_cpu,
+        "frontier-cpu": frontier_cpu,
+        "summit-cpu": summit_cpu,
+    }[request.param]()
+
+
+@pytest.fixture(params=["perlmutter-gpu", "summit-gpu"], ids=["a100", "v100"])
+def any_gpu_machine(request):
+    return {"perlmutter-gpu": perlmutter_gpu, "summit-gpu": summit_gpu}[
+        request.param
+    ]()
+
+
+@pytest.fixture(scope="session")
+def small_matrix():
+    """A small supernodal matrix with a nontrivial DAG (session-cached)."""
+    return generate_matrix(MatrixSpec(n_supernodes=20, width_lo=2, width_hi=12, seed=3))
+
+
+@pytest.fixture(scope="session")
+def medium_matrix():
+    return generate_matrix(
+        MatrixSpec(n_supernodes=48, width_lo=3, width_hi=40, seed=7)
+    )
+
+
+@pytest.fixture
+def rhs(small_matrix):
+    return np.ones(small_matrix.n)

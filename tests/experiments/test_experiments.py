@@ -1,0 +1,67 @@
+"""Integration: every figure/table experiment reproduces the paper's shape.
+
+These are the repo's acceptance tests — each ``run_figXX`` encodes the
+paper's claims as boolean expectations, and the suite requires all of them
+to hold.  EXPERIMENTS.md documents the per-claim paper-vs-measured detail.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    run_fig01,
+    run_fig03,
+    run_fig05,
+    run_fig09,
+    run_fig10,
+    run_table1,
+    run_table2,
+)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_experiment_reproduces_paper_shape(name):
+    report = ALL_EXPERIMENTS[name]()
+    failed = [k for k, ok in report.expectations.items() if not ok]
+    assert not failed, f"{name} failed paper-shape checks: {failed}"
+
+
+class TestReportStructure:
+    def test_rows_match_headers(self):
+        rep = run_fig03(machines=("perlmutter-cpu",), iters=1)
+        assert all(len(r) == len(rep.headers) for r in rep.rows)
+
+    def test_render_contains_table_and_checks(self):
+        rep = run_table1()
+        text = rep.render()
+        assert "paper-shape checks" in text
+        assert "[PASS]" in text
+        assert rep.experiment in text
+
+    def test_all_expectations_met_property(self):
+        rep = run_table1()
+        assert rep.all_expectations_met
+
+    def test_fig01_chart_rendered(self):
+        rep = run_fig01(measured=False)
+        assert rep.charts
+        assert "log axis" in rep.charts[0]
+
+    def test_fig05_scales_with_iters(self):
+        r2 = run_fig05(nx=2048, iters=2)
+        r4 = run_fig05(nx=2048, iters=4)
+        t2 = next(r[3] for r in r2.rows if r[2] == 4 and r[1] == "two_sided")
+        t4 = next(r[3] for r in r4.rows if r[2] == 4 and r[1] == "two_sided")
+        assert t4 == pytest.approx(2 * t2, rel=0.2)
+
+    def test_fig09_notes_quantify_speedup(self):
+        rep = run_fig09(total_inserts=2000)
+        assert any("speedup" in n for n in rep.notes)
+
+    def test_fig10_unmeasured_variant(self):
+        rep = run_fig10(measured=False)
+        assert rep.all_expectations_met
+
+    def test_table2_rows_are_three_workloads(self):
+        rep = run_table2()
+        assert [r[0] for r in rep.rows] == ["Stencil", "SpTRSV", "Hashtable"]

@@ -1,0 +1,95 @@
+"""ExperimentReport serialization and failure surfacing in jobs."""
+
+import json
+
+import pytest
+
+from repro.comm import Job
+from repro.experiments import run_table1
+from repro.experiments.report import ExperimentReport
+from repro.machines import perlmutter_cpu
+
+
+class TestReportSerialization:
+    def test_to_dict_row_records(self):
+        rep = ExperimentReport(
+            experiment="x",
+            title="t",
+            headers=["a", "b"],
+            rows=[[1, 2.5], [3, 4.0]],
+            expectations={"ok": True},
+            notes=["n"],
+        )
+        d = rep.to_dict()
+        assert d["rows"] == [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}]
+        assert d["all_expectations_met"] is True
+
+    def test_to_json_roundtrip(self):
+        rep = run_table1()
+        d = json.loads(rep.to_json())
+        assert d["experiment"] == "table1"
+        assert isinstance(d["rows"], list) and d["rows"]
+        assert set(d["rows"][0]) == set(rep.headers)
+
+    def test_json_handles_numpy_scalars(self):
+        import numpy as np
+
+        rep = ExperimentReport(
+            experiment="x", title="t", headers=["v"], rows=[[np.float64(1.5)]]
+        )
+        assert json.loads(rep.to_json())["rows"][0]["v"] == 1.5
+
+    def test_failed_expectation_reflected(self):
+        rep = ExperimentReport(
+            experiment="x", title="t", headers=["v"], rows=[[1]],
+            expectations={"claim": False},
+        )
+        assert not rep.all_expectations_met
+        assert "[FAIL] claim" in rep.render()
+
+
+class TestJobFailureSurfacing:
+    def test_rank_exception_propagates_with_message(self, pm_cpu):
+        def program(ctx):
+            yield from ctx.compute(seconds=1e-6)
+            if ctx.rank == 1:
+                raise RuntimeError("rank 1 exploded")
+
+        job = Job(pm_cpu, 2, "two_sided")
+        with pytest.raises(RuntimeError, match="rank 1 exploded"):
+            job.run(program)
+
+    def test_failure_before_any_yield(self, pm_cpu):
+        def program(ctx):
+            raise ValueError("immediate")
+            yield  # pragma: no cover
+
+        with pytest.raises(ValueError, match="immediate"):
+            Job(pm_cpu, 2, "two_sided").run(program)
+
+    def test_deadlock_reported_as_simulation_error(self, pm_cpu):
+        from repro.sim.event import SimulationError
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.recv(source=1)  # never sent
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            Job(pm_cpu, 2, "two_sided").run(program)
+
+
+class TestStressDeterminism:
+    def test_large_mixed_run_bitwise_repeatable(self):
+        """A sizeable run touching every verb family must reproduce its
+        virtual makespan exactly."""
+        from repro.workloads.hashtable import HashTableConfig, run_hashtable
+        from repro.workloads.sptrsv import MatrixSpec, generate_matrix, run_sptrsv
+
+        cfg = HashTableConfig(total_inserts=3000, seed=17)
+        t1 = run_hashtable(perlmutter_cpu(), "one_sided", cfg, 16).time
+        t2 = run_hashtable(perlmutter_cpu(), "one_sided", cfg, 16).time
+        assert t1 == t2
+        m = generate_matrix(MatrixSpec(n_supernodes=64, seed=17))
+        s1 = run_sptrsv(perlmutter_cpu(), "one_sided", m, 8).time
+        s2 = run_sptrsv(perlmutter_cpu(), "one_sided", m, 8).time
+        assert s1 == s2

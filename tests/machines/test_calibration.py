@@ -1,0 +1,145 @@
+"""End-to-end calibration against the latencies/bandwidths the paper quotes.
+
+These tests pin the machine models to the paper's §II-§III numbers — they
+are the contract that keeps every figure reproduction honest.  Tolerances
+are ~±25% unless the paper gives a tighter statement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import Job
+from repro.workloads.flood import run_cas_flood, run_flood
+
+
+def _pingpong_oneway_us(machine):
+    def program(ctx):
+        if ctx.rank == 0:
+            r = yield from ctx.isend(1, nbytes=8)
+            yield from ctx.waitall([r])
+            yield from ctx.recv(source=1)
+        else:
+            yield from ctx.recv(source=0)
+            r = yield from ctx.isend(0, nbytes=8)
+            yield from ctx.waitall([r])
+
+    job = Job(machine, 2, "two_sided", placement="spread")
+    res = job.run(program)
+    return res.time * 1e6 / 2
+
+
+def _four_op_sequence_us(machine):
+    """The paper's one-sided message: put, flush, put-signal, flush."""
+
+    def program(ctx, data_win, sig_win):
+        h, s = data_win.handle(ctx), sig_win.handle(ctx)
+        if ctx.rank == 0:
+            yield from h.put(1, np.arange(8.0))
+            yield from h.flush(1)
+            yield from s.put(1, np.array([1], dtype=np.int64))
+            yield from s.flush(1)
+            return ctx.sim.now
+        yield from ctx.poll_wait_signals(sig_win, [0], 1)
+        return ctx.sim.now
+
+    job = Job(machine, 2, "one_sided", placement="spread")
+    res = job.run(program, job.window(8), job.window(2, dtype=np.int64))
+    return res.results[0] * 1e6
+
+
+def _put_signal_n1_us(machine):
+    def program(ctx, data_win, sig_win):
+        if ctx.rank == 0:
+            yield from ctx.put_signal_nbi(
+                data_win, 1, nelems=1, signal_win=sig_win, signal_idx=0
+            )
+            return 0.0
+        t0 = ctx.sim.now
+        yield from ctx.wait_until_all(sig_win, [0], 1)
+        return (ctx.sim.now - t0) * 1e6
+
+    job = Job(machine, 2, "shmem", placement="spread")
+    res = job.run(program, job.window(8), job.window(2, dtype=np.uint64))
+    return res.results[1]
+
+
+class TestPerlmutterCpu:
+    def test_two_sided_small_latency_3_3us(self, pm_cpu):
+        assert _pingpong_oneway_us(pm_cpu) == pytest.approx(3.3, rel=0.15)
+
+    def test_one_sided_4op_sequence_5us(self, pm_cpu):
+        assert _four_op_sequence_us(pm_cpu) == pytest.approx(5.0, rel=0.2)
+
+    def test_cas_2us(self, pm_cpu):
+        r = run_cas_flood(pm_cpu, "one_sided")
+        assert r["latency_per_cas"] * 1e6 == pytest.approx(2.0, rel=0.25)
+
+    def test_flood_saturates_near_32GBps(self, pm_cpu):
+        r = run_flood(pm_cpu, "two_sided", 4 * 2**20, 64, iters=2)
+        assert 29e9 < r.bandwidth < 32.5e9
+
+    def test_high_n_marginal_latency_sub_half_us(self, pm_cpu):
+        r = run_flood(pm_cpu, "one_sided", 64, 1024, iters=2)
+        assert r.latency_per_message * 1e6 < 0.5
+
+
+class TestFrontierCpu:
+    def test_flood_bounded_by_36GBps(self, fr_cpu):
+        r = run_flood(fr_cpu, "one_sided", 4 * 2**20, 64, iters=2)
+        assert 32e9 < r.bandwidth <= 36.2e9
+
+    def test_two_sided_latency_similar_to_perlmutter(self, fr_cpu):
+        assert 2.5 < _pingpong_oneway_us(fr_cpu) < 4.5
+
+
+class TestSummitCpu:
+    def test_two_sided_latency_3us(self, sm_cpu):
+        assert _pingpong_oneway_us(sm_cpu) == pytest.approx(3.0, rel=0.2)
+
+    def test_achieved_bandwidth_25GBps_despite_64_nominal(self, sm_cpu):
+        r = run_flood(sm_cpu, "two_sided", 4 * 2**20, 64, iters=2)
+        assert 22e9 < r.bandwidth < 27e9
+
+    def test_spectrum_one_sided_consistently_slower(self, sm_cpu):
+        from repro.machines import summit_cpu
+
+        for B in (64, 4096):
+            two = run_flood(summit_cpu(), "two_sided", B, 64, iters=2)
+            one = run_flood(summit_cpu(), "one_sided", B, 64, iters=2)
+            assert one.bandwidth <= two.bandwidth * 1.05
+
+
+class TestPerlmutterGpu:
+    def test_put_signal_n1_4us(self, pm_gpu):
+        assert _put_signal_n1_us(pm_gpu) == pytest.approx(4.0, rel=0.25)
+
+    def test_cas_0_8us(self, pm_gpu):
+        r = run_cas_flood(pm_gpu, "shmem")
+        assert r["latency_per_cas"] * 1e6 == pytest.approx(0.8, rel=0.2)
+
+    def test_pairwise_peak_100GBps_with_concurrency(self, pm_gpu):
+        r = run_flood(pm_gpu, "shmem", 4 * 2**20, 256, iters=2)
+        assert 90e9 < r.bandwidth <= 101e9
+
+    def test_single_message_rate_one_port(self, pm_gpu):
+        r = run_flood(pm_gpu, "shmem", 4 * 2**20, 1, iters=2)
+        assert r.bandwidth < 26e9  # one sub-channel
+
+
+class TestSummitGpu:
+    def test_put_signal_n1_5us(self, sm_gpu):
+        assert _put_signal_n1_us(sm_gpu) == pytest.approx(5.0, rel=0.25)
+
+    def test_cas_in_island_1us(self, sm_gpu):
+        r = run_cas_flood(sm_gpu, "shmem", target_rank=1)
+        assert r["latency_per_cas"] * 1e6 == pytest.approx(1.0, rel=0.2)
+
+    def test_cas_cross_socket_1_6us(self):
+        from repro.machines import summit_gpu
+
+        r = run_cas_flood(summit_gpu(), "shmem", nranks=6, target_rank=3)
+        assert r["latency_per_cas"] * 1e6 == pytest.approx(1.6, rel=0.2)
+
+    def test_nvlink2_in_island_bandwidth(self, sm_gpu):
+        r = run_flood(sm_gpu, "shmem", 4 * 2**20, 64, iters=2)
+        assert 45e9 < r.bandwidth <= 50.5e9

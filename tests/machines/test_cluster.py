@@ -1,0 +1,127 @@
+"""Multi-node clusters: construction, routing, workloads over the fabric."""
+
+import numpy as np
+import pytest
+
+from repro.machines import (
+    INFINIBAND_EDR,
+    SLINGSHOT11,
+    make_cluster,
+    perlmutter_cpu,
+    perlmutter_gpu,
+    summit_cpu,
+)
+from repro.workloads.flood import run_flood
+
+
+class TestConstruction:
+    def test_endpoint_replication(self):
+        c = make_cluster(perlmutter_cpu(), 3)
+        assert c.max_ranks == 3 * 128
+        assert "n0.cpu0" in c.compute_endpoints
+        assert "n2.cpu1" in c.compute_endpoints
+        assert c.topology.has_endpoint("switch")
+
+    def test_single_node_cluster_is_legal(self):
+        c = make_cluster(perlmutter_cpu(), 1)
+        assert c.max_ranks == 128
+
+    def test_invalid_nnodes(self):
+        with pytest.raises(ValueError):
+            make_cluster(perlmutter_cpu(), 0)
+
+    def test_node_without_nic_rejected(self):
+        from repro.machines import CommCosts, MachineModel
+        from repro.net import LinkParams, TopologySpec
+
+        topo = TopologySpec(name="nicless")
+        topo.add_link("a", "b", LinkParams(latency=1e-6, bandwidth=1e9))
+        node = MachineModel(
+            name="nicless",
+            description="no NIC",
+            topology=topo,
+            compute_endpoints=["a", "b"],
+            runtimes={"two_sided": CommCosts()},
+            cores_per_endpoint=1,
+            mem_bandwidth_per_endpoint=1e9,
+        )
+        with pytest.raises(ValueError, match="NIC"):
+            make_cluster(node, 2)
+
+    def test_gpu_cluster_carries_gpu_spec(self):
+        c = make_cluster(perlmutter_gpu(), 2)
+        assert c.is_gpu_machine
+        assert c.max_ranks == 8
+        # Injection ports replicated per node.
+        assert "n1.gpu3" in c.topology.injection
+
+
+class TestRouting:
+    def test_on_node_paths_unchanged(self):
+        c = make_cluster(perlmutter_cpu(), 2)
+        on_node = c.topology.route("n0.cpu0", "n0.cpu1")
+        single = perlmutter_cpu().topology.route("cpu0", "cpu1")
+        assert on_node.latency == pytest.approx(single.latency)
+        assert on_node.bandwidth == single.bandwidth
+
+    def test_inter_node_goes_through_switch(self):
+        c = make_cluster(perlmutter_cpu(), 2, SLINGSHOT11)
+        r = c.topology.route("n0.cpu0", "n1.cpu0")
+        assert ("n0.nic0", "switch") in r.hops
+        assert r.bandwidth == pytest.approx(25e9)
+
+    def test_interconnect_choice_matters(self):
+        ss = make_cluster(summit_cpu(), 2, SLINGSHOT11)
+        ib = make_cluster(summit_cpu(), 2, INFINIBAND_EDR)
+        assert (
+            ib.topology.route("n0.cpu0", "n1.cpu0").bandwidth
+            < ss.topology.route("n0.cpu0", "n1.cpu0").bandwidth
+        )
+
+
+class TestWorkloadsOverFabric:
+    def test_internode_flood_nic_bound(self):
+        c = make_cluster(perlmutter_cpu(), 2, SLINGSHOT11)
+        r = run_flood(c, "two_sided", 4 << 20, 64, iters=2, placement="block")
+        assert 22e9 < r.bandwidth < 25.5e9
+
+    def test_internode_slower_than_on_node(self):
+        on = run_flood(perlmutter_cpu(), "two_sided", 64, 1, iters=2)
+        c = make_cluster(perlmutter_cpu(), 2, SLINGSHOT11)
+        off = run_flood(c, "two_sided", 64, 1, iters=2, placement="block")
+        assert off.latency_per_message > on.latency_per_message
+
+    def test_stencil_across_two_nodes_correct(self):
+        from repro.workloads.stencil import (
+            StencilConfig,
+            initial_grid,
+            jacobi_reference,
+            run_stencil,
+        )
+
+        c = make_cluster(perlmutter_cpu(), 2, SLINGSHOT11)
+        cfg = StencilConfig(nx=24, ny=24, iters=4, mode="execute")
+        res = run_stencil(c, "two_sided", cfg, 8, placement="block")
+        ref = jacobi_reference(initial_grid(24, 24), 4)
+        assert np.allclose(res.extras["field"], ref)
+
+    def test_sptrsv_across_two_nodes_correct(self, small_matrix, rhs):
+        from repro.workloads.sptrsv import (
+            SpTrsvConfig,
+            reference_solve,
+            run_sptrsv,
+        )
+
+        c = make_cluster(perlmutter_cpu(), 2, SLINGSHOT11)
+        res = run_sptrsv(
+            c, "one_sided", small_matrix, 8,
+            cfg=SpTrsvConfig(mode="execute"), b=rhs, placement="block",
+        )
+        assert np.allclose(res.extras["x"], reference_solve(small_matrix, rhs))
+
+    def test_internode_experiment_expectations(self):
+        from repro.experiments import run_internode
+
+        rep = run_internode(iters=1)
+        failed = [k for k, ok in rep.expectations.items() if not ok]
+        assert not failed

@@ -1,0 +1,93 @@
+"""LogGP parameter objects and analytic timing identities."""
+
+import pytest
+
+from repro.net import LinkParams, LogGPParams
+
+
+class TestLogGPParams:
+    def test_peak_bandwidth_is_inverse_G(self):
+        p = LogGPParams(L=1e-6, o=1e-7, g=1e-7, G=1e-9)
+        assert p.peak_bandwidth == pytest.approx(1e9)
+
+    def test_from_bandwidth(self):
+        p = LogGPParams.from_bandwidth(
+            latency=1e-6, overhead=1e-7, gap=1e-7, bandwidth=32e9
+        )
+        assert p.G == pytest.approx(1 / 32e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogGPParams(L=-1, o=0, g=0, G=1e-9)
+        with pytest.raises(ValueError):
+            LogGPParams(L=0, o=0, g=0, G=0)
+        with pytest.raises(ValueError):
+            LogGPParams(L=0, o=0, g=0, G=1e-9, o_sync=-1)
+
+    def test_with_overhead_and_scaling(self):
+        p = LogGPParams(L=1e-6, o=1e-7, g=1e-7, G=1e-9)
+        assert p.with_overhead(5e-7).o == 5e-7
+        assert p.scaled_bandwidth(2.0).peak_bandwidth == pytest.approx(2e9)
+
+    def test_one_message_time(self):
+        p = LogGPParams(L=1e-6, o=2e-7, g=0.0, G=1e-9, o_sync=0.0)
+        # o + L + B*G
+        assert p.time_one_message(1000) == pytest.approx(2e-7 + 1e-6 + 1e-6)
+
+    def test_pipelined_reduces_to_single_at_n1(self):
+        p = LogGPParams(L=1e-6, o=2e-7, g=1e-7, G=1e-9, o_sync=3e-7)
+        t1 = p.time_pipelined(100, 1)
+        assert t1 == pytest.approx(2e-7 + 100e-9 + 1e-6 + 3e-7)
+
+    def test_pipelined_marginal_cost_is_max_of_o_g_BG(self):
+        p = LogGPParams(L=1e-6, o=2e-7, g=5e-7, G=1e-9)
+        t10 = p.time_pipelined(100, 10)
+        t11 = p.time_pipelined(100, 11)
+        # Small message: the gap dominates o and B*G; they overlap, so the
+        # marginal cost is max(o, g, B*G) = g.
+        assert t11 - t10 == pytest.approx(5e-7)
+
+    def test_gap_cannot_be_overlapped(self):
+        """The paper's LogGP point: g bounds message rate regardless of n."""
+        p = LogGPParams(L=1e-6, o=1e-9, g=1e-6, G=1e-12)
+        bw_inf = p.bandwidth_pipelined(8, 1_000_000)
+        assert bw_inf <= 8 / p.g * 1.01
+
+    def test_bandwidth_monotone_in_n(self):
+        p = LogGPParams(L=5e-6, o=3e-7, g=2e-7, G=1e-9, o_sync=2e-6)
+        bws = [p.bandwidth_pipelined(1024, n) for n in (1, 4, 16, 64, 256)]
+        assert all(b2 > b1 for b1, b2 in zip(bws, bws[1:]))
+
+    def test_invalid_pipelined_args(self):
+        p = LogGPParams(L=0, o=0, g=0, G=1e-9)
+        with pytest.raises(ValueError):
+            p.time_pipelined(100, 0)
+        with pytest.raises(ValueError):
+            p.bandwidth_pipelined(0, 1)
+
+
+class TestLinkParams:
+    def test_single_channel_G(self):
+        lp = LinkParams(latency=1e-6, bandwidth=100e9)
+        assert lp.G == pytest.approx(1e-11)
+        assert lp.channel_bandwidth == 100e9
+
+    def test_multi_channel_single_message_rate(self):
+        lp = LinkParams(latency=1e-6, bandwidth=100e9, channels=4)
+        # A single message only sees one sub-channel: 25 GB/s.
+        assert lp.channel_bandwidth == pytest.approx(25e9)
+        assert lp.G == pytest.approx(1 / 25e9)
+
+    def test_atomic_gap_defaults_to_gap(self):
+        lp = LinkParams(latency=0, bandwidth=1e9, gap=3e-7)
+        assert lp.effective_atomic_gap == 3e-7
+        lp2 = LinkParams(latency=0, bandwidth=1e9, gap=3e-7, atomic_gap=1e-6)
+        assert lp2.effective_atomic_gap == 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkParams(latency=0, bandwidth=0)
+        with pytest.raises(ValueError):
+            LinkParams(latency=0, bandwidth=1e9, channels=0)
+        with pytest.raises(ValueError):
+            LinkParams(latency=0, bandwidth=1e9, atomic_gap=-1)

@@ -1,0 +1,112 @@
+"""Property-based tests on the message-passing collectives.
+
+Random rank counts, payload lengths and values — the collectives must
+always match numpy computed on the gathered inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import Job
+from repro.comm.collectives import allgather, allreduce, alltoall, bcast, reduce
+from repro.machines import perlmutter_cpu
+
+ranks = st.integers(1, 9)
+veclen = st.integers(1, 6)
+seeds = st.integers(0, 10_000)
+
+
+def _inputs(P, n, seed):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=n) for _ in range(P)]
+
+
+def _run(P, program):
+    return Job(perlmutter_cpu(), P, "two_sided", placement="spread").run(program)
+
+
+class TestCollectiveProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(ranks, veclen, seeds)
+    def test_allreduce_equals_numpy_sum(self, P, n, seed):
+        data = _inputs(P, n, seed)
+
+        def program(ctx):
+            got = yield from allreduce(ctx, data[ctx.rank])
+            return got
+
+        res = _run(P, program)
+        expected = np.sum(data, axis=0)
+        for got in res.results:
+            assert np.allclose(got, expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ranks, veclen, seeds)
+    def test_reduce_equals_numpy_at_root(self, P, n, seed):
+        data = _inputs(P, n, seed)
+
+        def program(ctx):
+            got = yield from reduce(ctx, data[ctx.rank], op="max")
+            return got
+
+        res = _run(P, program)
+        assert np.allclose(res.results[0], np.max(data, axis=0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(ranks, veclen, seeds, st.integers(0, 8))
+    def test_bcast_from_any_root(self, P, n, seed, root_pick):
+        root = root_pick % P
+        data = _inputs(P, n, seed)
+
+        def program(ctx):
+            value = data[root] if ctx.rank == root else None
+            got = yield from bcast(ctx, value, root=root)
+            return got
+
+        res = _run(P, program)
+        for got in res.results:
+            assert np.allclose(got, data[root])
+
+    @settings(max_examples=25, deadline=None)
+    @given(ranks, veclen, seeds)
+    def test_allgather_equals_concatenation(self, P, n, seed):
+        data = _inputs(P, n, seed)
+
+        def program(ctx):
+            got = yield from allgather(ctx, data[ctx.rank])
+            return got
+
+        res = _run(P, program)
+        expected = np.concatenate(data)
+        for got in res.results:
+            assert np.allclose(got, expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 8), seeds)
+    def test_alltoall_is_transpose(self, P, seed):
+        rng = np.random.default_rng(seed)
+        payload = rng.normal(size=(P, P))
+
+        def program(ctx):
+            blocks = [np.array([payload[ctx.rank, j]]) for j in range(P)]
+            got = yield from alltoall(ctx, blocks)
+            return np.array([g[0] for g in got])
+
+        res = _run(P, program)
+        for j in range(P):
+            assert np.allclose(res.results[j], payload[:, j])
+
+    @settings(max_examples=20, deadline=None)
+    @given(ranks, seeds)
+    def test_allreduce_deterministic(self, P, seed):
+        data = _inputs(P, 3, seed)
+
+        def program(ctx):
+            got = yield from allreduce(ctx, data[ctx.rank])
+            return got
+
+        a = _run(P, program).results
+        b = _run(P, program).results
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)

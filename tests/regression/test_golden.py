@@ -1,0 +1,68 @@
+"""Golden regression values: the calibrated model, pinned.
+
+The simulator is deterministic, so these virtual times are exact.  They
+exist to catch *unintentional* model drift — a changed constant, a changed
+cost path — not to forbid recalibration.  If you changed the model on
+purpose, re-derive the constants (each test's command is in its docstring)
+and update them together with DESIGN.md §5/§6b.
+
+Comparisons use ``rel=1e-9`` (exact up to float noise).
+"""
+
+import pytest
+
+from repro.machines import (
+    frontier_cpu,
+    perlmutter_cpu,
+    perlmutter_gpu,
+    summit_cpu,
+    summit_gpu,
+)
+from repro.workloads.flood import run_cas_flood, run_flood
+from repro.workloads.hashtable import HashTableConfig, run_hashtable
+from repro.workloads.sptrsv import MatrixSpec, generate_matrix, run_sptrsv
+from repro.workloads.stencil import StencilConfig, run_stencil
+
+EXACT = dict(rel=1e-9)
+
+
+class TestGoldenTimes:
+    def test_flood_two_sided_perlmutter(self):
+        """run_flood(perlmutter_cpu(), 'two_sided', 4096, 16, iters=2)"""
+        r = run_flood(perlmutter_cpu(), "two_sided", 4096, 16, iters=2)
+        assert r.time_total == pytest.approx(2.265599999999999e-05, **EXACT)
+
+    def test_flood_one_sided_frontier(self):
+        """run_flood(frontier_cpu(), 'one_sided', 65536, 4, iters=2)"""
+        r = run_flood(frontier_cpu(), "one_sided", 65536, 4, iters=2)
+        assert r.time_total == pytest.approx(2.7163999999999996e-05, **EXACT)
+
+    def test_flood_shmem_summit(self):
+        """run_flood(summit_gpu(), 'shmem', 1024, 8, iters=2)"""
+        r = run_flood(summit_gpu(), "shmem", 1024, 8, iters=2)
+        assert r.time_total == pytest.approx(1.9742279999999998e-05, **EXACT)
+
+    def test_stencil_simulate(self):
+        """run_stencil(perlmutter_cpu(), 'two_sided', 512^2 x3, 16)"""
+        cfg = StencilConfig(nx=512, ny=512, iters=3, mode="simulate")
+        res = run_stencil(perlmutter_cpu(), "two_sided", cfg, 16)
+        assert res.time == pytest.approx(4.7085280000000013e-05, **EXACT)
+
+    def test_sptrsv_one_sided_summit(self):
+        """run_sptrsv(summit_cpu(), 'one_sided', MatrixSpec(32, seed=5), 4)"""
+        m = generate_matrix(MatrixSpec(n_supernodes=32, seed=5))
+        res = run_sptrsv(summit_cpu(), "one_sided", m, 4)
+        assert res.time == pytest.approx(0.0004092677500000003, **EXACT)
+
+    def test_hashtable_shmem_perlmutter(self):
+        """run_hashtable(perlmutter_gpu(), 'shmem', 500 inserts seed=9, 4)"""
+        ht = HashTableConfig(total_inserts=500, seed=9)
+        res = run_hashtable(perlmutter_gpu(), "shmem", ht, 4)
+        assert res.time == pytest.approx(0.00014755741599999968, **EXACT)
+
+    def test_cas_cross_island_summit(self):
+        """run_cas_flood(summit_gpu(), 'shmem', nranks=6, target_rank=4)"""
+        r = run_cas_flood(summit_gpu(), "shmem", nranks=6, target_rank=4)
+        assert r["latency_per_cas"] == pytest.approx(
+            1.6407499999999931e-06, **EXACT
+        )

@@ -1,0 +1,143 @@
+"""Event state machine, condition events, failure propagation."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Simulator
+from repro.sim.event import SimulationError
+
+
+class TestEventLifecycle:
+    def test_fresh_event_is_untriggered(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_succeed_sets_value_and_ok(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_double_succeed_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_succeed_after_fail_raises(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("x"))
+        ev.defuse()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_callbacks_run_in_registration_order(self, sim):
+        ev = sim.event()
+        order = []
+        ev.add_callback(lambda e: order.append(1))
+        ev.add_callback(lambda e: order.append(2))
+        ev.succeed()
+        sim.run()
+        assert order == [1, 2]
+
+    def test_callback_after_processing_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        sim.run()
+        with pytest.raises(SimulationError):
+            ev.add_callback(lambda e: None)
+
+    def test_delayed_succeed_fires_at_delay(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.add_callback(lambda e: seen.append(sim.now))
+        ev.succeed(delay=2.5)
+        sim.run()
+        assert seen == [2.5]
+
+    def test_unwaited_failed_event_raises_at_processing(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+    def test_defused_failed_event_is_silent(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        ev.defuse()
+        sim.run()  # no raise
+
+
+class TestTimeout:
+    def test_timeout_fires_at_delay(self, sim):
+        t = sim.timeout(3.0, value="done")
+        sim.run()
+        assert sim.now == 3.0
+        assert t.value == "done"
+
+    def test_zero_delay_is_legal(self, sim):
+        sim.timeout(0.0)
+        sim.run()
+        assert sim.now == 0.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+
+class TestConditions:
+    def test_allof_waits_for_all(self, sim):
+        t1, t2, t3 = sim.timeout(1), sim.timeout(5), sim.timeout(3)
+        done = AllOf(sim, [t1, t2, t3])
+        sim.run(until=done)
+        assert sim.now == 5
+
+    def test_anyof_fires_on_first(self, sim):
+        t1, t2 = sim.timeout(4), sim.timeout(2)
+        done = AnyOf(sim, [t1, t2])
+        sim.run(until=done)
+        assert sim.now == 2
+
+    def test_empty_allof_is_vacuously_satisfied(self, sim):
+        done = AllOf(sim, [])
+        assert done.triggered
+
+    def test_allof_collects_values(self, sim):
+        t1 = sim.timeout(1, value="a")
+        t2 = sim.timeout(2, value="b")
+        done = AllOf(sim, [t1, t2])
+        sim.run(until=done)
+        assert set(done.value.values()) == {"a", "b"}
+
+    def test_allof_propagates_failure(self, sim):
+        ev = sim.event()
+        t = sim.timeout(1)
+        done = AllOf(sim, [ev, t])
+        ev.fail(RuntimeError("child failed"))
+        with pytest.raises(RuntimeError, match="child failed"):
+            sim.run(until=done)
+
+    def test_allof_with_already_processed_child(self, sim):
+        t1 = sim.timeout(1)
+        sim.run()  # clock is now 1; t1 already processed
+        done = AllOf(sim, [t1, sim.timeout(2)])
+        sim.run(until=done)
+        assert sim.now == 3  # 1 (elapsed) + 2 (new timeout)
+
+    def test_condition_rejects_foreign_events(self, sim):
+        other = Simulator()
+        with pytest.raises(SimulationError):
+            AllOf(sim, [other.timeout(1)])

@@ -1,0 +1,90 @@
+"""The max_events livelock guard on Simulator.run / Job.run."""
+
+import pytest
+
+from repro.comm import Job
+from repro.machines import perlmutter_cpu
+from repro.sim import Simulator
+from repro.sim.event import SimulationError
+
+
+class TestSimulatorBudget:
+    def test_livelock_caught(self, sim):
+        def ping(other_store, my_store):
+            while True:
+                other_store.put("tick")
+                yield my_store.get()
+
+        from repro.sim import Store
+
+        a, b = Store(sim), Store(sim)
+        sim.process(ping(a, b))
+        sim.process(ping(b, a))
+        with pytest.raises(SimulationError, match="event budget"):
+            sim.run(max_events=10_000)
+
+    def test_budget_not_triggered_by_normal_run(self, sim):
+        sim.timeout(1)
+        sim.timeout(2)
+        sim.run(max_events=100)
+        assert sim.now == 2
+
+    def test_budget_applies_to_until_event(self, sim):
+        def spinner():
+            while True:
+                yield sim.timeout(1e-9)
+
+        sim.process(spinner())
+        never = sim.event()
+        with pytest.raises(SimulationError, match="event budget"):
+            sim.run(until=never, max_events=500)
+
+    def test_budget_applies_to_until_time(self, sim):
+        def spinner():
+            while True:
+                yield sim.timeout(1e-9)
+
+        sim.process(spinner())
+        with pytest.raises(SimulationError, match="event budget"):
+            sim.run(until=1.0, max_events=500)
+
+    def test_budget_is_per_call(self, sim):
+        sim.timeout(1)
+        sim.run(max_events=5)
+        for _ in range(10):
+            sim.timeout(1)
+        sim.run(max_events=11)  # fresh budget; would fail if cumulative
+
+    def test_invalid_budget(self, sim):
+        with pytest.raises(SimulationError):
+            sim.run(max_events=0)
+
+    def test_budget_error_mentions_time(self):
+        sim = Simulator()
+
+        def spinner():
+            while True:
+                yield sim.timeout(1.0)
+
+        sim.process(spinner())
+        with pytest.raises(SimulationError, match="t="):
+            sim.run(max_events=50)
+
+
+class TestJobBudget:
+    def test_job_forwards_budget(self, pm_cpu):
+        def chatty(ctx):
+            while True:
+                yield from ctx.compute(seconds=1e-9)
+
+        job = Job(pm_cpu, 2, "two_sided")
+        with pytest.raises(SimulationError, match="event budget"):
+            job.run(chatty, max_events=1_000)
+
+    def test_job_budget_allows_normal_completion(self, pm_cpu):
+        def quick(ctx):
+            yield from ctx.barrier()
+            return ctx.rank
+
+        res = Job(pm_cpu, 4, "two_sided").run(quick, max_events=10_000)
+        assert res.results == [0, 1, 2, 3]

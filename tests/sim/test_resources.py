@@ -1,0 +1,130 @@
+"""Resource (FIFO server), Store (mailbox), Pipe (latency stage)."""
+
+import pytest
+
+from repro.sim import Pipe, Resource, Store
+from repro.sim.event import SimulationError
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_immediate_grant_under_capacity(self, sim):
+        res = Resource(sim, capacity=2)
+        g1, g2 = res.request(), res.request()
+        assert g1.triggered and g2.triggered
+        assert res.in_use == 2
+
+    def test_queueing_over_capacity(self, sim):
+        res = Resource(sim, capacity=1)
+        res.request()
+        g2 = res.request()
+        assert not g2.triggered
+        assert res.queue_length == 1
+        res.release()
+        assert g2.triggered
+        assert res.queue_length == 0
+
+    def test_fifo_grant_order(self, sim):
+        res = Resource(sim, capacity=1)
+        res.request()
+        waiters = [res.request() for _ in range(3)]
+        res.release()
+        assert waiters[0].triggered and not waiters[1].triggered
+        res.release()
+        assert waiters[1].triggered and not waiters[2].triggered
+
+    def test_release_without_request_raises(self, sim):
+        res = Resource(sim)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_serialises_processes(self, sim):
+        res = Resource(sim, capacity=1)
+        finish = []
+
+        def worker(name):
+            grant = res.request()
+            yield grant
+            yield sim.timeout(10)
+            res.release()
+            finish.append((name, sim.now))
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert finish == [("a", 10), ("b", 20)]
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        st = Store(sim)
+        st.put("x")
+        ev = st.get()
+        assert ev.triggered and ev.value == "x"
+
+    def test_get_then_put_wakes_waiter(self, sim):
+        st = Store(sim)
+        ev = st.get()
+        assert not ev.triggered
+        st.put("y")
+        assert ev.triggered and ev.value == "y"
+
+    def test_fifo_ordering(self, sim):
+        st = Store(sim)
+        for item in ("a", "b", "c"):
+            st.put(item)
+        assert [st.get().value for _ in range(3)] == ["a", "b", "c"]
+
+    def test_waiters_served_fifo(self, sim):
+        st = Store(sim)
+        e1, e2 = st.get(), st.get()
+        st.put(1)
+        st.put(2)
+        assert e1.value == 1 and e2.value == 2
+
+    def test_len_and_peek(self, sim):
+        st = Store(sim)
+        st.put("a")
+        st.put("b")
+        assert len(st) == 2
+        assert st.peek_all() == ["a", "b"]
+        assert len(st) == 2  # peek is non-destructive
+
+
+class TestPipe:
+    def test_delivery_time_is_latency_plus_bytes(self, sim):
+        pipe = Pipe(sim, latency=1.0, bandwidth=100.0)
+        arrived = []
+        pipe.send("m", nbytes=50).add_callback(lambda e: arrived.append(sim.now))
+        sim.run()
+        assert arrived == [pytest.approx(1.5)]
+
+    def test_zero_byte_message_pays_latency_only(self, sim):
+        pipe = Pipe(sim, latency=2.0, bandwidth=1.0)
+        pipe.send("ctrl")
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+    def test_recv_gets_sent_item(self, sim):
+        pipe = Pipe(sim, latency=0.5, bandwidth=10.0)
+
+        def receiver():
+            item = yield pipe.recv()
+            return item
+
+        p = sim.process(receiver())
+        pipe.send("payload", nbytes=5)
+        sim.run()
+        assert p.value == "payload"
+
+    def test_invalid_params_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Pipe(sim, latency=-1, bandwidth=1)
+        with pytest.raises(ValueError):
+            Pipe(sim, latency=0, bandwidth=0)
+        pipe = Pipe(sim, latency=0, bandwidth=1)
+        with pytest.raises(ValueError):
+            pipe.send("x", nbytes=-1)

@@ -1,0 +1,71 @@
+"""Deterministic RNG streams and the tracer."""
+
+import numpy as np
+import pytest
+
+from repro.sim import NullTracer, RngFactory, Tracer
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = RngFactory(7).stream("x").random(8)
+        b = RngFactory(7).stream("x").random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        f = RngFactory(7)
+        assert not np.array_equal(f.stream("x").random(8), f.stream("y").random(8))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            RngFactory(1).stream("x").random(8), RngFactory(2).stream("x").random(8)
+        )
+
+    def test_order_independence(self):
+        f1 = RngFactory(3)
+        _ = f1.stream("a")
+        b_after = f1.stream("b").random(4)
+        b_fresh = RngFactory(3).stream("b").random(4)
+        assert np.array_equal(b_after, b_fresh)
+
+    def test_child_is_deterministic(self):
+        c1 = RngFactory(5).child("sub")
+        c2 = RngFactory(5).child("sub")
+        assert c1.seed == c2.seed
+        assert c1.seed != 5
+
+    def test_invalid_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngFactory(-1)
+        with pytest.raises(ValueError):
+            RngFactory("abc")
+
+
+class TestTracer:
+    def test_emit_and_filter(self):
+        t = Tracer()
+        t.emit(0.0, "send", 0, nbytes=10)
+        t.emit(1.0, "send", 1, nbytes=20)
+        t.emit(2.0, "recv", 0, nbytes=10)
+        assert len(t) == 3
+        assert t.count("send") == 2
+        assert len(t.filter(kind="send", rank=1)) == 1
+        assert t.total_bytes("send") == 30
+
+    def test_predicate_filter(self):
+        t = Tracer()
+        t.emit(0.0, "send", 0, nbytes=10)
+        t.emit(0.0, "send", 0, nbytes=9000)
+        big = t.filter(predicate=lambda r: r.detail["nbytes"] > 100)
+        assert len(big) == 1
+
+    def test_clear(self):
+        t = Tracer()
+        t.emit(0.0, "x", 0)
+        t.clear()
+        assert len(t) == 0
+
+    def test_null_tracer_drops_everything(self):
+        t = NullTracer()
+        t.emit(0.0, "send", 0)
+        assert len(t) == 0

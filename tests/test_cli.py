@@ -1,0 +1,90 @@
+"""CLI surface: parsing, dispatch, output, error paths."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_flood_defaults(self):
+        args = build_parser().parse_args(["flood", "perlmutter-cpu", "two_sided"])
+        assert args.size == "64KiB" and args.msgs == 64
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08" in out and "frontier-gpu" in out and "polling" in out
+
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "perlmutter-cpu" in out
+        assert "PROJECTION" in out  # frontier-gpu listed and flagged
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-shape checks" in out
+        assert "[PASS]" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_ablation(self, capsys):
+        assert main(["ablation", "sharp"]) == 0
+        assert "sharp vs rounded" in capsys.readouterr().out
+
+    def test_ablation_unknown(self, capsys):
+        assert main(["ablation", "nope"]) == 2
+
+    def test_flood(self, capsys):
+        rc = main(
+            ["flood", "perlmutter-cpu", "two_sided", "--size", "4KiB",
+             "--msgs", "8", "--iters", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bandwidth" in out and "GB/s" in out
+
+    def test_flood_unknown_machine(self, capsys):
+        assert main(["flood", "elcap", "two_sided"]) == 2
+        assert "unknown machine" in capsys.readouterr().err
+
+    def test_roofline(self, capsys):
+        rc = main(["roofline", "frontier-cpu", "one_sided", "--size", "1KiB"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "peak=36.00 GB/s" in out
+        assert "bound" in out
+
+    def test_roofline_projection_machine(self, capsys):
+        rc = main(["roofline", "frontier-gpu", "shmem", "--size", "64KiB"])
+        assert rc == 0
+
+
+class TestExport:
+    def test_export_writes_json_and_txt(self, tmp_path, capsys):
+        rc = main(["export", str(tmp_path), "--experiments", "table1"])
+        assert rc == 0
+        assert (tmp_path / "table1.json").exists()
+        assert (tmp_path / "table1.txt").exists()
+        import json
+
+        d = json.loads((tmp_path / "table1.json").read_text())
+        assert d["experiment"] == "table1"
+
+    def test_export_unknown_experiment(self, tmp_path, capsys):
+        rc = main(["export", str(tmp_path), "--experiments", "fig99"])
+        assert rc == 2

@@ -1,0 +1,126 @@
+"""Table rendering, statistics helpers, argument validation."""
+
+import pytest
+
+from repro.util import (
+    Table,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    check_rank,
+    format_kv,
+    format_table,
+    geometric_mean,
+    percentile,
+    speedup,
+    summarize,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert lines[1].startswith("| a ")
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1.23456789e-7], [0.0], [None]])
+        assert "1.235e-07" in out
+        assert "| 0" in out
+        assert "| -" in out
+
+    def test_table_class_accumulates(self):
+        t = Table(["name", "val"], title="T")
+        t.add_row("x", 1)
+        t.add_row("y", 2)
+        assert len(t) == 2
+        assert t.column("val") == [1, 2]
+        assert "T" in t.render()
+        with pytest.raises(ValueError):
+            t.add_row("only-one-cell")
+
+    def test_format_kv(self):
+        out = format_kv({"alpha": 1, "b": 2.5}, title="K")
+        assert "alpha" in out and "2.5" in out
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.p50 == 2.5
+
+    def test_summarize_singleton_has_zero_std(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_summarize_nan_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, float("nan")])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_percentile(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+        for bad in (0, -1, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                check_positive("x", bad)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0.0) == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.001)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 5, 0, 10) == 5
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 0, 10)
+        with pytest.raises(ValueError):
+            check_in_range("x", 0, 0, 10, inclusive=False)
+
+    def test_check_power_of_two(self):
+        assert check_power_of_two("x", 64) == 64
+        for bad in (0, 3, -4, 2.0):
+            with pytest.raises(ValueError):
+                check_power_of_two("x", bad)
+
+    def test_check_rank(self):
+        assert check_rank("r", 3, 4) == 3
+        with pytest.raises(ValueError):
+            check_rank("r", 4, 4)
+        with pytest.raises(TypeError):
+            check_rank("r", True, 4)
+        with pytest.raises(TypeError):
+            check_rank("r", 1.0, 4)

@@ -1,0 +1,92 @@
+"""Unit conversion and formatting helpers."""
+
+import pytest
+
+from repro.util import (
+    GB,
+    GBps,
+    KiB,
+    MiB,
+    fmt_bw,
+    fmt_bytes,
+    fmt_time,
+    parse_size,
+    us,
+)
+
+
+class TestConstructors:
+    def test_decimal_vs_binary(self):
+        assert GB(1) == 1e9
+        assert KiB(1) == 1024
+        assert MiB(2) == 2 * 1024**2
+
+    def test_bandwidth_and_time(self):
+        assert GBps(32) == 32e9
+        assert us(3.3) == pytest.approx(3.3e-6)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (0, "0 B"),
+            (64, "64 B"),
+            (1024, "1 KiB"),
+            (131072, "128 KiB"),
+            (1536, "1.50 KiB"),
+            (1024**2, "1 MiB"),
+            (3 * 1024**3, "3 GiB"),
+        ],
+    )
+    def test_fmt_bytes(self, nbytes, expected):
+        assert fmt_bytes(nbytes) == expected
+
+    def test_fmt_bytes_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fmt_bytes(-1)
+
+    @pytest.mark.parametrize(
+        "bw,expected",
+        [(32e9, "32.00 GB/s"), (250e6, "250.00 MB/s"), (1.5e3, "1.50 KB/s"), (10, "10.00 B/s")],
+    )
+    def test_fmt_bw(self, bw, expected):
+        assert fmt_bw(bw) == expected
+
+    @pytest.mark.parametrize(
+        "t,expected",
+        [
+            (0, "0 s"),
+            (3.3e-6, "3.30 us"),
+            (2.5e-3, "2.50 ms"),
+            (1.5, "1.500 s"),
+            (5e-9, "5.00 ns"),
+        ],
+    )
+    def test_fmt_time(self, t, expected):
+        assert fmt_time(t) == expected
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("64", 64),
+            ("1KiB", 1024),
+            ("128 KiB", 131072),
+            ("4MB", 4_000_000),
+            ("2k", 2048),
+            ("1.5 kib", 1536),
+            ("1g", 1024**3),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "KiB", "12xyz", "abc"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_roundtrip_with_fmt(self):
+        assert parse_size(fmt_bytes(131072).replace(" ", "")) == 131072

@@ -1,0 +1,111 @@
+"""Synthetic supernodal matrix generation and structure."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.workloads.sptrsv import MatrixSpec, generate_matrix
+
+
+class TestSpec:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            MatrixSpec(n_supernodes=1)
+        with pytest.raises(ValueError):
+            MatrixSpec(width_lo=0)
+        with pytest.raises(ValueError):
+            MatrixSpec(width_lo=10, width_hi=5)
+        with pytest.raises(ValueError):
+            MatrixSpec(block_density=0)
+        with pytest.raises(ValueError):
+            MatrixSpec(density_range=-1)
+
+
+class TestStructure:
+    def test_offsets_consistent_with_widths(self, small_matrix):
+        m = small_matrix
+        assert m.offsets[0] == 0
+        for j, w in enumerate(m.widths):
+            lo, hi = m.sn_range(j)
+            assert hi - lo == w
+        assert m.n == sum(m.widths)
+
+    def test_widths_within_spec(self):
+        spec = MatrixSpec(n_supernodes=30, width_lo=5, width_hi=9, seed=1)
+        m = generate_matrix(spec)
+        assert all(5 <= w <= 9 for w in m.widths)
+
+    def test_lower_triangular_blocks_only(self, small_matrix):
+        assert all(I >= J for I, J in small_matrix.blocks)
+
+    def test_diagonal_blocks_unit_lower(self, small_matrix):
+        for j in range(small_matrix.n_supernodes):
+            d = small_matrix.blocks[(j, j)]
+            assert np.allclose(np.diag(d), 1.0)
+            assert np.allclose(np.triu(d, k=1), 0.0)
+
+    def test_every_supernode_has_a_predecessor(self, small_matrix):
+        """The generator guarantees DAG connectivity so communication is
+        exercised for every supernode."""
+        for I in range(1, small_matrix.n_supernodes):
+            assert small_matrix.row_blocks(I), f"supernode {I} is isolated"
+
+    def test_column_and_row_blocks_consistent(self, small_matrix):
+        m = small_matrix
+        for (I, J) in m.blocks:
+            if I > J:
+                assert I in m.column_blocks(J)
+                assert J in m.row_blocks(I)
+
+    def test_deterministic_for_seed(self):
+        spec = MatrixSpec(n_supernodes=12, seed=42)
+        m1, m2 = generate_matrix(spec), generate_matrix(spec)
+        assert m1.widths == m2.widths
+        assert set(m1.blocks) == set(m2.blocks)
+
+    def test_different_seeds_differ(self):
+        m1 = generate_matrix(MatrixSpec(n_supernodes=12, seed=1))
+        m2 = generate_matrix(MatrixSpec(n_supernodes=12, seed=2))
+        assert set(m1.blocks) != set(m2.blocks) or m1.widths != m2.widths
+
+    def test_message_sizes_in_paper_range(self):
+        """Paper: SpTRSV messages span 24 B to 1040 B."""
+        m = generate_matrix(MatrixSpec(n_supernodes=64, width_lo=3, width_hi=130))
+        sizes = m.message_sizes()
+        assert sizes.min() >= 24
+        assert sizes.max() <= 1040
+
+
+class TestCsrConversion:
+    def test_csr_is_lower_triangular(self, small_matrix):
+        L = small_matrix.to_csr()
+        assert (L - sp.tril(L)).nnz == 0
+
+    def test_csr_diag_is_ones(self, small_matrix):
+        L = small_matrix.to_csr()
+        assert np.allclose(L.diagonal(), 1.0)
+
+    def test_csr_nnz_matches_blocks(self, small_matrix):
+        m = small_matrix
+        L = m.to_csr()
+        expected = 0
+        for (I, J), b in m.blocks.items():
+            if I == J:
+                w = b.shape[0]
+                expected += w * (w + 1) // 2
+            else:
+                expected += b.size
+        # to_csr may drop explicit zeros from random blocks (none expected,
+        # values are continuous), so equality should hold.
+        assert L.nnz == expected
+
+
+class TestDag:
+    def test_edges_sorted_and_forward(self, small_matrix):
+        edges = small_matrix.dag_edges()
+        assert all(j < i for j, i in edges)
+        assert edges == sorted(edges)
+
+    def test_critical_path_bounds(self, small_matrix):
+        cp = small_matrix.critical_path_length()
+        assert 2 <= cp <= small_matrix.n_supernodes

@@ -1,0 +1,111 @@
+"""Block-cyclic layout and the static communication plan."""
+
+import pytest
+
+from repro.workloads.sptrsv import (
+    LSUM_MSG,
+    X_MSG,
+    BlockCyclicLayout,
+    CommPlan,
+)
+
+
+class TestLayout:
+    def test_square_ish(self):
+        lay = BlockCyclicLayout.square_ish(12)
+        assert lay.pr * lay.pc == 12
+        assert abs(lay.pr - lay.pc) <= 1 or lay.pr in (3,)  # near-square
+
+    def test_owner_is_block_cyclic(self):
+        lay = BlockCyclicLayout(pr=2, pc=3)
+        assert lay.owner(0, 0) == 0
+        assert lay.owner(0, 1) == 1
+        assert lay.owner(1, 0) == 3
+        assert lay.owner(2, 3) == 0  # wraps both ways
+
+    def test_all_ranks_used(self):
+        lay = BlockCyclicLayout(pr=2, pc=2)
+        owners = {lay.owner(i, j) for i in range(4) for j in range(4)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockCyclicLayout(0, 2)
+
+
+class TestCommPlan:
+    @pytest.fixture
+    def plan(self, small_matrix):
+        return CommPlan.build(small_matrix, BlockCyclicLayout(2, 2))
+
+    def test_every_block_owned_once(self, plan, small_matrix):
+        owned = [b for blocks in plan.owned_blocks.values() for b in blocks]
+        expected = [(I, J) for (I, J) in small_matrix.blocks if I > J]
+        assert sorted(owned) == sorted(expected)
+
+    def test_every_diag_owned_once(self, plan, small_matrix):
+        diags = [d for ds in plan.owned_diags.values() for d in ds]
+        assert sorted(diags) == list(range(small_matrix.n_supernodes))
+
+    def test_slots_are_dense_and_unique(self, plan):
+        for rank, expected in plan.expected.items():
+            assert [m.slot for m in expected] == list(range(len(expected)))
+
+    def test_sender_slot_lookup_matches_receiver(self, plan):
+        for rank, expected in plan.expected.items():
+            for m in expected:
+                key = (m.kind, m.supernode, m.source, m.block)
+                assert plan.slot_of[rank][key] == m.slot
+
+    def test_x_messages_go_to_column_owners(self, plan, small_matrix):
+        for J, targets in plan.x_targets.items():
+            diag_owner = plan.layout.diag_owner(J)
+            assert diag_owner not in targets
+            for dst in targets:
+                assert any(
+                    plan.layout.owner(I, J) == dst
+                    for I in small_matrix.column_blocks(J)
+                )
+
+    def test_contrib_totals_match_row_blocks(self, plan, small_matrix):
+        for J in range(small_matrix.n_supernodes):
+            assert plan.contrib_total[J] == len(small_matrix.row_blocks(J))
+
+    def test_lsum_messages_only_remote(self, plan):
+        for rank, expected in plan.expected.items():
+            for m in expected:
+                assert m.source != rank
+
+    def test_message_conservation(self, plan, small_matrix):
+        """Every remote x fan-out and every off-rank lsum block appears
+        exactly once in some rank's expected list."""
+        n_x = sum(len(t) for t in plan.x_targets.values())
+        n_lsum = sum(
+            1
+            for (I, J) in small_matrix.blocks
+            if I > J
+            and plan.layout.owner(I, J) != plan.layout.diag_owner(I)
+        )
+        total_expected = sum(len(v) for v in plan.expected.values())
+        assert total_expected == n_x + n_lsum
+
+    def test_window_geometry(self, plan):
+        for rank in plan.expected:
+            offs = plan.slot_offsets(rank)
+            words = [m.words for m in plan.expected[rank]]
+            assert len(offs) == len(words)
+            # Offsets are the prefix sums of the slot sizes.
+            acc = 0
+            for off, w in zip(offs, words):
+                assert off == acc
+                acc += w
+            assert plan.window_words(rank) == acc
+
+    def test_describe_mentions_scale(self, plan, small_matrix):
+        text = plan.describe()
+        assert f"{small_matrix.n_supernodes} supernodes" in text
+        assert "message sizes" in text
+
+    def test_single_rank_plan_has_no_messages(self, small_matrix):
+        plan = CommPlan.build(small_matrix, BlockCyclicLayout(1, 1))
+        assert plan.expected_count(0) == 0

@@ -1,0 +1,96 @@
+"""The paper's heat/energy stencil variant: sources, conservation,
+distributed correctness."""
+
+import numpy as np
+import pytest
+
+from repro.machines import perlmutter_cpu, perlmutter_gpu
+from repro.workloads.stencil import (
+    ProcessGrid,
+    StencilConfig,
+    heat_reference,
+    heat_step,
+    run_stencil,
+    total_heat,
+)
+
+
+class TestHeatKernel:
+    def test_diffusion_spreads_and_conserves(self):
+        u = np.zeros((7, 7))
+        u[3, 3] = 8.0
+        out = heat_step(u)
+        assert out[3, 3] == 4.0  # half stays
+        assert out[2, 3] == out[4, 3] == out[3, 2] == out[3, 4] == 1.0
+        assert total_heat(out) == pytest.approx(8.0)
+
+    def test_energy_injection(self):
+        u = np.zeros((5, 5))
+        out = heat_step(u, sources=[(2, 2)], energy=1.5)
+        assert out[2, 2] == 1.5
+        assert total_heat(out) == pytest.approx(1.5)
+
+    def test_energy_grows_linearly_away_from_boundary(self):
+        # Early iterations on a large grid: no heat reaches the sinks yet,
+        # so total heat == iters * energy * nsources exactly.
+        sources = [(8, 8), (12, 12)]
+        u = heat_reference(24, 24, 5, sources=sources, energy=1.0)
+        assert total_heat(u) == pytest.approx(10.0)
+
+    def test_boundary_sinks_drain_energy(self):
+        sources = [(2, 2)]
+        u_long = heat_reference(8, 8, 200, sources=sources, energy=1.0)
+        # With absorbing boundaries the total stays below total injected.
+        assert total_heat(u_long) < 200.0
+
+    def test_source_outside_interior_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            heat_step(np.zeros((5, 5)), sources=[(0, 2)], energy=1.0)
+
+
+class TestHeatConfig:
+    def test_source_positions_deterministic_and_interior(self):
+        cfg = StencilConfig(nx=100, ny=60, variant="heat", nsources=4)
+        pos = cfg.source_positions()
+        assert pos == cfg.source_positions()
+        assert len(pos) == 4
+        for r, c in pos:
+            assert 1 <= r <= 58 and 1 <= c <= 98
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StencilConfig(variant="laplace")
+        with pytest.raises(ValueError):
+            StencilConfig(variant="heat", nsources=-1)
+
+
+@pytest.mark.parametrize(
+    "runtime,machine_factory,nranks",
+    [
+        ("two_sided", perlmutter_cpu, 4),
+        ("one_sided", perlmutter_cpu, 4),
+        ("shmem", perlmutter_gpu, 4),
+        ("two_sided", perlmutter_cpu, 6),
+    ],
+)
+class TestDistributedHeat:
+    def test_matches_serial_reference(self, runtime, machine_factory, nranks):
+        n, iters = 30, 6
+        cfg = StencilConfig(
+            nx=n, ny=n, iters=iters, mode="execute", variant="heat",
+            energy=1.0, nsources=3,
+        )
+        ref = heat_reference(n, n, iters, sources=cfg.source_positions(),
+                             energy=1.0)
+        grid = ProcessGrid(3, 2) if nranks == 6 else None
+        res = run_stencil(machine_factory(), runtime, cfg, nranks, grid=grid)
+        assert np.allclose(res.extras["field"], ref, atol=1e-12)
+
+    def test_energy_conserved_distributed(self, runtime, machine_factory, nranks):
+        cfg = StencilConfig(
+            nx=40, ny=40, iters=4, mode="execute", variant="heat",
+            energy=2.0, nsources=2,
+        )
+        res = run_stencil(machine_factory(), runtime, cfg, nranks)
+        # 4 iters x 2 sources x 2.0 energy, nothing reaches the sinks yet.
+        assert total_heat(res.extras["field"]) == pytest.approx(16.0)
