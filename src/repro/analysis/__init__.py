@@ -10,6 +10,8 @@ from repro.analysis.traces import (
     ascii_timeline,
     bandwidth_timeline,
     comm_matrix,
+    from_records,
+    load_jsonl,
     message_stats,
     rank_activity,
 )
@@ -22,6 +24,8 @@ __all__ = [
     "ascii_timeline",
     "bandwidth_timeline",
     "comm_matrix",
+    "from_records",
+    "load_jsonl",
     "message_stats",
     "rank_activity",
 ]

@@ -1,6 +1,9 @@
 """Post-run analysis of traced jobs.
 
-Run any job with ``trace=True`` and feed ``job.tracer`` to the tools here:
+Run any job with ``trace=True`` and feed ``job.tracer`` to the tools here
+(or stream a run to disk with :class:`repro.obs.sinks.JsonlSink` and load
+it back with :func:`load_jsonl` — the loaded tracer is analysed
+identically to an in-memory one):
 
 * :func:`message_stats` — size/latency distributions of everything that
   crossed the fabric (the raw material of the paper's Fig. 6 verticals);
@@ -16,10 +19,12 @@ Run any job with ``trace=True`` and feed ``job.tracer`` to the tools here:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Iterable
 
 import numpy as np
 
-from repro.sim.trace import Tracer
+from repro.sim.trace import TraceRecord, Tracer
 
 __all__ = [
     "MessageStats",
@@ -28,7 +33,36 @@ __all__ = [
     "rank_activity",
     "comm_matrix",
     "ascii_timeline",
+    "load_jsonl",
+    "from_records",
 ]
+
+
+def load_jsonl(path: str | Path) -> Tracer:
+    """Load a JSONL trace file (written by ``repro.obs.sinks.JsonlSink``)
+    into a plain in-memory :class:`Tracer`.
+
+    Every analysis function here consumes the result exactly as it would a
+    live ``job.tracer``; blank lines are skipped.
+    """
+    from repro.obs.sinks import record_from_json
+
+    tracer = Tracer()
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                tracer.sink.append(record_from_json(line))
+    return tracer
+
+
+def from_records(records: Iterable[TraceRecord]) -> Tracer:
+    """Wrap pre-existing records (e.g. a ring sink's survivors) in a
+    :class:`Tracer` so the analysis helpers apply."""
+    tracer = Tracer()
+    for rec in records:
+        tracer.sink.append(rec)
+    return tracer
 
 
 @dataclass(frozen=True)

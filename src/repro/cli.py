@@ -9,6 +9,8 @@ Usage (also via ``python -m repro``):
     repro machines                  # platform inventory (Table I detail)
     repro flood perlmutter-cpu two_sided --size 64KiB --msgs 256
     repro roofline frontier-cpu one_sided --size 4KiB --msgs 100
+    repro run fig09 --metrics       # embed the obs metrics snapshot
+    repro trace fig09 --out run.trace.json   # chrome://tracing export
 """
 
 from __future__ import annotations
@@ -39,6 +41,34 @@ def build_parser() -> argparse.ArgumentParser:
     runp.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
+    runp.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect the repro.obs metrics snapshot and embed it in the report",
+    )
+
+    tp = sub.add_parser(
+        "trace",
+        help="run an experiment under tracing; export a Chrome/Perfetto trace",
+    )
+    tp.add_argument("experiment", help="e.g. fig09")
+    tp.add_argument(
+        "--out", default="run.trace.json",
+        help="Chrome trace-event JSON output path (open in chrome://tracing)",
+    )
+    tp.add_argument(
+        "--sink", choices=["list", "ring", "jsonl"], default="list",
+        help="per-job record storage: unbounded list, bounded ring, or "
+        "streaming JSONL files",
+    )
+    tp.add_argument(
+        "--capacity", type=int, default=100_000,
+        help="ring sink capacity (records kept per job; --sink ring)",
+    )
+    tp.add_argument(
+        "--jsonl-dir", default="trace-jsonl",
+        help="directory for per-job JSONL record streams (--sink jsonl)",
+    )
 
     abp = sub.add_parser("ablation", help="run an ablation study")
     abp.add_argument("name", help="gap|sharp|put_signal|polling|split_k|all")
@@ -60,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiments", default="all",
         help="comma-separated names, or 'all' (default)",
     )
+    ep.add_argument(
+        "--metrics",
+        action="store_true",
+        help="embed the repro.obs metrics snapshot in each JSON report",
+    )
 
     rp = sub.add_parser("roofline", help="query the analytic bound")
     rp.add_argument("machine")
@@ -80,7 +115,22 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(name: str, as_json: bool = False) -> int:
+def _run_one(name: str, with_metrics: bool):
+    """Run one experiment, optionally under an observation session."""
+    from repro.experiments import ALL_EXPERIMENTS
+
+    if not with_metrics:
+        return ALL_EXPERIMENTS[name]()
+    from repro import obs
+
+    with obs.observe(obs.Obs()) as session:
+        with session.span(name):
+            report = ALL_EXPERIMENTS[name]()
+    report.metrics = session.snapshot()
+    return report
+
+
+def _cmd_run(name: str, as_json: bool = False, with_metrics: bool = False) -> int:
     from repro.experiments import ALL_EXPERIMENTS
 
     if name == "all":
@@ -96,12 +146,74 @@ def _cmd_run(name: str, as_json: bool = False) -> int:
         return 2
     ok = True
     for n in names:
-        report = ALL_EXPERIMENTS[n]()
+        report = _run_one(n, with_metrics)
         print(report.to_json() if as_json else report.render())
         if not as_json:
             print()
         ok = ok and report.all_expectations_met
     return 0 if ok else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro import obs
+    from repro.experiments import ALL_EXPERIMENTS
+
+    name = args.experiment
+    if name not in ALL_EXPERIMENTS:
+        print(
+            f"unknown experiment {name!r}; available: "
+            f"{', '.join(sorted(ALL_EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.sink == "ring":
+        if args.capacity < 1:
+            print(
+                f"--capacity must be >= 1, got {args.capacity}",
+                file=sys.stderr,
+            )
+            return 2
+
+        def factory():
+            return obs.RingBufferSink(args.capacity)
+    elif args.sink == "jsonl":
+        jsonl_dir = pathlib.Path(args.jsonl_dir)
+        jsonl_dir.mkdir(parents=True, exist_ok=True)
+        counter = iter(range(1_000_000))
+
+        def factory():
+            return obs.JsonlSink(jsonl_dir / f"job{next(counter)}.jsonl")
+    else:
+        factory = None  # unbounded in-memory ListSink
+    session = obs.Obs(trace=True, sink_factory=factory)
+    with obs.observe(session):
+        with session.span(name):
+            report = ALL_EXPERIMENTS[name]()
+    session.close()
+    traces: list = []
+    for label, tracer in session.traces:
+        records = tracer.records
+        if not records and isinstance(tracer.sink, obs.JsonlSink):
+            from repro.analysis.traces import load_jsonl
+
+            records = load_jsonl(tracer.sink.path).records
+        traces.append((label, records))
+    out = obs.write_chrome_trace(args.out, traces, session.spans)
+    kept = sum(len(records) for _label, records in traces)
+    print(report.render())
+    print()
+    print(f"trace     : {out} ({kept} records across {len(traces)} jobs)")
+    print("open in   : chrome://tracing or https://ui.perfetto.dev")
+    if args.sink == "jsonl":
+        print(f"jsonl     : {args.jsonl_dir}/job*.jsonl "
+              "(load with repro.analysis.traces.load_jsonl)")
+    snap = session.metrics.snapshot()
+    for key in ("net.fabric.messages", "net.fabric.bytes"):
+        if key in snap:
+            print(f"{key:<20}: {snap[key]:.0f}")
+    return 0 if report.all_expectations_met else 1
 
 
 def _cmd_ablation(name: str) -> int:
@@ -127,7 +239,7 @@ def _cmd_ablation(name: str) -> int:
     return 0 if ok else 1
 
 
-def _cmd_export(outdir: str, which: str) -> int:
+def _cmd_export(outdir: str, which: str, with_metrics: bool = False) -> int:
     import pathlib
 
     from repro.experiments import ALL_EXPERIMENTS
@@ -141,7 +253,7 @@ def _cmd_export(outdir: str, which: str) -> int:
     out.mkdir(parents=True, exist_ok=True)
     ok = True
     for n in names:
-        report = ALL_EXPERIMENTS[n]()
+        report = _run_one(n, with_metrics)
         (out / f"{n}.json").write_text(report.to_json() + "\n")
         (out / f"{n}.txt").write_text(report.render() + "\n")
         status = "ok" if report.all_expectations_met else "CHECKS FAILED"
@@ -217,13 +329,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, as_json=args.json)
+        return _cmd_run(args.experiment, as_json=args.json, with_metrics=args.metrics)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "ablation":
         return _cmd_ablation(args.name)
     if args.command == "machines":
         return _cmd_machines()
     if args.command == "export":
-        return _cmd_export(args.outdir, args.experiments)
+        return _cmd_export(args.outdir, args.experiments, with_metrics=args.metrics)
     if args.command == "flood":
         return _cmd_flood(args)
     if args.command == "roofline":

@@ -130,9 +130,10 @@ class RankContext:
         msg = Message(src=self.rank, dst=dest, tag=tag, nbytes=nbytes, payload=payload)
         dst_ctx = self.job.contexts[dest]
         send_done = self.sim.event()
-        self.job.tracer.emit(
-            self.sim.now, "send", self.rank, dst=dest, tag=tag, nbytes=nbytes
-        )
+        if self.job.tracer.enabled:
+            self.job.tracer.emit(
+                self.sim.now, "send", self.rank, dst=dest, tag=tag, nbytes=nbytes
+            )
         if nbytes <= self.costs.eager_threshold:
             delivery = self.fabric.transfer(
                 self.endpoint, dst_ctx.endpoint, nbytes, payload=msg
@@ -185,9 +186,15 @@ class RankContext:
         """Fabric callback: a message has arrived at this rank."""
         self.counter.recv_messages += 1
         self.counter.bytes_received += msg.nbytes
-        self.job.tracer.emit(
-            self.sim.now, "arrive", self.rank, src=msg.src, tag=msg.tag, nbytes=msg.nbytes
-        )
+        if self.job.tracer.enabled:
+            self.job.tracer.emit(
+                self.sim.now,
+                "arrive",
+                self.rank,
+                src=msg.src,
+                tag=msg.tag,
+                nbytes=msg.nbytes,
+            )
         self.engine.deliver(msg)
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:

@@ -26,6 +26,8 @@ from repro.comm.shmem import ShmemContext
 from repro.comm.window import Window
 from repro.machines.base import MachineModel, Placement
 from repro.net.fabric import Fabric
+from repro.obs.session import current as _obs_current
+from repro.obs.spans import SpanTracker
 from repro.sim.engine import Simulator
 from repro.sim.event import Event
 from repro.sim.rng import RngFactory
@@ -76,8 +78,25 @@ class Job:
         self.costs = machine.runtime(runtime)
         self.placement = placement
         self.sim = Simulator()
-        self.tracer: Tracer = Tracer() if trace else NullTracer()
-        self.fabric = Fabric(self.sim, machine.topology, self.tracer)
+        # An ambient observation session (repro.obs.observe) supplies the
+        # tracer, metrics registry and span tracker; outside one, the
+        # zero-overhead defaults apply (NullTracer, no metrics).
+        self.obs = _obs_current()
+        if trace:
+            self.tracer: Tracer = Tracer()
+        elif self.obs is not None:
+            self.tracer = self.obs.tracer_for(f"{machine.name}/{runtime}/P{nranks}")
+        else:
+            self.tracer = NullTracer()
+        self.metrics = self.obs.metrics if self.obs is not None else None
+        self.spans: SpanTracker = (
+            self.obs.spans if self.obs is not None else SpanTracker()
+        )
+        self.fabric = Fabric(
+            self.sim, machine.topology, self.tracer, metrics=self.metrics
+        )
+        if self.metrics is not None:
+            self.metrics.register_collector(self._collect_comm_metrics)
         self.rng = RngFactory(seed)
         self.endpoints = [
             machine.endpoint_of_rank(r, nranks, placement) for r in range(nranks)
@@ -186,15 +205,21 @@ class Job:
         ``max_events`` caps the processed-event count as a livelock guard
         (see :meth:`repro.sim.Simulator.run`).
         """
-        procs = [
-            self.sim.process(program(ctx, *args, **kwargs), name=f"rank{ctx.rank}")
-            for ctx in self.contexts
-        ]
-        done = self.sim.all_of(procs)
-        self.sim.run(until=done, max_events=max_events)
-        results = [p.value for p in procs]
-        per_rank = [ctx.counter for ctx in self.contexts]
-        merged = reduce(OpCounter.merge, per_rank, OpCounter())
+        with self.spans.span(f"job:{self.machine.name}:{self.runtime_name}"):
+            with self.spans.span("spawn"):
+                procs = [
+                    self.sim.process(
+                        program(ctx, *args, **kwargs), name=f"rank{ctx.rank}"
+                    )
+                    for ctx in self.contexts
+                ]
+                done = self.sim.all_of(procs)
+            with self.spans.span("simulate"):
+                self.sim.run(until=done, max_events=max_events)
+            with self.spans.span("collect"):
+                results = [p.value for p in procs]
+                per_rank = [ctx.counter for ctx in self.contexts]
+                merged = reduce(OpCounter.merge, per_rank, OpCounter())
         return JobResult(
             time=self.sim.now,
             results=results,
@@ -202,3 +227,21 @@ class Job:
             counters=merged,
             events_processed=self.sim.event_count,
         )
+
+    def _collect_comm_metrics(self) -> dict[str, float]:
+        """Snapshot-time per-runtime op counters (fed by the comm layers'
+        :class:`OpCounter` bookkeeping; sum-merged across jobs)."""
+        merged = reduce(
+            OpCounter.merge, (ctx.counter for ctx in self.contexts), OpCounter()
+        )
+        prefix = f"comm.{self.runtime_name}"
+        return {
+            f"{prefix}.jobs": 1.0,
+            f"{prefix}.messages": float(merged.messages),
+            f"{prefix}.bytes_sent": merged.bytes_sent,
+            f"{prefix}.operations": float(merged.operations),
+            f"{prefix}.syncs": float(merged.syncs),
+            f"{prefix}.atomics": float(merged.atomics),
+            f"{prefix}.recv_messages": float(merged.recv_messages),
+            f"{prefix}.bytes_received": merged.bytes_received,
+        }

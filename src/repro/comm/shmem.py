@@ -102,14 +102,15 @@ class ShmemContext(RankContext):
 
         delivery.event.add_callback(land)
         self._outstanding_puts.append(done)
-        self.job.tracer.emit(
-            self.sim.now,
-            "put_signal",
-            self.rank,
-            target=target,
-            nbytes=nbytes,
-            signal_idx=signal_idx,
-        )
+        if self.job.tracer.enabled:
+            self.job.tracer.emit(
+                self.sim.now,
+                "put_signal",
+                self.rank,
+                target=target,
+                nbytes=nbytes,
+                signal_idx=signal_idx,
+            )
         return Request(done, "put_signal", nbytes)
 
     # ------------------------------------------------------------------

@@ -221,9 +221,15 @@ class WindowHandle:
 
         delivery.event.add_callback(land)
         win._track(self.rank, target, done)
-        ctx.job.tracer.emit(
-            ctx.sim.now, "put", self.rank, target=target, nbytes=nbytes, offset=offset
-        )
+        if ctx.job.tracer.enabled:
+            ctx.job.tracer.emit(
+                ctx.sim.now,
+                "put",
+                self.rank,
+                target=target,
+                nbytes=nbytes,
+                offset=offset,
+            )
         return Request(done, "put", nbytes)
 
     def get(
@@ -416,9 +422,10 @@ class WindowHandle:
             return old
 
         req = yield from self._atomic(target, offset, apply_fn)
-        self.ctx.job.tracer.emit(
-            self.ctx.sim.now, "cas", self.rank, target=target, offset=offset
-        )
+        if self.ctx.job.tracer.enabled:
+            self.ctx.job.tracer.emit(
+                self.ctx.sim.now, "cas", self.rank, target=target, offset=offset
+            )
         return req
 
     def fetch_and_add(self, target: int, offset: int, value: Any) -> Generator:

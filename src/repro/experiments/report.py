@@ -27,6 +27,10 @@ class ExperimentReport:
     expectations: dict[str, bool] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
     charts: list[str] = field(default_factory=list)
+    # Observability snapshot (repro.obs.Obs.snapshot()): counters, gauges,
+    # histograms, timelines, span breakdowns.  Populated by the CLI's
+    # --metrics flag; empty means "not collected" and is omitted from JSON.
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     def render(self) -> str:
         parts = [format_table(self.headers, self.rows, title=f"{self.experiment}: {self.title}")]
@@ -38,6 +42,11 @@ class ExperimentReport:
                 parts.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
         for n in self.notes:
             parts.append(f"note: {n}")
+        if self.metrics:
+            parts.append(
+                f"metrics: {len(self.metrics)} series collected "
+                "(embedded in the JSON report)"
+            )
         return "\n".join(parts)
 
     @property
@@ -46,7 +55,7 @@ class ExperimentReport:
 
     def to_dict(self) -> dict[str, Any]:
         """Machine-readable form (rows as header-keyed records)."""
-        return {
+        out = {
             "experiment": self.experiment,
             "title": self.title,
             "rows": [dict(zip(self.headers, row)) for row in self.rows],
@@ -54,6 +63,9 @@ class ExperimentReport:
             "all_expectations_met": self.all_expectations_met,
             "notes": list(self.notes),
         }
+        if self.metrics:
+            out["metrics"] = dict(self.metrics)
+        return out
 
     def to_json(self, *, indent: int | None = 2) -> str:
         """JSON rendering (charts excluded — they are terminal art)."""

@@ -23,9 +23,16 @@ from repro.sim.event import Event
 from repro.sim.trace import NullTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
     from repro.sim.engine import Simulator
 
 __all__ = ["Fabric", "Delivery"]
+
+# Queueing-wait histogram edges (seconds): the zero bucket counts
+# contention-free reservations; the rest are decades up to 10 ms.
+_WAIT_EDGES = (0.0, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2)
+# Bytes-over-time bin width (seconds) for the bandwidth timeline.
+_TIMELINE_BIN = 1e-4
 
 
 class Delivery:
@@ -51,6 +58,8 @@ class Fabric:
         sim: "Simulator",
         topology: TopologySpec,
         tracer: Tracer | None = None,
+        *,
+        metrics: "MetricsRegistry | None" = None,
     ):
         self.sim = sim
         self.topology = topology
@@ -65,6 +74,24 @@ class Fabric:
         self._loopback_next_free: dict[str, float] = {}
         self.total_messages = 0
         self.total_bytes = 0.0
+        self.metrics = metrics
+        self._m_messages = self._m_bytes = self._m_timeline = None
+        if metrics is not None:
+            self._m_messages = metrics.counter("net.fabric.messages")
+            self._m_bytes = metrics.counter("net.fabric.bytes")
+            self._m_timeline = metrics.timeline("net.bytes_timeline", _TIMELINE_BIN)
+            inj_hist = metrics.histogram("net.injection_wait_seconds", _WAIT_EDGES)
+            for channel in self._injection.values():
+                channel.wait_hist = inj_hist
+            link_hist = metrics.histogram("net.link_wait_seconds", _WAIT_EDGES)
+            for link in self._links.values():
+                link.attach_wait_hist(link_hist)
+            # Per-link byte/message totals are already counted by the
+            # channels; export them at snapshot time (sum-merged across
+            # fabrics feeding the same registry).
+            metrics.register_collector(
+                lambda: {f"net.link.{k}": float(v) for k, v in self.link_stats().items()}
+            )
 
     def link(self, a: str, b: str) -> Link:
         key = frozenset((a, b))
@@ -137,17 +164,22 @@ class Fabric:
         event.succeed(payload, delay=delay)
         self.total_messages += 1
         self.total_bytes += nbytes
-        self.tracer.emit(
-            self.sim.now,
-            "net.transfer",
-            -1,
-            src=src,
-            dst=dst,
-            nbytes=nbytes,
-            start=start,
-            arrival=arrival,
-            nhops=route.nhops,
-        )
+        if self._m_bytes is not None:
+            self._m_messages.inc()
+            self._m_bytes.inc(nbytes)
+            self._m_timeline.observe(arrival, nbytes)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now,
+                "net.transfer",
+                -1,
+                src=src,
+                dst=dst,
+                nbytes=nbytes,
+                start=start,
+                arrival=arrival,
+                nhops=route.nhops,
+            )
         return Delivery(event, start, arrival, nbytes, route)
 
     def link_stats(self) -> dict[str, float]:

@@ -33,7 +33,14 @@ class Channel:
     NVLink port-group behaviour the paper exploits in Fig. 10.
     """
 
-    __slots__ = ("sim", "params", "_next_free", "bytes_carried", "messages_carried")
+    __slots__ = (
+        "sim",
+        "params",
+        "_next_free",
+        "bytes_carried",
+        "messages_carried",
+        "wait_hist",
+    )
 
     def __init__(self, sim: "Simulator", params: LinkParams):
         self.sim = sim
@@ -41,6 +48,10 @@ class Channel:
         self._next_free: list[float] = [0.0] * params.channels
         self.bytes_carried: float = 0.0
         self.messages_carried: int = 0
+        # Optional observability hook (repro.obs.metrics.Histogram): when
+        # set, every reservation records its queueing delay — the time the
+        # head of the message waited for a sub-channel to free up.
+        self.wait_hist = None
 
     def reserve(
         self, nbytes: float, earliest: float, *, atomic: bool = False
@@ -72,6 +83,8 @@ class Channel:
         self._next_free[idx] = start + occupancy
         self.bytes_carried += nbytes
         self.messages_carried += 1
+        if self.wait_hist is not None:
+            self.wait_hist.observe(start - earliest)
         return start, start + self.params.latency
 
     @property
@@ -102,6 +115,11 @@ class Link:
         if (src, dst) == (self.b, self.a):
             return self._rev
         raise KeyError(f"link {self.a}<->{self.b} does not connect {src}->{dst}")
+
+    def attach_wait_hist(self, hist) -> None:
+        """Record both directions' reservation queueing delays into ``hist``."""
+        self._fwd.wait_hist = hist
+        self._rev.wait_hist = hist
 
     def stats(self) -> dict[str, float]:
         """Cumulative per-direction traffic counters."""

@@ -1,0 +1,54 @@
+"""``repro.obs`` — streaming observability: sinks, metrics, spans, export.
+
+The pieces compose around the existing :class:`repro.sim.trace.Tracer`:
+
+* :mod:`repro.obs.sinks` — bounded :class:`RingBufferSink` (keeps the last
+  N records in O(1) memory) and streaming :class:`JsonlSink` (one JSON
+  object per line; load back with
+  :func:`repro.analysis.traces.load_jsonl`);
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, fixed-bucket histograms and binned timelines, fed by
+  ``net.fabric``/``net.link`` and (via collectors) the comm layers, and
+  exported as a flat dict for reports;
+* :mod:`repro.obs.spans` — ``with spans.span("warmup"): ...`` phase spans
+  so experiment wall-clock breaks down by phase;
+* :mod:`repro.obs.chrome` — Chrome trace-event / Perfetto JSON export, so
+  any run opens in ``chrome://tracing`` or https://ui.perfetto.dev;
+* :mod:`repro.obs.session` — the :class:`Obs` facade and the ambient
+  ``observe()`` context manager that :class:`repro.comm.job.Job` consults,
+  which is how ``repro run --metrics`` and ``repro trace`` instrument
+  experiment code without threading arguments through every runner.
+
+The zero-overhead default is unchanged: a job with no ambient observation
+session and ``trace=False`` still gets a :class:`~repro.sim.trace.NullTracer`
+and no metrics; tier-1 numbers do not move.
+"""
+
+from repro.obs.chrome import chrome_trace, write_chrome_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timeline,
+)
+from repro.obs.session import Obs, current, observe
+from repro.obs.sinks import JsonlSink, RingBufferSink
+from repro.obs.spans import SpanRecord, SpanTracker
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "Obs",
+    "RingBufferSink",
+    "SpanRecord",
+    "SpanTracker",
+    "Timeline",
+    "chrome_trace",
+    "current",
+    "observe",
+    "write_chrome_trace",
+]

@@ -1,0 +1,138 @@
+"""Chrome trace-event / Perfetto JSON export.
+
+Converts traced runs into the Trace Event Format (the ``traceEvents`` JSON
+consumed by ``chrome://tracing`` and https://ui.perfetto.dev):
+
+* every ``net.transfer`` record becomes a complete ("X") event on the
+  fabric track, spanning injection start to tail arrival;
+* every rank-level record (``send``, ``put``, ``put_signal``, ``cas``,
+  ``arrive``, ...) becomes an instant ("i") event on that rank's track;
+* harness phase spans (wall clock) become complete events in their own
+  process, so simulated time and harness time never share a track.
+
+Timestamps are microseconds, as the format requires; pid/tid are small
+integers with ``process_name``/``thread_name`` metadata events naming them.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+from typing import Any
+
+from repro.sim.trace import TraceRecord, Tracer
+from repro.obs.spans import SpanTracker
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+_FABRIC_TID = 0  # rank r maps to tid r + 1
+
+# Fallback label for pid 0, the harness span process.
+_HARNESS_PID = 0
+
+
+def _meta(pid: int, name: str, tid: int | None = None) -> dict[str, Any]:
+    ev: dict[str, Any] = {
+        "ph": "M",
+        "pid": pid,
+        "name": "process_name" if tid is None else "thread_name",
+        "args": {"name": name},
+    }
+    if tid is not None:
+        ev["tid"] = tid
+    return ev
+
+
+def _transfer_event(pid: int, rec: TraceRecord, scale: float) -> dict[str, Any]:
+    d = rec.detail
+    start = float(d.get("start", rec.t))
+    arrival = float(d.get("arrival", rec.t))
+    return {
+        "ph": "X",
+        "pid": pid,
+        "tid": _FABRIC_TID,
+        "ts": start * scale,
+        "dur": max(arrival - start, 0.0) * scale,
+        "name": f"{d.get('src', '?')}->{d.get('dst', '?')}",
+        "cat": "net",
+        "args": {k: v for k, v in d.items() if k not in ("src", "dst")},
+    }
+
+
+def _instant_event(pid: int, rec: TraceRecord, scale: float) -> dict[str, Any]:
+    return {
+        "ph": "i",
+        "pid": pid,
+        "tid": rec.rank + 1,
+        "ts": rec.t * scale,
+        "s": "t",
+        "name": rec.kind,
+        "cat": "comm",
+        "args": dict(rec.detail),
+    }
+
+
+def chrome_trace(
+    traces: Sequence[tuple[str, Tracer | Iterable[TraceRecord]]],
+    spans: SpanTracker | None = None,
+    *,
+    time_scale: float = 1e6,
+) -> dict[str, Any]:
+    """Build the trace-event dict for labelled traces plus optional spans.
+
+    Args:
+        traces: ``(label, tracer_or_records)`` pairs; each becomes one
+            process in the viewer (simulated-time tracks).
+        spans: harness phase spans (wall-clock tracks, separate process).
+        time_scale: seconds → trace timestamp units (default microseconds).
+    """
+    events: list[dict[str, Any]] = []
+    if spans is not None and spans.spans:
+        events.append(_meta(_HARNESS_PID, "harness (wall clock)"))
+        base = min(s.start for s in spans.spans)
+        for s in spans.spans:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": _HARNESS_PID,
+                    "tid": 0,
+                    "ts": (s.start - base) * time_scale,
+                    "dur": s.duration * time_scale,
+                    "name": s.name,
+                    "cat": "phase",
+                    "args": {"depth": s.depth},
+                }
+            )
+    for i, (label, trace) in enumerate(traces):
+        pid = i + 1
+        events.append(_meta(pid, label))
+        events.append(_meta(pid, "fabric", _FABRIC_TID))
+        seen_ranks: set[int] = set()
+        for rec in trace:
+            if rec.kind == "net.transfer":
+                events.append(_transfer_event(pid, rec, time_scale))
+            elif rec.rank >= 0:
+                if rec.rank not in seen_ranks:
+                    seen_ranks.add(rec.rank)
+                    events.append(_meta(pid, f"rank {rec.rank}", rec.rank + 1))
+                events.append(_instant_event(pid, rec, time_scale))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs.chrome", "time_unit": "us"},
+    }
+
+
+def write_chrome_trace(
+    path: str | Path,
+    traces: Sequence[tuple[str, Tracer | Iterable[TraceRecord]]],
+    spans: SpanTracker | None = None,
+    *,
+    time_scale: float = 1e6,
+) -> Path:
+    """Serialise :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    doc = chrome_trace(traces, spans, time_scale=time_scale)
+    path.write_text(json.dumps(doc, default=repr) + "\n")
+    return path

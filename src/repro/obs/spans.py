@@ -1,0 +1,78 @@
+"""Phase spans: named, nestable timed regions.
+
+``with spans.span("warmup"): ...`` records a :class:`SpanRecord` with the
+enclosing span path (``"fig09/warmup"``), so experiment wall-clock breaks
+down by phase.  The clock is injectable: the experiment harness uses wall
+time (``time.perf_counter``), while anything holding a simulator can pass
+``lambda: sim.now`` to span *virtual* time instead.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from collections.abc import Callable, Iterator
+
+__all__ = ["SpanRecord", "SpanTracker"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span."""
+
+    name: str  # full path, e.g. "fig09/run/simulate"
+    start: float
+    end: float
+    depth: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class SpanTracker:
+    """Collects closed spans; safe to nest, cheap when unused."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.clock = clock
+        self.spans: list[SpanRecord] = []
+        self._stack: list[str] = []
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        if "/" in name:
+            raise ValueError(f"span name may not contain '/': {name!r}")
+        self._stack.append(name)
+        path = "/".join(self._stack)
+        depth = len(self._stack) - 1
+        t0 = self.clock()
+        try:
+            yield
+        finally:
+            end = self.clock()
+            self._stack.pop()
+            self.spans.append(SpanRecord(name=path, start=t0, end=end, depth=depth))
+
+    def totals(self) -> dict[str, float]:
+        """Total seconds per span path (summed over repeats)."""
+        out: dict[str, float] = {}
+        for s in self.spans:
+            out[s.name] = out.get(s.name, 0.0) + s.duration
+        return out
+
+    def snapshot(self) -> list[dict[str, float | str | int]]:
+        """JSON-ready span list, in completion order."""
+        return [
+            {
+                "name": s.name,
+                "start": s.start,
+                "end": s.end,
+                "duration": s.duration,
+                "depth": s.depth,
+            }
+            for s in self.spans
+        ]
+
+    def clear(self) -> None:
+        self.spans.clear()

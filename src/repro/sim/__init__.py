@@ -15,9 +15,12 @@ from repro.sim.event import AllOf, AnyOf, Event, SimulationError, Timeout
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import Pipe, Resource, Store
 from repro.sim.rng import RngFactory
-from repro.sim.trace import NullTracer, TraceRecord, Tracer
+from repro.sim.trace import ListSink, NullSink, NullTracer, TraceRecord, Tracer, TraceSink
 
 __all__ = [
+    "ListSink",
+    "NullSink",
+    "TraceSink",
     "Simulator",
     "Event",
     "Timeout",

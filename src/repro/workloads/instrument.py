@@ -9,14 +9,22 @@ are *measured* here from instrumented runs of the actual workload code.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.machines.base import MachineModel
+from repro.obs.session import current as _obs_current
 from repro.workloads.hashtable import HashTableConfig, run_hashtable
 from repro.workloads.sptrsv import MatrixSpec, generate_matrix, run_sptrsv
 from repro.workloads.stencil import ProcessGrid, StencilConfig, run_stencil
 
 __all__ = ["Table2Row", "characterize_workloads"]
+
+
+def _span(name: str):
+    """Phase span in the ambient observation session, if one is active."""
+    session = _obs_current()
+    return session.span(name) if session is not None else nullcontext()
 
 
 @dataclass(frozen=True)
@@ -89,9 +97,12 @@ def _hashtable_measurements(
 
 def characterize_workloads(machine: MachineModel) -> list[Table2Row]:
     """Regenerate Table II on the given machine (numeric cells measured)."""
-    st_ms, st_words = _stencil_measurements(machine)
-    sp_ms, sp_words = _sptrsv_measurements(machine)
-    hb_ms, _ = _hashtable_measurements(machine)
+    with _span("characterize:stencil"):
+        st_ms, st_words = _stencil_measurements(machine)
+    with _span("characterize:sptrsv"):
+        sp_ms, sp_words = _sptrsv_measurements(machine)
+    with _span("characterize:hashtable"):
+        hb_ms, _ = _hashtable_measurements(machine)
     return [
         Table2Row(
             workload="Stencil",

@@ -1,0 +1,70 @@
+"""Chrome trace-event export: schema shape, clocks, metadata."""
+
+import json
+
+from repro.obs.chrome import chrome_trace, write_chrome_trace
+from repro.obs.spans import SpanTracker
+from repro.sim.trace import Tracer
+
+
+def _traced_job():
+    t = Tracer()
+    t.emit(1e-6, "net.transfer", -1, src="cpu0", dst="cpu1",
+           nbytes=1024.0, start=1e-6, arrival=4e-6, nhops=1)
+    t.emit(1e-6, "send", 0, dst=1, tag=3, nbytes=1024.0)
+    t.emit(4e-6, "arrive", 1, src=0, tag=3, nbytes=1024.0)
+    return t
+
+
+class TestChromeTrace:
+    def test_transfer_becomes_complete_event(self):
+        doc = chrome_trace([("job0", _traced_job())])
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 1
+        (x,) = xs
+        assert x["ts"] == 1.0 and x["dur"] == 3.0  # microseconds
+        assert x["name"] == "cpu0->cpu1"
+        assert x["args"]["nbytes"] == 1024.0
+        assert x["tid"] == 0  # fabric track
+
+    def test_rank_ops_become_instants_with_thread_metadata(self):
+        doc = chrome_trace([("job0", _traced_job())])
+        evs = doc["traceEvents"]
+        instants = [e for e in evs if e["ph"] == "i"]
+        assert {e["name"] for e in instants} == {"send", "arrive"}
+        assert all(e["s"] == "t" for e in instants)
+        thread_names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in evs
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert thread_names[(1, 0)] == "fabric"
+        assert thread_names[(1, 1)] == "rank 0"
+        assert thread_names[(1, 2)] == "rank 1"
+
+    def test_process_metadata_labels_jobs(self):
+        doc = chrome_trace([("alpha", Tracer()), ("beta", Tracer())])
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names[1] == "alpha" and names[2] == "beta"
+
+    def test_spans_rebased_on_own_process(self):
+        ticks = iter([10.0, 10.5, 10.5, 11.0])
+        spans = SpanTracker(clock=lambda: next(ticks))
+        with spans.span("warmup"):
+            pass
+        with spans.span("run"):
+            pass
+        doc = chrome_trace([], spans)
+        phase = [e for e in doc["traceEvents"] if e.get("cat") == "phase"]
+        assert {e["name"] for e in phase} == {"warmup", "run"}
+        assert all(e["pid"] == 0 for e in phase)
+        assert min(e["ts"] for e in phase) == 0.0  # rebased to first span
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        out = write_chrome_trace(tmp_path / "x.trace.json", [("j", _traced_job())])
+        doc = json.loads(out.read_text())
+        assert "traceEvents" in doc and doc["otherData"]["time_unit"] == "us"

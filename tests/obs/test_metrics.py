@@ -1,0 +1,100 @@
+"""Metrics registry: instruments, bucketing edge cases, collectors."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Timeline
+
+
+class TestCounterGauge:
+    def test_counter_monotonic(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_bucketing_on_and_between_edges(self):
+        h = Histogram("w", edges=(1.0, 10.0, 100.0))
+        h.observe(0.5)    # below first edge -> le_1
+        h.observe(1.0)    # exactly on edge -> le_1 (inclusive upper bound)
+        h.observe(5.0)    # -> le_10
+        h.observe(100.0)  # exactly on last edge -> le_100
+        h.observe(1e9)    # overflow -> le_inf
+        snap = h.snapshot()
+        assert snap["w.le_1"] == 2
+        assert snap["w.le_10"] == 1
+        assert snap["w.le_100"] == 1
+        assert snap["w.le_inf"] == 1
+        assert snap["w.count"] == 5
+        assert snap["w.min"] == 0.5 and snap["w.max"] == 1e9
+
+    def test_zero_edge_counts_zero_observations(self):
+        h = Histogram("w", edges=(0.0, 1e-6))
+        h.observe(0.0)
+        h.observe(1e-7)
+        assert h.snapshot()["w.le_0"] == 1
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram("w", edges=(1.0,)).snapshot()
+        assert snap["w.count"] == 0 and "w.min" not in snap
+        assert math.isnan(Histogram("v", edges=(1.0,)).mean)
+
+    def test_edges_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("w", edges=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("w", edges=())
+
+
+class TestTimeline:
+    def test_bins_accumulate_and_sort(self):
+        tl = Timeline("bytes", bin_width=1.0)
+        tl.observe(2.5, 10)
+        tl.observe(0.1, 1)
+        tl.observe(2.9, 5)
+        assert tl.series() == [(0.5, 1.0), (2.5, 15.0)]
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            Timeline("x", bin_width=0)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_type_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_snapshot_is_flat(self):
+        reg = MetricsRegistry()
+        reg.counter("msgs").inc(3)
+        reg.gauge("depth").set(2)
+        reg.histogram("wait", edges=(1.0,)).observe(0.5)
+        reg.timeline("bw", bin_width=1.0).observe(0.5, 4)
+        snap = reg.snapshot()
+        assert snap["msgs"] == 3 and snap["depth"] == 2
+        assert snap["wait.le_1"] == 1
+        assert snap["bw"] == [[0.5, 4.0]]
+
+    def test_collectors_sum_merge_on_collision(self):
+        reg = MetricsRegistry()
+        reg.register_collector(lambda: {"link.bytes": 10.0, "only.a": 1.0})
+        reg.register_collector(lambda: {"link.bytes": 5.0})
+        snap = reg.snapshot()
+        assert snap["link.bytes"] == 15.0 and snap["only.a"] == 1.0

@@ -1,0 +1,62 @@
+"""Phase spans: nesting, totals, injectable clocks."""
+
+import pytest
+
+from repro.obs.spans import SpanTracker
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+class TestSpanTracker:
+    def test_nested_paths_and_durations(self):
+        spans = SpanTracker(clock=FakeClock())
+        with spans.span("outer"):
+            with spans.span("inner"):
+                pass
+        names = [s.name for s in spans.spans]
+        assert names == ["outer/inner", "outer"]  # completion order
+        inner, outer = spans.spans
+        assert inner.depth == 1 and outer.depth == 0
+        assert outer.duration > inner.duration
+
+    def test_totals_sum_repeats(self):
+        spans = SpanTracker(clock=FakeClock())
+        for _ in range(3):
+            with spans.span("warmup"):
+                pass
+        assert spans.totals() == {"warmup": 3.0}
+
+    def test_span_closes_on_exception(self):
+        spans = SpanTracker(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with spans.span("boom"):
+                raise RuntimeError("x")
+        assert [s.name for s in spans.spans] == ["boom"]
+        assert spans._stack == []
+
+    def test_slash_rejected(self):
+        spans = SpanTracker()
+        with pytest.raises(ValueError):
+            with spans.span("a/b"):
+                pass
+
+    def test_snapshot_json_ready(self):
+        spans = SpanTracker(clock=FakeClock())
+        with spans.span("x"):
+            pass
+        (d,) = spans.snapshot()
+        assert d["name"] == "x" and d["duration"] == 1.0 and d["depth"] == 0
+
+    def test_virtual_clock_injection(self):
+        t = {"now": 0.0}
+        spans = SpanTracker(clock=lambda: t["now"])
+        with spans.span("sim"):
+            t["now"] = 5.0
+        assert spans.totals()["sim"] == 5.0

@@ -1,0 +1,58 @@
+"""Observability must not perturb the zero-overhead default path.
+
+Two regressions from ISSUE 1: (a) an untraced run allocates no trace
+records at all (NullTracer owns no mutable storage and hot paths skip the
+emit kwargs entirely); (b) a ring-buffer-sink hashtable run completes with
+bounded memory — records retained never exceed the configured capacity,
+no matter the msg/sync rate.
+"""
+
+from repro import obs
+from repro.machines import perlmutter_cpu
+from repro.obs.sinks import RingBufferSink
+from repro.sim.trace import NULL_SINK, NullTracer
+from repro.workloads.hashtable import HashTableConfig, run_hashtable
+
+
+class TestNullTracerAllocatesNothing:
+    def test_hashtable_flood_run_keeps_no_records(self):
+        """One-sided hashtable: the highest msg/sync workload in the paper.
+
+        Untraced, the job must end with zero retained trace records and the
+        shared immutable null sink (not a per-job list that silently grew).
+        """
+        cfg = HashTableConfig(total_inserts=2000, seed=3)
+        res = run_hashtable(perlmutter_cpu(), "one_sided", cfg, 4)
+        assert res.time > 0
+        # run_hashtable builds its own Job; verify via a fresh equivalent.
+        from repro.comm.job import Job
+
+        job = Job(perlmutter_cpu(), 4, "one_sided")
+        assert isinstance(job.tracer, NullTracer)
+        assert job.tracer.sink is NULL_SINK
+        assert job.tracer.records == ()
+        assert not job.tracer.enabled  # hot paths skip emit kwargs entirely
+
+    def test_null_sink_is_shared_not_per_instance(self):
+        tracers = [NullTracer() for _ in range(8)]
+        assert len({id(t.sink) for t in tracers}) == 1
+
+
+class TestRingBoundedHashtable:
+    def test_high_msg_per_sync_run_is_bounded(self):
+        """Hashtable at maximal msg/sync (all inserts between two barriers)
+        under a small ring: the trace must stay within capacity while the
+        run completes and drops are accounted for."""
+        capacity = 256
+        session = obs.Obs(trace=True, sink_factory=lambda: RingBufferSink(capacity))
+        cfg = HashTableConfig(total_inserts=2000, seed=3)
+        with obs.observe(session):
+            res = run_hashtable(perlmutter_cpu(), "one_sided", cfg, 4)
+        assert res.time > 0
+        assert session.traces, "tracing session saw no jobs"
+        for _label, tracer in session.traces:
+            assert len(tracer) <= capacity
+        # The run emitted far more than capacity: eviction really happened.
+        total = sum(len(t) + t.sink.dropped for _l, t in session.traces)
+        assert total > capacity
+        assert any(t.sink.dropped > 0 for _l, t in session.traces)

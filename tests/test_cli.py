@@ -74,6 +74,88 @@ class TestCommands:
         assert rc == 0
 
 
+class TestTrace:
+    def test_trace_writes_chrome_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "run.trace.json"
+        rc = main(["trace", "table2", "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"], "trace is empty"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases and "M" in phases
+        assert "chrome://tracing" in capsys.readouterr().out
+
+    def test_trace_ring_sink_bounded(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "run.trace.json"
+        rc = main(
+            ["trace", "table2", "--out", str(out), "--sink", "ring",
+             "--capacity", "50"]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        # <= capacity records per job, plus metadata events.
+        data_events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        pids = {e["pid"] for e in data_events}
+        for pid in pids:
+            per_job = [e for e in data_events if e["pid"] == pid and e.get("cat") != "phase"]
+            assert len(per_job) <= 50
+
+    def test_trace_jsonl_sink_round_trips(self, tmp_path, capsys):
+        out = tmp_path / "run.trace.json"
+        jdir = tmp_path / "jsonl"
+        rc = main(
+            ["trace", "table2", "--out", str(out), "--sink", "jsonl",
+             "--jsonl-dir", str(jdir)]
+        )
+        assert rc == 0
+        files = sorted(jdir.glob("job*.jsonl"))
+        assert files
+        from repro.analysis.traces import load_jsonl
+
+        assert any(len(load_jsonl(f)) > 0 for f in files)
+
+    def test_trace_unknown_experiment(self, capsys):
+        assert main(["trace", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_trace_ring_capacity_must_be_positive(self, capsys):
+        rc = main(["trace", "table2", "--sink", "ring", "--capacity", "0"])
+        assert rc == 2
+        assert "--capacity must be >= 1" in capsys.readouterr().err
+
+
+class TestMetricsFlag:
+    def test_run_metrics_embedded_in_json(self, capsys):
+        import json
+
+        rc = main(["run", "table2", "--json", "--metrics"])
+        assert rc == 0
+        d = json.loads(capsys.readouterr().out)
+        m = d["metrics"]
+        assert m["net.fabric.bytes"] > 0
+        assert any(k.startswith("comm.") for k in m)
+        assert any(k.startswith("span.table2") for k in m)
+
+    def test_run_without_metrics_omits_key(self, capsys):
+        import json
+
+        rc = main(["run", "table2", "--json"])
+        assert rc == 0
+        assert "metrics" not in json.loads(capsys.readouterr().out)
+
+    def test_export_metrics(self, tmp_path, capsys):
+        import json
+
+        rc = main(["export", str(tmp_path), "--experiments", "table2", "--metrics"])
+        assert rc == 0
+        d = json.loads((tmp_path / "table2.json").read_text())
+        assert d["metrics"]["net.fabric.messages"] > 0
+
+
 class TestExport:
     def test_export_writes_json_and_txt(self, tmp_path, capsys):
         rc = main(["export", str(tmp_path), "--experiments", "table1"])
