@@ -1,0 +1,95 @@
+"""Benchmark the sweep executor: parallel speedup and cache-warm reads.
+
+Times the fig09 hashtable sweep (15 points, the heaviest per-point
+experiment) four ways — serial, process-pool parallel, cache-cold, and
+cache-warm — and writes ``benchmarks/output/BENCH_sweep.json``.  The two
+headline checks:
+
+* the process pool beats serial wall time (``parallel_speedup > 1``) —
+  demanded strictly when more than one core is available, relaxed to
+  "pool overhead stays under 15%" on single-core machines where no wall
+  time can be recovered;
+* a cache-warm rerun is at least 5x faster than the cache-cold run.
+
+Run standalone (``python benchmarks/bench_sweep_executor.py``) or via the
+benchmark suite (``pytest benchmarks/bench_sweep_executor.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.experiments import run_fig09
+from repro.sweep import ResultCache, execution
+
+OUTPUT = pathlib.Path(__file__).parent / "output" / "BENCH_sweep.json"
+
+_KWARGS = {"total_inserts": 8000, "seed": 5}  # run_fig09 defaults, pinned
+
+
+def _timed(jobs: int, cache: ResultCache | None) -> tuple[float, int]:
+    t0 = time.perf_counter()
+    with execution(jobs=jobs, cache=cache):
+        report = run_fig09(**_KWARGS)
+    return time.perf_counter() - t0, len(report.rows)
+
+
+def run_bench(jobs: int | None = None) -> dict:
+    cores = multiprocessing.cpu_count()
+    if jobs is None:
+        jobs = max(2, min(4, cores))
+
+    serial_s, npoints = _timed(jobs=1, cache=None)
+    parallel_s, _ = _timed(jobs=jobs, cache=None)
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
+        cache = ResultCache(tmp)
+        cold_s, _ = _timed(jobs=1, cache=cache)
+        warm_s, _ = _timed(jobs=1, cache=cache)
+        assert cache.stats()["hits"] == npoints, "warm run missed the cache"
+
+    result = {
+        "bench": "sweep_executor",
+        "experiment": "fig09",
+        "points": npoints,
+        "jobs": jobs,
+        "cores": cores,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "parallel_speedup": round(serial_s / parallel_s, 2),
+        "cache_cold_seconds": round(cold_s, 4),
+        "cache_warm_seconds": round(warm_s, 4),
+        "warm_speedup": round(cold_s / warm_s, 1),
+        "checks": {
+            "parallel_beats_serial": (
+                parallel_s < serial_s
+                if cores > 1
+                else parallel_s < serial_s * 1.15
+            ),
+            "warm_at_least_5x_faster_than_cold": cold_s >= 5 * warm_s,
+        },
+    }
+    OUTPUT.parent.mkdir(exist_ok=True)
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def test_sweep_executor_bench():
+    result = run_bench()
+    failed = [k for k, ok in result["checks"].items() if not ok]
+    assert not failed, f"sweep bench checks failed: {failed} in {result}"
+
+
+def main() -> int:
+    result = run_bench()
+    print(json.dumps(result, indent=2))
+    print(f"wrote {OUTPUT}")
+    return 0 if all(result["checks"].values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,8 @@ Usage (also via ``python -m repro``):
 
     repro list                      # available experiments & machines
     repro run fig08                 # run one experiment, print the report
-    repro run all                   # every figure/table
+    repro run all --jobs 8          # every figure/table, 8 worker processes
+    repro run fig03 --no-cache      # force re-execution of every point
     repro ablation polling          # run one ablation (or 'all')
     repro machines                  # platform inventory (Table I detail)
     repro flood perlmutter-cpu two_sided --size 64KiB --msgs 256
@@ -46,6 +47,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect the repro.obs metrics snapshot and embed it in the report",
     )
+    _add_execution_args(runp)
 
     tp = sub.add_parser(
         "trace",
@@ -95,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="embed the repro.obs metrics snapshot in each JSON report",
     )
+    _add_execution_args(ep)
 
     rp = sub.add_parser("roofline", help="query the analytic bound")
     rp.add_argument("machine")
@@ -102,6 +105,63 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--size", default="64KiB")
     rp.add_argument("--msgs", type=int, default=64)
     return p
+
+
+def _add_execution_args(p: argparse.ArgumentParser) -> None:
+    """Sweep-execution flags shared by ``run`` and ``export``."""
+    from repro.sweep import DEFAULT_CACHE_DIR
+
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep points (default 1 = serial; "
+        "results are identical to serial at any N)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the on-disk sweep result cache",
+    )
+    p.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"sweep result cache directory (default {DEFAULT_CACHE_DIR!r})",
+    )
+
+
+def _execution_from_args(args: argparse.Namespace):
+    """An :func:`repro.sweep.execution` block configured from CLI flags.
+
+    Progress lines go to stderr so ``--json`` stdout stays parseable.
+    """
+    from repro.sweep import ResultCache, execution
+
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        raise SystemExit(2)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return execution(
+        jobs=args.jobs,
+        cache=cache,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+
+
+def _print_run_summary(statuses: dict[str, bool], cache) -> None:
+    """Per-experiment PASS/FAIL lines plus a greppable cache-stats line."""
+    if len(statuses) > 1:
+        print("summary:", file=sys.stderr)
+        for n, passed in statuses.items():
+            print(f"  {n:<20} {'PASS' if passed else 'FAIL'}", file=sys.stderr)
+        failed = sum(1 for ok in statuses.values() if not ok)
+        print(
+            f"  {failed}/{len(statuses)} experiments failed expectations"
+            if failed else f"  all {len(statuses)} experiments passed",
+            file=sys.stderr,
+        )
+    if cache is not None:
+        s = cache.stats()
+        print(
+            f"[sweep] cache: hits={s['hits']} misses={s['misses']}",
+            file=sys.stderr,
+        )
 
 
 def _cmd_list() -> int:
@@ -130,9 +190,10 @@ def _run_one(name: str, with_metrics: bool):
     return report
 
 
-def _cmd_run(name: str, as_json: bool = False, with_metrics: bool = False) -> int:
+def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments import ALL_EXPERIMENTS
 
+    name = args.experiment
     if name == "all":
         names = sorted(ALL_EXPERIMENTS)
     elif name in ALL_EXPERIMENTS:
@@ -144,14 +205,16 @@ def _cmd_run(name: str, as_json: bool = False, with_metrics: bool = False) -> in
             file=sys.stderr,
         )
         return 2
-    ok = True
-    for n in names:
-        report = _run_one(n, with_metrics)
-        print(report.to_json() if as_json else report.render())
-        if not as_json:
-            print()
-        ok = ok and report.all_expectations_met
-    return 0 if ok else 1
+    statuses: dict[str, bool] = {}
+    with _execution_from_args(args) as cfg:
+        for n in names:
+            report = _run_one(n, args.metrics)
+            print(report.to_json() if args.json else report.render())
+            if not args.json:
+                print()
+            statuses[n] = report.all_expectations_met
+        _print_run_summary(statuses, cfg.cache)
+    return 0 if all(statuses.values()) else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -239,27 +302,30 @@ def _cmd_ablation(name: str) -> int:
     return 0 if ok else 1
 
 
-def _cmd_export(outdir: str, which: str, with_metrics: bool = False) -> int:
+def _cmd_export(args: argparse.Namespace) -> int:
     import pathlib
 
     from repro.experiments import ALL_EXPERIMENTS
 
+    which = args.experiments
     names = sorted(ALL_EXPERIMENTS) if which == "all" else which.split(",")
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         return 2
-    out = pathlib.Path(outdir)
+    out = pathlib.Path(args.outdir)
     out.mkdir(parents=True, exist_ok=True)
-    ok = True
-    for n in names:
-        report = _run_one(n, with_metrics)
-        (out / f"{n}.json").write_text(report.to_json() + "\n")
-        (out / f"{n}.txt").write_text(report.render() + "\n")
-        status = "ok" if report.all_expectations_met else "CHECKS FAILED"
-        print(f"  {n}: {status} -> {out / n}.{{json,txt}}")
-        ok = ok and report.all_expectations_met
-    return 0 if ok else 1
+    statuses: dict[str, bool] = {}
+    with _execution_from_args(args) as cfg:
+        for n in names:
+            report = _run_one(n, args.metrics)
+            (out / f"{n}.json").write_text(report.to_json() + "\n")
+            (out / f"{n}.txt").write_text(report.render() + "\n")
+            status = "ok" if report.all_expectations_met else "CHECKS FAILED"
+            print(f"  {n}: {status} -> {out / n}.{{json,txt}}")
+            statuses[n] = report.all_expectations_met
+        _print_run_summary(statuses, cfg.cache)
+    return 0 if all(statuses.values()) else 1
 
 
 def _cmd_machines() -> int:
@@ -329,7 +395,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, as_json=args.json, with_metrics=args.metrics)
+        return _cmd_run(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "ablation":
@@ -337,7 +403,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "machines":
         return _cmd_machines()
     if args.command == "export":
-        return _cmd_export(args.outdir, args.experiments, with_metrics=args.metrics)
+        return _cmd_export(args)
     if args.command == "flood":
         return _cmd_flood(args)
     if args.command == "roofline":

@@ -21,7 +21,7 @@ import dataclasses
 import numpy as np
 
 from repro.experiments.report import ExperimentReport
-from repro.machines import perlmutter_cpu, perlmutter_gpu
+from repro.machines.registry import get_machine
 from repro.machines.base import CommCosts
 from repro.roofline import MessageRoofline, SplitModel
 from repro.workloads.sptrsv import MatrixSpec, generate_matrix, run_sptrsv
@@ -38,7 +38,7 @@ __all__ = [
 
 def run_ablation_gap() -> ExperimentReport:
     """Let the injection gap go to zero and watch the ceiling move."""
-    machine = perlmutter_cpu()
+    machine = get_machine("perlmutter-cpu")
     base = machine.loggp("two_sided", 0, 1, nranks=2, placement="spread",
                          sided="two")
     no_gap = dataclasses.replace(base, g=0.0)
@@ -80,7 +80,7 @@ def run_ablation_gap() -> ExperimentReport:
 def run_ablation_sharp_junction() -> ExperimentReport:
     """Quantify the sharp-vs-rounded gap around the knee (Fig. 1's
     'ideal region one can never practically reach')."""
-    machine = perlmutter_cpu()
+    machine = get_machine("perlmutter-cpu")
     params = machine.loggp("two_sided", 0, 1, nranks=2, placement="spread",
                            sided="two")
     roof = MessageRoofline(params)
@@ -142,9 +142,9 @@ def run_ablation_put_with_signal() -> ExperimentReport:
     t: dict[tuple[str, int], float] = {}
     for P in (4, 16):
         for variant in ("two_sided", "one_sided"):
-            res = run_sptrsv(perlmutter_cpu(), variant, matrix, P)
+            res = run_sptrsv(get_machine("perlmutter-cpu"), variant, matrix, P)
             t[(variant, P)] = res.time
-        hw_machine = _with_hw_put_signal(perlmutter_cpu())
+        hw_machine = _with_hw_put_signal(get_machine("perlmutter-cpu"))
         # Run the shmem program (put_signal + wait_until_any) on the CPU
         # with the hypothetical hw profile.
         hw_machine.runtimes["shmem"] = hw_machine.runtimes["one_sided_hw"]
@@ -190,9 +190,9 @@ def run_ablation_polling() -> ExperimentReport:
     rows = []
     ratios = {}
     P = 16
-    two = run_sptrsv(perlmutter_cpu(), "two_sided", matrix, P).time
+    two = run_sptrsv(get_machine("perlmutter-cpu"), "two_sided", matrix, P).time
     for poll_us in (0.0, 0.05, 0.5):
-        machine = perlmutter_cpu()
+        machine = get_machine("perlmutter-cpu")
         one = machine.runtimes["one_sided"]
         machine.runtimes["one_sided"] = dataclasses.replace(
             one, poll_slot=poll_us * 1e-6
@@ -220,7 +220,7 @@ def run_ablation_polling() -> ExperimentReport:
 
 def run_ablation_split_factor() -> ExperimentReport:
     """Fig. 10 swept over k: 2/4/8-way splits on the 4-channel NVLink."""
-    model = SplitModel.from_machine(perlmutter_gpu(), "gpu0", "gpu1")
+    model = SplitModel.from_machine(get_machine("perlmutter-gpu"), "gpu0", "gpu1")
     headers = ["k", "crossover (KiB)", "asymptotic speedup", "speedup @16MiB"]
     rows = []
     stats = {}

@@ -11,6 +11,9 @@ The headline claim quantified here: when latency dominates (small
 messages), sending ~100+ messages per synchronization buys up to ~10x
 bandwidth; when the per-byte term dominates (large messages), overlap buys
 almost nothing because the bandwidth ceiling is already reached.
+
+The analytic curves are pure model evaluations; only the measured dots
+cost simulation time, and those run as a ``repro.sweep`` grid.
 """
 
 from __future__ import annotations
@@ -18,19 +21,42 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.report import ExperimentReport
-from repro.machines import frontier_cpu
+from repro.machines.registry import get_machine
 from repro.roofline import MessageRoofline, Series, ascii_loglog
+from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.flood import run_flood
 
 __all__ = ["run_fig01"]
 
 _SIZES = [2.0**k for k in range(3, 23)]  # 8 B .. 4 MiB
 _NS = (1, 10, 100, 1000)
+_DOT_NS = (1, 16, 256)
+_DOT_SIZES = (64, 4096, 262144)
+
+
+def _point(params, seed):
+    r = run_flood(
+        get_machine(params["machine"]),
+        params["runtime"],
+        params["size"],
+        params["msgs"],
+        iters=params["iters"],
+    )
+    return {"bandwidth": r.bandwidth}
+
+
+def _spec(iters: int) -> SweepSpec:
+    return SweepSpec(
+        name="fig01",
+        runner=_point,
+        axes={"msgs": _DOT_NS, "size": _DOT_SIZES},
+        common={"machine": "frontier-cpu", "runtime": "one_sided", "iters": iters},
+    )
 
 
 def run_fig01(*, measured: bool = True, iters: int = 2) -> ExperimentReport:
     """Build the Fig. 1 data: analytic curves plus simulator dots."""
-    machine = frontier_cpu()
+    machine = get_machine("frontier-cpu")
     # Flood-style accounting: one put per message, completion amortised
     # over the batch (the paper's Fig. 1 is the generic put roofline).
     params = machine.loggp(
@@ -76,11 +102,8 @@ def run_fig01(*, measured: bool = True, iters: int = 2) -> ExperimentReport:
         for n, m in zip(_NS, "1abc")
     ]
     if measured:
-        dots = []
-        for n in (1, 16, 256):
-            for B in (64, 4096, 262144):
-                r = run_flood(frontier_cpu(), "one_sided", B, n, iters=iters)
-                dots.append((B, r.bandwidth))
+        sweep = run_sweep(_spec(iters))
+        dots = [(r.params["size"], r.value["bandwidth"]) for r in sweep]
         series.append(Series("measured", dots, marker="*"))
         # Dots must lie at or below the sharp ceiling.
         expectations["measured_dots_below_sharp_ceiling"] = all(

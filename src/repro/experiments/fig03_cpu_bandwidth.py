@@ -13,24 +13,50 @@ Paper observations reproduced and checked here:
   Frontier and only ~25 GB/s on Summit despite the 64 GB/s X-Bus.
 * the diagonal latency ceilings are *fitted from the measured data*, as in
   the paper (we fit LogGP parameters per runtime).
+
+The (machine x msg/sync x size x runtime) grid is declared as a
+:class:`~repro.sweep.spec.SweepSpec`; each point is one flood run.
 """
 
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentReport
-from repro.machines import frontier_cpu, perlmutter_cpu, summit_cpu
+from repro.machines.registry import get_machine
 from repro.roofline import fit_loggp
+from repro.roofline.fit import FloodSample
+from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.flood import run_flood
 
 __all__ = ["run_fig03"]
 
-_MACHINES = {
-    "perlmutter-cpu": perlmutter_cpu,
-    "frontier-cpu": frontier_cpu,
-    "summit-cpu": summit_cpu,
-}
 _SIZES = (64, 1024, 16384, 262144, 4194304)
 _NS = (1, 16, 256)
+_RUNTIMES = ("two_sided", "one_sided")
+
+
+def _point(params, seed):
+    r = run_flood(
+        get_machine(params["machine"]),
+        params["runtime"],
+        params["size"],
+        params["msgs"],
+        iters=params["iters"],
+    )
+    return {"bandwidth": r.bandwidth}
+
+
+def _spec(machines: tuple[str, ...], iters: int) -> SweepSpec:
+    return SweepSpec(
+        name="fig03",
+        runner=_point,
+        axes={
+            "machine": machines,
+            "msgs": _NS,
+            "size": _SIZES,
+            "runtime": _RUNTIMES,
+        },
+        common={"iters": iters},
+    )
 
 
 def run_fig03(
@@ -38,21 +64,37 @@ def run_fig03(
     machines: tuple[str, ...] = ("perlmutter-cpu", "frontier-cpu", "summit-cpu"),
     iters: int = 2,
 ) -> ExperimentReport:
+    sweep = run_sweep(_spec(machines, iters))
+    results: dict[tuple[str, str, int, int], float] = {
+        (p["machine"], p["runtime"], p["size"], p["msgs"]): r.value["bandwidth"]
+        for r in sweep
+        for p in [r.params]
+    }
+    return _summarize(machines, results)
+
+
+def _summarize(
+    machines: tuple[str, ...],
+    results: dict[tuple[str, str, int, int], float],
+) -> ExperimentReport:
     headers = ["machine", "B (bytes)", "msg/sync", "two-sided GB/s", "one-sided GB/s",
                "one/two"]
     rows = []
-    results: dict[tuple[str, str, int, int], float] = {}
     samples: dict[tuple[str, str], list] = {}
     for mname in machines:
-        factory = _MACHINES[mname]
         for n in _NS:
             for B in _SIZES:
-                bw = {}
-                for runtime in ("two_sided", "one_sided"):
-                    r = run_flood(factory(), runtime, B, n, iters=iters)
-                    bw[runtime] = r.bandwidth
-                    results[(mname, runtime, B, n)] = r.bandwidth
-                    samples.setdefault((mname, runtime), []).append(r.as_sample())
+                bw = {
+                    runtime: results[(mname, runtime, B, n)]
+                    for runtime in _RUNTIMES
+                }
+                for runtime in _RUNTIMES:
+                    samples.setdefault((mname, runtime), []).append(
+                        FloodSample(
+                            nbytes=float(B), msgs_per_sync=n,
+                            bandwidth=bw[runtime],
+                        )
+                    )
                 rows.append(
                     [
                         mname,

@@ -12,44 +12,86 @@ observations reproduced and checked:
   peak 100 GB/s vs IF 32 GB/s);
 * remote atomic CAS: ~0.8 us on Perlmutter GPUs, ~1.0 us within a Summit
   island, ~1.6 us across the Summit sockets.
+
+The flood grid and the three CAS cases ride in one sweep; the CAS points
+are explicit (irregular) entries after the regular grid.
 """
 
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentReport
-from repro.machines import perlmutter_gpu, summit_gpu
+from repro.machines.registry import get_machine
+from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.flood import run_cas_flood, run_flood
 
 __all__ = ["run_fig04"]
 
 _SIZES = (64, 4096, 65536, 1048576)
 _NS = (1, 16, 256)
+_MACHINES = ("perlmutter-gpu", "summit-gpu")
+_CAS_CASES = (
+    # label -> (machine, nranks, target_rank)
+    ("perlmutter", "perlmutter-gpu", 2, 1),
+    ("summit-in-island", "summit-gpu", 2, 1),
+    ("summit-cross-socket", "summit-gpu", 6, 3),
+)
+
+
+def _point(params, seed):
+    machine = get_machine(params["machine"])
+    if params["kind"] == "flood":
+        r = run_flood(
+            machine, "shmem", params["size"], params["msgs"],
+            iters=params["iters"],
+        )
+        return {
+            "bandwidth": r.bandwidth,
+            "latency_per_message": r.latency_per_message,
+        }
+    c = run_cas_flood(
+        machine, "shmem", nranks=params["nranks"], target_rank=params["target"]
+    )
+    return {"ops": c["ops"], "latency_per_cas": c["latency_per_cas"]}
+
+
+def _spec(iters: int) -> SweepSpec:
+    points = [
+        {"kind": "flood", "machine": m, "msgs": n, "size": B, "iters": iters}
+        for m in _MACHINES
+        for n in _NS
+        for B in _SIZES
+    ]
+    points += [
+        {"kind": "cas", "label": label, "machine": m, "nranks": nranks,
+         "target": target}
+        for label, m, nranks, target in _CAS_CASES
+    ]
+    return SweepSpec(name="fig04", runner=_point, points=points)
 
 
 def run_fig04(*, iters: int = 2) -> ExperimentReport:
+    sweep = run_sweep(_spec(iters))
     headers = ["machine", "B (bytes)", "msg/sync", "GB/s", "us/msg"]
     rows = []
     lat: dict[tuple[str, int, int], float] = {}
     bw: dict[tuple[str, int, int], float] = {}
-    for mname, factory in (("perlmutter-gpu", perlmutter_gpu), ("summit-gpu", summit_gpu)):
-        for n in _NS:
-            for B in _SIZES:
-                r = run_flood(factory(), "shmem", B, n, iters=iters)
-                rows.append(
-                    [mname, B, n, r.bandwidth / 1e9, r.latency_per_message * 1e6]
-                )
-                lat[(mname, B, n)] = r.latency_per_message
-                bw[(mname, B, n)] = r.bandwidth
-
-    cas = {
-        "perlmutter": run_cas_flood(perlmutter_gpu(), "shmem"),
-        "summit-in-island": run_cas_flood(summit_gpu(), "shmem", target_rank=1),
-        "summit-cross-socket": run_cas_flood(
-            summit_gpu(), "shmem", nranks=6, target_rank=3
-        ),
-    }
-    for name, c in cas.items():
-        rows.append([f"CAS {name}", 8, c["ops"], 0.0, c["latency_per_cas"] * 1e6])
+    cas: dict[str, dict[str, float]] = {}
+    for r in sweep:
+        p = r.params
+        if p["kind"] == "flood":
+            rows.append(
+                [p["machine"], p["size"], p["msgs"],
+                 r.value["bandwidth"] / 1e9,
+                 r.value["latency_per_message"] * 1e6]
+            )
+            lat[(p["machine"], p["size"], p["msgs"])] = r.value["latency_per_message"]
+            bw[(p["machine"], p["size"], p["msgs"])] = r.value["bandwidth"]
+        else:
+            cas[p["label"]] = r.value
+            rows.append(
+                [f"CAS {p['label']}", 8, r.value["ops"], 0.0,
+                 r.value["latency_per_cas"] * 1e6]
+            )
 
     p1 = lat[("perlmutter-gpu", 64, 1)] * 1e6
     pn = lat[("perlmutter-gpu", 64, max(_NS))] * 1e6

@@ -9,61 +9,78 @@ Paper observations reproduced and checked:
   parallelism (the paper: ~30 GB/s vs ~20 GB/s and 80 blocks/GPU);
 * stencil is insensitive to the Summit on-node GPU topology — it scales
   across both islands (BSP tolerates the dumbbell).
+
+The (machine, runtime, P) cases form the sweep grid; each point runs one
+stencil simulation.
 """
 
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentReport
-from repro.machines import perlmutter_cpu, perlmutter_gpu, summit_cpu, summit_gpu
+from repro.machines.registry import get_machine
+from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.stencil import StencilConfig, run_stencil
 
 __all__ = ["run_fig05"]
 
+_CPU_PS = (4, 16, 64, 128)
+
+# (machine, runtime, P) in the figure's presentation order.  32 is the
+# largest power-of-two rank count on Summit's 42 cores that divides the
+# paper's 16384 grid evenly.  two_sided on the GPU machine is
+# host-initiated CUDA-aware MPI: every halo exchange pays a device sync +
+# host MPI + relaunch.
+_CASES = (
+    *[("perlmutter-cpu", runtime, P)
+      for P in _CPU_PS for runtime in ("two_sided", "one_sided")],
+    *[("summit-cpu", "two_sided", P) for P in (16, 32)],
+    *[("perlmutter-gpu", runtime, P)
+      for P in (2, 4) for runtime in ("shmem", "two_sided")],
+    *[("summit-gpu", "shmem", P) for P in (2, 6)],
+)
+
+
+def _point(params, seed):
+    cfg = StencilConfig(
+        nx=params["nx"], ny=params["nx"], iters=params["iters"], mode="simulate"
+    )
+    res = run_stencil(
+        get_machine(params["machine"]), params["runtime"], cfg, params["P"]
+    )
+    return {
+        "time": res.time,
+        "halo_max": max(res.extras["halo_bytes"].values()),
+    }
+
+
+def _spec(nx: int, iters: int) -> SweepSpec:
+    return SweepSpec(
+        name="fig05",
+        runner=_point,
+        points=[
+            {"machine": m, "runtime": runtime, "P": P}
+            for m, runtime, P in _CASES
+        ],
+        common={"nx": nx, "iters": iters},
+    )
+
 
 def run_fig05(*, nx: int = 16384, iters: int = 5) -> ExperimentReport:
-    cfg = StencilConfig(nx=nx, ny=nx, iters=iters, mode="simulate")
+    sweep = run_sweep(_spec(nx, iters))
     headers = ["machine", "variant", "P", "time (ms)", "msg bytes"]
     rows = []
     t: dict[tuple[str, str, int], float] = {}
-
-    cpu_ps = (4, 16, 64, 128)
-    for P in cpu_ps:
-        for runtime in ("two_sided", "one_sided"):
-            res = run_stencil(perlmutter_cpu(), runtime, cfg, P)
-            t[("perlmutter-cpu", runtime, P)] = res.time
-            rows.append(
-                [
-                    "perlmutter-cpu",
-                    runtime,
-                    P,
-                    res.time * 1e3,
-                    max(res.extras["halo_bytes"].values()),
-                ]
-            )
-    for P in (16, 32):
-        # 32 is the largest power-of-two rank count on Summit's 42 cores
-        # that divides the paper's 16384 grid evenly.
-        res = run_stencil(summit_cpu(), "two_sided", cfg, P)
-        t[("summit-cpu", "two_sided", P)] = res.time
-        rows.append(["summit-cpu", "two_sided", P, res.time * 1e3,
-                     max(res.extras["halo_bytes"].values())])
-    for P in (2, 4):
-        for runtime in ("shmem", "two_sided"):
-            # two_sided on the GPU machine is host-initiated CUDA-aware MPI:
-            # every halo exchange pays a device sync + host MPI + relaunch.
-            res = run_stencil(perlmutter_gpu(), runtime, cfg, P)
-            t[("perlmutter-gpu", runtime, P)] = res.time
-            rows.append(["perlmutter-gpu", runtime, P, res.time * 1e3,
-                         max(res.extras["halo_bytes"].values())])
-    for P in (2, 6):
-        res = run_stencil(summit_gpu(), "shmem", cfg, P)
-        t[("summit-gpu", "shmem", P)] = res.time
-        rows.append(["summit-gpu", "shmem", P, res.time * 1e3,
-                     max(res.extras["halo_bytes"].values())])
+    for r in sweep:
+        p = r.params
+        t[(p["machine"], p["runtime"], p["P"])] = r.value["time"]
+        rows.append(
+            [p["machine"], p["runtime"], p["P"], r.value["time"] * 1e3,
+             r.value["halo_max"]]
+        )
 
     two_vs_one = [
         t[("perlmutter-cpu", "one_sided", P)] / t[("perlmutter-cpu", "two_sided", P)]
-        for P in cpu_ps
+        for P in _CPU_PS
     ]
     expectations = {
         "CPU: one-sided == two-sided (within 10%)": all(

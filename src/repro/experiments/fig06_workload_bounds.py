@@ -11,96 +11,135 @@ Message Roofline.  Checked paper numbers:
   (one op) vs one-sided ~5 us (four ops);
 * (c) HashTable: with ~100 msgs/sync the two-sided per-message time is
   ~0.3 us; one-sided sustains one CAS per ~2 us.
+
+The sweep carries one analytic bound point per workload profile plus the
+two measured calibration points (a stencil-like flood and a CAS stream).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.experiments.report import ExperimentReport
-from repro.machines import perlmutter_cpu
-from repro.roofline import MessageRoofline, WorkloadProfile, bound_workload
+from repro.machines.registry import get_machine
+from repro.roofline import WorkloadProfile, bound_workload
+from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.flood import run_cas_flood, run_flood
 
 __all__ = ["run_fig06"]
 
+_STENCIL_SIZES = tuple(float(2**k) for k in range(13, 17))
+
+# Profile name -> (sizes, msgs_per_sync, sided, ops_per_message).  Stencil
+# one-sided runs four puts inside a fence pair — the completion sequence
+# amortises over the sync (ops_per_message=1).
+_PROFILES = {
+    "stencil/two": ("stencil", _STENCIL_SIZES, 4, "two", 2),
+    "stencil/one": ("stencil", _STENCIL_SIZES, 4, "one", 1),
+    "sptrsv/two": ("sptrsv", (24.0, 800.0, 1040.0), 1, "two", 2),
+    "sptrsv/one": ("sptrsv", (24.0, 800.0, 1040.0), 1, "one", 4),
+    "hashtable/two": ("hashtable", (24.0,), 100, "two", 2),
+}
+
+
+def _point(params, seed):
+    machine = get_machine(params["machine"])
+    kind = params["kind"]
+    if kind == "bound":
+        prof = WorkloadProfile(
+            params["workload"],
+            tuple(params["sizes"]),
+            msgs_per_sync=params["msgs"],
+            sided=params["sided"],
+            ops_per_message=params["ops"],
+        )
+        runtime = "one_sided" if prof.sided == "one" else "two_sided"
+        wb = bound_workload(machine, runtime, prof)
+        return {
+            "rows": [dict(r) for r in wb.rows()],
+            "time_per_sync": list(wb.time_per_sync),
+            # The bound at the profile's largest size and the stencil's 4
+            # msgs/sync — the convergence check's operand.
+            "bw_at_max_size_n4": float(
+                wb.roofline.bandwidth(max(params["sizes"]), 4)
+            ),
+        }
+    if kind == "flood":
+        r = run_flood(
+            machine, params["runtime"], params["size"], params["msgs"],
+            iters=params["iters"],
+        )
+        return {"bandwidth": r.bandwidth}
+    c = run_cas_flood(machine, params["runtime"])
+    return {"latency_per_cas": c["latency_per_cas"]}
+
+
+def _spec(iters: int) -> SweepSpec:
+    points = [
+        {"kind": "bound", "profile": name, "workload": wl, "sizes": list(sizes),
+         "msgs": msgs, "sided": sided, "ops": ops}
+        for name, (wl, sizes, msgs, sided, ops) in _PROFILES.items()
+    ]
+    points += [
+        {"kind": "flood", "runtime": "two_sided", "size": 2**16, "msgs": 4,
+         "iters": iters},
+        {"kind": "cas", "runtime": "one_sided"},
+    ]
+    return SweepSpec(
+        name="fig06",
+        runner=_point,
+        points=points,
+        common={"machine": "perlmutter-cpu"},
+    )
+
 
 def run_fig06(*, iters: int = 2) -> ExperimentReport:
-    machine = perlmutter_cpu()
-    stencil_sizes = tuple(float(2**k) for k in range(13, 17))
-    profiles = {
-        "stencil/two": WorkloadProfile(
-            "stencil", stencil_sizes, msgs_per_sync=4, sided="two", ops_per_message=2
-        ),
-        # Stencil one-sided: four puts inside a fence pair — the completion
-        # sequence amortises over the sync (ops_per_message=1).
-        "stencil/one": WorkloadProfile(
-            "stencil", stencil_sizes, msgs_per_sync=4, sided="one", ops_per_message=1
-        ),
-        "sptrsv/two": WorkloadProfile(
-            "sptrsv", (24.0, 800.0, 1040.0), msgs_per_sync=1, sided="two",
-            ops_per_message=2,
-        ),
-        "sptrsv/one": WorkloadProfile(
-            "sptrsv", (24.0, 800.0, 1040.0), msgs_per_sync=1, sided="one",
-            ops_per_message=4,
-        ),
-        "hashtable/two": WorkloadProfile(
-            "hashtable", (24.0,), msgs_per_sync=100, sided="two", ops_per_message=2
-        ),
-    }
+    sweep = run_sweep(_spec(iters))
+    bounds: dict[str, dict] = {}
+    stencil_bw = cas_lat = None
+    for r in sweep:
+        kind = r.params["kind"]
+        if kind == "bound":
+            bounds[r.params["profile"]] = r.value
+        elif kind == "flood":
+            stencil_bw = r.value["bandwidth"]
+        else:
+            cas_lat = r.value["latency_per_cas"]
+
     headers = ["profile", "B (bytes)", "msg/sync", "bound GB/s", "us/sync",
                "frac of peak"]
     rows = []
-    bounds = {}
-    for name, prof in profiles.items():
-        runtime = "one_sided" if prof.sided == "one" else "two_sided"
-        wb = bound_workload(machine, runtime, prof)
-        bounds[name] = wb
-        for r in wb.rows():
+    for name in _PROFILES:
+        for row in bounds[name]["rows"]:
             rows.append(
                 [
                     name,
-                    int(r["message_size_B"]),
-                    int(r["msgs_per_sync"]),
-                    r["bound_GBps"],
-                    r["time_per_sync_us"],
-                    r["fraction_of_peak"],
+                    int(row["message_size_B"]),
+                    int(row["msgs_per_sync"]),
+                    row["bound_GBps"],
+                    row["time_per_sync_us"],
+                    row["fraction_of_peak"],
                 ]
             )
 
     # Measured dots to compare against the bounds.
-    measured_notes = []
-    stencil_meas = run_flood(perlmutter_cpu(), "two_sided", 2**16, 4, iters=iters)
-    cas = run_cas_flood(perlmutter_cpu(), "one_sided")
-    measured_notes.append(
+    measured_notes = [
         f"measured stencil-like flood (64 KiB x 4/sync): "
-        f"{stencil_meas.bandwidth / 1e9:.1f} GB/s"
-    )
-    measured_notes.append(
-        f"measured one-sided CAS: {cas['latency_per_cas'] * 1e6:.2f} us "
-        f"(paper: one CAS per ~2 us => 500K GUPS/rank bound)"
-    )
+        f"{stencil_bw / 1e9:.1f} GB/s",
+        f"measured one-sided CAS: {cas_lat * 1e6:.2f} us "
+        f"(paper: one CAS per ~2 us => 500K GUPS/rank bound)",
+    ]
 
-    sptrsv_two_us = bounds["sptrsv/two"].time_per_sync[0] * 1e6
-    sptrsv_one_us = bounds["sptrsv/one"].time_per_sync[0] * 1e6
-    ht_msg_us = (
-        bounds["hashtable/two"].time_per_sync[0] / 100 * 1e6
-    )
-    conv_size = stencil_sizes[-1]
-    two_bw = float(
-        bounds["stencil/two"].roofline.bandwidth(conv_size, 4)
-    )
-    one_bw = float(
-        bounds["stencil/one"].roofline.bandwidth(conv_size, 4)
-    )
+    sptrsv_two_us = bounds["sptrsv/two"]["time_per_sync"][0] * 1e6
+    sptrsv_one_us = bounds["sptrsv/one"]["time_per_sync"][0] * 1e6
+    ht_msg_us = bounds["hashtable/two"]["time_per_sync"][0] / 100 * 1e6
+    two_bw = bounds["stencil/two"]["bw_at_max_size_n4"]
+    one_bw = bounds["stencil/one"]["bw_at_max_size_n4"]
     expectations = {
         "sptrsv: two-sided per-sync ~3.3 us": 2.6 <= sptrsv_two_us <= 4.2,
         "sptrsv: one-sided per-sync ~5 us": 4.0 <= sptrsv_one_us <= 6.5,
         "sptrsv: one-sided bound worse than two-sided": sptrsv_one_us > sptrsv_two_us,
         "hashtable: two-sided ~0.3 us/msg at 100 msg/sync": 0.2 <= ht_msg_us <= 0.8,
         "hashtable: one CAS per ~2 us": (
-            1.6 <= cas["latency_per_cas"] * 1e6 <= 2.6
+            1.6 <= cas_lat * 1e6 <= 2.6
         ),
         "stencil: variants converge at 2^16 (within 20%)": (
             abs(one_bw / two_bw - 1.0) < 0.2

@@ -5,13 +5,17 @@ so the effective per-message cost ranks HashTable (1e6 msg/sync, smallest)
 < Stencil (4 msg/sync) < SpTRSV (1 msg/sync, largest).  We measure the
 three workloads' per-message latency on Perlmutter (GPU runtime, as in the
 figure) and on the CPU and check the ordering.
+
+Each (machine, workload) operating point is one sweep point evaluating
+the analytic rounded model.
 """
 
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentReport
-from repro.machines import perlmutter_cpu, perlmutter_gpu
+from repro.machines.registry import get_machine
 from repro.roofline import MessageRoofline
+from repro.sweep import SweepSpec, run_sweep
 
 __all__ = ["run_fig07"]
 
@@ -22,24 +26,46 @@ _WORKLOAD_POINTS = {
     "hashtable": (8.0, 1_000_000),
 }
 
+_MACHINE_RUNTIMES = (
+    ("perlmutter-gpu", "shmem", "shmem"),
+    ("perlmutter-cpu", "one_sided", "one"),
+)
+
+
+def _point(params, seed):
+    machine = get_machine(params["machine"])
+    loggp = machine.loggp(
+        params["runtime"], 0, 1, nranks=2, placement="spread",
+        sided=params["sided"], ops_per_message=4,
+    )
+    roofline = MessageRoofline(loggp)
+    us = float(roofline.latency_per_message(params["size"], params["msgs"])) * 1e6
+    return {"us_per_message": us}
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        name="fig07",
+        runner=_point,
+        points=[
+            {"machine": mname, "runtime": runtime, "sided": sided,
+             "workload": wl, "size": B, "msgs": n}
+            for mname, runtime, sided in _MACHINE_RUNTIMES
+            for wl, (B, n) in _WORKLOAD_POINTS.items()
+        ],
+    )
+
 
 def run_fig07() -> ExperimentReport:
+    sweep = run_sweep(_spec())
     headers = ["workload", "machine", "B (bytes)", "msg/sync", "us/message"]
     rows = []
     lat: dict[tuple[str, str], float] = {}
-    for mname, machine, runtime, sided in (
-        ("perlmutter-gpu", perlmutter_gpu(), "shmem", "shmem"),
-        ("perlmutter-cpu", perlmutter_cpu(), "one_sided", "one"),
-    ):
-        params = machine.loggp(
-            runtime, 0, 1, nranks=2, placement="spread", sided=sided,
-            ops_per_message=4,
-        )
-        roofline = MessageRoofline(params)
-        for wl, (B, n) in _WORKLOAD_POINTS.items():
-            us_per_msg = float(roofline.latency_per_message(B, n)) * 1e6
-            lat[(wl, mname)] = us_per_msg
-            rows.append([wl, mname, int(B), n, us_per_msg])
+    for r in sweep:
+        p = r.params
+        us = r.value["us_per_message"]
+        lat[(p["workload"], p["machine"])] = us
+        rows.append([p["workload"], p["machine"], int(p["size"]), p["msgs"], us])
 
     expectations = {
         "hashtable latency < stencil latency (GPU)": (

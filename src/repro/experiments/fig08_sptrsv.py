@@ -11,39 +11,70 @@ Paper observations reproduced and checked:
 * SpTRSV scales on Perlmutter GPUs (NVLink3: lower latency, 2x bandwidth)
   but not on Summit GPUs — at 4 GPUs Perlmutter is ~3.7x faster;
 * Summit CPUs scale to 32 ranks, then contention degrades 42.
+
+Each (machine, runtime, P) case is a sweep point; the synthetic matrix is
+regenerated inside the point runner from its (deterministic) spec, so
+points are independent and parallelise freely.
 """
 
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentReport
-from repro.machines import perlmutter_cpu, perlmutter_gpu, summit_cpu, summit_gpu
+from repro.machines.registry import get_machine
+from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.sptrsv import MatrixSpec, generate_matrix, run_sptrsv
 
 __all__ = ["run_fig08"]
 
+_CASES = (
+    *[("perlmutter-cpu", runtime, P)
+      for P in (1, 4, 16, 32) for runtime in ("two_sided", "one_sided")],
+    *[("summit-cpu", "two_sided", P) for P in (4, 16, 32, 42)],
+    *[("perlmutter-gpu", "shmem", P) for P in (1, 2, 4)],
+    *[("summit-gpu", "shmem", P) for P in (1, 2, 4, 6)],
+)
+
+
+def _matrix(params):
+    return generate_matrix(
+        MatrixSpec(
+            n_supernodes=params["n_supernodes"],
+            width_lo=3,
+            width_hi=130,
+            seed=params["seed"],
+        )
+    )
+
+
+def _point(params, seed):
+    res = run_sptrsv(
+        get_machine(params["machine"]), params["runtime"], _matrix(params),
+        params["P"],
+    )
+    return {"time": res.time}
+
+
+def _spec(n_supernodes: int, seed: int) -> SweepSpec:
+    return SweepSpec(
+        name="fig08",
+        runner=_point,
+        points=[
+            {"machine": m, "runtime": runtime, "P": P}
+            for m, runtime, P in _CASES
+        ],
+        common={"n_supernodes": n_supernodes, "seed": seed},
+    )
+
 
 def run_fig08(*, n_supernodes: int = 220, seed: int = 2) -> ExperimentReport:
-    matrix = generate_matrix(
-        MatrixSpec(n_supernodes=n_supernodes, width_lo=3, width_hi=130, seed=seed)
-    )
+    sweep = run_sweep(_spec(n_supernodes, seed))
     headers = ["machine", "variant", "P", "time (ms)"]
     rows = []
     t: dict[tuple[str, str, int], float] = {}
-
-    def record(mname, factory, runtime, P):
-        res = run_sptrsv(factory(), runtime, matrix, P)
-        t[(mname, runtime, P)] = res.time
-        rows.append([mname, runtime, P, res.time * 1e3])
-
-    for P in (1, 4, 16, 32):
-        record("perlmutter-cpu", perlmutter_cpu, "two_sided", P)
-        record("perlmutter-cpu", perlmutter_cpu, "one_sided", P)
-    for P in (4, 16, 32, 42):
-        record("summit-cpu", summit_cpu, "two_sided", P)
-    for P in (1, 2, 4):
-        record("perlmutter-gpu", perlmutter_gpu, "shmem", P)
-    for P in (1, 2, 4, 6):
-        record("summit-gpu", summit_gpu, "shmem", P)
+    for r in sweep:
+        p = r.params
+        t[(p["machine"], p["runtime"], p["P"])] = r.value["time"]
+        rows.append([p["machine"], p["runtime"], p["P"], r.value["time"] * 1e3])
 
     ratio_4gpu = t[("summit-gpu", "shmem", 4)] / t[("perlmutter-gpu", "shmem", 4)]
     expectations = {
@@ -72,6 +103,8 @@ def run_fig08(*, n_supernodes: int = 220, seed: int = 2) -> ExperimentReport:
             > t[("summit-cpu", "two_sided", 32)] * 0.93
         ),
     }
+    # Regenerate once (deterministic) for the title's size/nnz stamp.
+    matrix = _matrix({"n_supernodes": n_supernodes, "seed": seed})
     return ExperimentReport(
         experiment="fig08",
         title="SpTRSV time (synthetic supernodal matrix, "

@@ -10,37 +10,61 @@ Paper observations reproduced and checked:
   cross-socket CAS costs ~1.6 us against ~1.0 us within the island, and
   cross-socket atomic throughput saturates the X-Bus;
 * Perlmutter GPUs (0.8 us CAS, all-to-all NVLink3) keep scaling to 4 GPUs.
+
+Each (machine, runtime, P) case is an independent sweep point.
 """
 
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentReport
-from repro.machines import perlmutter_cpu, perlmutter_gpu, summit_gpu
+from repro.machines.registry import get_machine
+from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.hashtable import HashTableConfig, run_hashtable
 
 __all__ = ["run_fig09"]
 
+_CASES = (
+    *[("perlmutter-cpu", runtime, P)
+      for P in (2, 8, 32, 128) for runtime in ("one_sided", "two_sided")],
+    *[("perlmutter-gpu", "shmem", P) for P in (1, 2, 4)],
+    *[("summit-gpu", "shmem", P) for P in (1, 3, 4, 6)],
+)
+
+
+def _point(params, seed):
+    cfg = HashTableConfig(
+        total_inserts=params["total_inserts"], seed=params["seed"]
+    )
+    res = run_hashtable(
+        get_machine(params["machine"]), params["runtime"], cfg, params["P"]
+    )
+    return {"time": res.time, "gups": res.extras["gups"]}
+
+
+def _spec(total_inserts: int, seed: int) -> SweepSpec:
+    return SweepSpec(
+        name="fig09",
+        runner=_point,
+        points=[
+            {"machine": m, "runtime": runtime, "P": P}
+            for m, runtime, P in _CASES
+        ],
+        common={"total_inserts": total_inserts, "seed": seed},
+    )
+
 
 def run_fig09(*, total_inserts: int = 8000, seed: int = 5) -> ExperimentReport:
-    cfg = HashTableConfig(total_inserts=total_inserts, seed=seed)
+    sweep = run_sweep(_spec(total_inserts, seed))
     headers = ["machine", "variant", "P", "time (ms)", "KUPS"]
     rows = []
     t: dict[tuple[str, str, int], float] = {}
-
-    def record(mname, factory, runtime, P):
-        res = run_hashtable(factory(), runtime, cfg, P)
-        t[(mname, runtime, P)] = res.time
+    for r in sweep:
+        p = r.params
+        t[(p["machine"], p["runtime"], p["P"])] = r.value["time"]
         rows.append(
-            [mname, runtime, P, res.time * 1e3, res.extras["gups"] * 1e6]
+            [p["machine"], p["runtime"], p["P"], r.value["time"] * 1e3,
+             r.value["gups"] * 1e6]
         )
-
-    for P in (2, 8, 32, 128):
-        record("perlmutter-cpu", perlmutter_cpu, "one_sided", P)
-        record("perlmutter-cpu", perlmutter_cpu, "two_sided", P)
-    for P in (1, 2, 4):
-        record("perlmutter-gpu", perlmutter_gpu, "shmem", P)
-    for P in (1, 3, 4, 6):
-        record("summit-gpu", summit_gpu, "shmem", P)
 
     speedup_128 = (
         t[("perlmutter-cpu", "two_sided", 128)]

@@ -6,6 +6,9 @@ messages stripes them across the NVLink port group and gets up to ~2.9x
 speedup once V exceeds ~131 KB.  Both the analytic
 :class:`~repro.roofline.split.SplitModel` and fabric-simulator
 measurements are reported.
+
+The simulator measurements form the sweep (one point per (volume, split)
+pair); the analytic model is evaluated in the summarize step.
 """
 
 from __future__ import annotations
@@ -14,17 +17,19 @@ import numpy as np
 
 from repro.comm.job import Job
 from repro.experiments.report import ExperimentReport
-from repro.machines import perlmutter_gpu
+from repro.machines.registry import get_machine
 from repro.roofline import SplitModel
+from repro.sweep import SweepSpec, run_sweep
 
 __all__ = ["run_fig10"]
 
 _VOLUMES = tuple(int(2.0**k) for k in range(12, 25))  # 4 KiB .. 16 MiB
 
 
-def _measure_split(volume: int, k: int) -> float:
-    """Simulated time to move ``volume`` bytes as ``k`` concurrent puts."""
-    machine = perlmutter_gpu()
+def _point(params, seed):
+    """Simulated time to move ``volume`` bytes as ``split`` concurrent puts."""
+    volume, k = params["volume"], params["split"]
+    machine = get_machine(params["machine"])
     job = Job(machine, 2, "shmem", placement="spread")
     win = job.window(max(volume // 8, 1), dtype=np.float64)
     sig = job.window(max(k, 1), dtype=np.uint64)
@@ -48,11 +53,27 @@ def _measure_split(volume: int, k: int) -> float:
         return ctx.sim.now - t0
 
     res = job.run(program)
-    return res.results[1]
+    return {"time": res.results[1]}
+
+
+def _spec(k: int) -> SweepSpec:
+    return SweepSpec(
+        name="fig10",
+        runner=_point,
+        axes={"volume": _VOLUMES, "split": (1, k)},
+        common={"machine": "perlmutter-gpu"},
+    )
 
 
 def run_fig10(*, k: int = 4, measured: bool = True) -> ExperimentReport:
-    model = SplitModel.from_machine(perlmutter_gpu(), "gpu0", "gpu1")
+    model = SplitModel.from_machine(get_machine("perlmutter-gpu"), "gpu0", "gpu1")
+    measured_time: dict[tuple[int, int], float] = {}
+    if measured:
+        for r in run_sweep(_spec(k)):
+            measured_time[(r.params["volume"], r.params["split"])] = (
+                r.value["time"]
+            )
+
     headers = ["volume (bytes)", "model 1-msg (us)", f"model {k}-msg (us)",
                "model speedup", "measured speedup"]
     rows = []
@@ -62,7 +83,7 @@ def run_fig10(*, k: int = 4, measured: bool = True) -> ExperimentReport:
         tk = float(model.time(V, k))
         m = float("nan")
         if measured:
-            m = _measure_split(V, 1) / _measure_split(V, k)
+            m = measured_time[(V, 1)] / measured_time[(V, k)]
             measured_speedups[V] = m
         rows.append([V, t1 * 1e6, tk * 1e6, t1 / tk, m])
 

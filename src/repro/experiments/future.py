@@ -2,11 +2,10 @@
 
 The paper excluded Frontier's MI250X GPUs because ROC_SHMEM lacked
 ``wait_until_any`` and names extending the Message Roofline to AMD GPUs as
-future work.  This experiment runs that projection: the
-:func:`~repro.machines.frontier.frontier_gpu_projection` machine models
-ROC_SHMEM with the wait *emulated in software* (a device polling loop, the
-same cost structure as the paper's Listing 1), and the three workloads are
-compared against Perlmutter's A100s.
+future work.  This experiment runs that projection: the ``frontier-gpu``
+registry projection models ROC_SHMEM with the wait *emulated in software*
+(a device polling loop, the same cost structure as the paper's Listing 1),
+and the three workloads are compared against Perlmutter's A100s.
 
 Projected findings (checked as expectations):
 
@@ -17,45 +16,69 @@ Projected findings (checked as expectations):
   and not scaling at all;
 * the hashtable is wait-free (pure atomics), so it is insensitive to the
   missing primitive.
+
+Each (machine, P, workload) cell is one sweep point; the SpTRSV matrix is
+regenerated deterministically inside the runner.
 """
 
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentReport
-from repro.machines import perlmutter_gpu
-from repro.machines.frontier import frontier_gpu_projection
+from repro.machines.registry import get_machine
+from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.hashtable import HashTableConfig, run_hashtable
 from repro.workloads.sptrsv import MatrixSpec, generate_matrix, run_sptrsv
 from repro.workloads.stencil import StencilConfig, run_stencil
 
 __all__ = ["run_future_frontier"]
 
+# Registry name -> display label ("*" marks the projection).
+_MACHINES = (
+    ("perlmutter-gpu", "perlmutter-gpu"),
+    ("frontier-gpu", "frontier-gpu*"),
+)
+
+
+def _point(params, seed):
+    machine = get_machine(params["machine"])
+    workload, P = params["workload"], params["P"]
+    if workload == "stencil":
+        cfg = StencilConfig(nx=8192, ny=8192, iters=5, mode="simulate")
+        res = run_stencil(machine, "shmem", cfg, P)
+    elif workload == "sptrsv":
+        matrix = generate_matrix(
+            MatrixSpec(n_supernodes=160, width_lo=3, width_hi=130, seed=6)
+        )
+        res = run_sptrsv(machine, "shmem", matrix, P)
+    else:
+        res = run_hashtable(
+            machine, "shmem", HashTableConfig(total_inserts=4000, seed=6), P
+        )
+    return {"time": res.time}
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        name="future_frontier",
+        runner=_point,
+        points=[
+            {"machine": mname, "label": label, "P": P, "workload": wl}
+            for mname, label in _MACHINES
+            for P in (1, 4)
+            for wl in ("stencil", "sptrsv", "hashtable")
+        ],
+    )
+
 
 def run_future_frontier() -> ExperimentReport:
+    sweep = run_sweep(_spec())
     headers = ["workload", "machine", "P", "time (ms)"]
     rows = []
     t: dict[tuple[str, str, int], float] = {}
-
-    stencil_cfg = StencilConfig(nx=8192, ny=8192, iters=5, mode="simulate")
-    matrix = generate_matrix(
-        MatrixSpec(n_supernodes=160, width_lo=3, width_hi=130, seed=6)
-    )
-    ht_cfg = HashTableConfig(total_inserts=4000, seed=6)
-
-    for mname, factory in (
-        ("perlmutter-gpu", perlmutter_gpu),
-        ("frontier-gpu*", frontier_gpu_projection),
-    ):
-        for P in (1, 4):
-            r = run_stencil(factory(), "shmem", stencil_cfg, P)
-            t[("stencil", mname, P)] = r.time
-            rows.append(["stencil", mname, P, r.time * 1e3])
-            r = run_sptrsv(factory(), "shmem", matrix, P)
-            t[("sptrsv", mname, P)] = r.time
-            rows.append(["sptrsv", mname, P, r.time * 1e3])
-            r = run_hashtable(factory(), "shmem", ht_cfg, P)
-            t[("hashtable", mname, P)] = r.time
-            rows.append(["hashtable", mname, P, r.time * 1e3])
+    for r in sweep:
+        p = r.params
+        t[(p["workload"], p["label"], p["P"])] = r.value["time"]
+        rows.append([p["workload"], p["label"], p["P"], r.value["time"] * 1e3])
 
     sptrsv_pm = t[("sptrsv", "perlmutter-gpu", 4)]
     sptrsv_fr = t[("sptrsv", "frontier-gpu*", 4)]

@@ -15,18 +15,24 @@ Checked findings: GPU-initiated wins at every size (no host round trips);
 a single-stream ring leaves 3/4 of the A100's port group idle and striping
 recovers it; V100's single fat link makes Summit competitive exactly until
 striping is enabled.
+
+Every (machine, size, variant) cell is one sweep point.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.comm import Job, allreduce
 from repro.comm.gpu_collectives import run_ring_allreduce
 from repro.experiments.report import ExperimentReport
-from repro.machines import perlmutter_gpu, summit_gpu
+from repro.machines.registry import get_machine
+from repro.sweep import SweepSpec, run_sweep
 
 __all__ = ["run_future_collectives"]
 
-import numpy as np
+_SIZES = (4096, 262144, 4_194_304)
+_VARIANTS = ("host-mpi", "gpu-ring", "gpu-ring-x4")
 
 
 def _host_allreduce_time(machine, nranks: int, nelems: int) -> float:
@@ -41,31 +47,47 @@ def _host_allreduce_time(machine, nranks: int, nelems: int) -> float:
     return max(job.run(program).results)
 
 
+def _point(params, seed):
+    machine = get_machine(params["machine"])
+    P, n = params["P"], params["nelems"]
+    if params["variant"] == "host-mpi":
+        time = _host_allreduce_time(machine, P, n)
+        algo_bw = 2 * (P - 1) / P * n * 8 / time
+    else:
+        stripes = 4 if params["variant"] == "gpu-ring-x4" else 1
+        out = run_ring_allreduce(machine, P, n, stripes=stripes)
+        time, algo_bw = out["time"], out["algo_bandwidth"]
+    return {"time": time, "algo_bandwidth": algo_bw}
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        name="future_collectives",
+        runner=_point,
+        axes={
+            "machine": ("perlmutter-gpu", "summit-gpu"),
+            "nelems": _SIZES,
+            "variant": _VARIANTS,
+        },
+        common={"P": 4},
+    )
+
+
 def run_future_collectives() -> ExperimentReport:
+    sweep = run_sweep(_spec())
     headers = ["machine", "variant", "elements", "time (us)", "algo GB/s"]
     rows = []
     t: dict[tuple[str, str, int], float] = {}
-    sizes = (4096, 262144, 4_194_304)
-    for mname, factory, P in (
-        ("perlmutter-gpu", perlmutter_gpu, 4),
-        ("summit-gpu", summit_gpu, 4),
-    ):
-        for n in sizes:
-            host = _host_allreduce_time(factory(), P, n)
-            t[(mname, "host-mpi", n)] = host
-            bytes_moved = 2 * (P - 1) / P * n * 8
-            rows.append([mname, "host-mpi", n, host * 1e6,
-                         bytes_moved / host / 1e9])
-            for variant, stripes in (("gpu-ring", 1), ("gpu-ring-x4", 4)):
-                out = run_ring_allreduce(factory(), P, n, stripes=stripes)
-                t[(mname, variant, n)] = out["time"]
-                rows.append(
-                    [mname, variant, n, out["time"] * 1e6,
-                     out["algo_bandwidth"] / 1e9]
-                )
+    for r in sweep:
+        p = r.params
+        t[(p["machine"], p["variant"], p["nelems"])] = r.value["time"]
+        rows.append(
+            [p["machine"], p["variant"], p["nelems"], r.value["time"] * 1e6,
+             r.value["algo_bandwidth"] / 1e9]
+        )
 
-    big = sizes[-1]
-    small = sizes[0]
+    big = _SIZES[-1]
+    small = _SIZES[0]
     expectations = {
         "GPU-initiated beats host-MPI at small sizes": all(
             t[(m, "gpu-ring", small)] < t[(m, "host-mpi", small)]

@@ -10,57 +10,79 @@ Checked expectations: inter-node bandwidth is NIC-bound (25 / 12.5 GB/s vs
 32 / 25 GB/s on-node); latency roughly doubles through the switch; the
 one-sided-vs-two-sided relationships survive the fabric change (one-sided
 still wins at high msg/sync on Cray MPI, still loses on Spectrum).
+
+Every (fabric, runtime, B, n) cell is one sweep point; cluster machines
+are assembled inside the point runner from the base machine's registry
+name plus a :data:`~repro.machines.cluster.FABRICS` key.
 """
 
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentReport
-from repro.machines import perlmutter_cpu, summit_cpu
-from repro.machines.cluster import INFINIBAND_EDR, SLINGSHOT11, make_cluster
+from repro.machines.cluster import FABRICS, make_cluster
+from repro.machines.registry import get_machine
+from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.flood import run_flood
 
 __all__ = ["run_internode"]
 
+# fabric label -> (base machine, FABRICS key or None for on-node, placement)
+_CASES = (
+    ("perlmutter on-node", "perlmutter-cpu", None, "spread"),
+    ("perlmutter SS-11", "perlmutter-cpu", "slingshot11", "block"),
+    ("summit on-node", "summit-cpu", None, "spread"),
+    ("summit IB-EDR", "summit-cpu", "infiniband-edr", "block"),
+)
+
+
+def _point(params, seed):
+    machine = get_machine(params["machine"])
+    if params["fabric_key"] is not None:
+        machine = make_cluster(machine, 2, FABRICS[params["fabric_key"]])
+    r = run_flood(
+        machine, params["runtime"], params["size"], params["msgs"],
+        iters=params["iters"], placement=params["placement"],
+    )
+    return {"bandwidth": r.bandwidth, "latency": r.latency_per_message}
+
+
+def _spec(iters: int) -> SweepSpec:
+    return SweepSpec(
+        name="internode",
+        runner=_point,
+        points=[
+            {"fabric": fabric, "machine": base, "fabric_key": key,
+             "placement": placement, "runtime": runtime, "size": B, "msgs": n}
+            for fabric, base, key, placement in _CASES
+            for runtime in ("two_sided", "one_sided")
+            for B in (64, 65536, 4194304)
+            for n in (1, 256)
+        ],
+        common={"iters": iters},
+    )
+
 
 def run_internode(*, iters: int = 2) -> ExperimentReport:
+    sweep = run_sweep(_spec(iters))
     headers = ["fabric", "runtime", "B (bytes)", "msg/sync", "GB/s", "us/msg"]
     rows = []
     bw: dict[tuple[str, str, int, int], float] = {}
     lat: dict[tuple[str, str, int, int], float] = {}
-
-    cases = [
-        ("perlmutter on-node", lambda: perlmutter_cpu(), "spread"),
-        (
-            "perlmutter SS-11",
-            lambda: make_cluster(perlmutter_cpu(), 2, SLINGSHOT11),
-            "block",
-        ),
-        ("summit on-node", lambda: summit_cpu(), "spread"),
-        (
-            "summit IB-EDR",
-            lambda: make_cluster(summit_cpu(), 2, INFINIBAND_EDR),
-            "block",
-        ),
-    ]
-    for fabric, factory, placement in cases:
-        for runtime in ("two_sided", "one_sided"):
-            for B in (64, 65536, 4194304):
-                for n in (1, 256):
-                    r = run_flood(
-                        factory(), runtime, B, n, iters=iters, placement=placement
-                    )
-                    bw[(fabric, runtime, B, n)] = r.bandwidth
-                    lat[(fabric, runtime, B, n)] = r.latency_per_message
-                    rows.append(
-                        [
-                            fabric,
-                            runtime,
-                            B,
-                            n,
-                            r.bandwidth / 1e9,
-                            r.latency_per_message * 1e6,
-                        ]
-                    )
+    for r in sweep:
+        p = r.params
+        key = (p["fabric"], p["runtime"], p["size"], p["msgs"])
+        bw[key] = r.value["bandwidth"]
+        lat[key] = r.value["latency"]
+        rows.append(
+            [
+                p["fabric"],
+                p["runtime"],
+                p["size"],
+                p["msgs"],
+                r.value["bandwidth"] / 1e9,
+                r.value["latency"] * 1e6,
+            ]
+        )
 
     big, hi_n = 4194304, 256
     expectations = {

@@ -1,19 +1,39 @@
-"""Table I (platforms) and Table II (workload characterisation) runners."""
+"""Table I (platforms) and Table II (workload characterisation) runners.
+
+Table I sweeps one point per registered machine; Table II is a single
+sweep point running the instrumented workloads on the chosen machine.
+"""
 
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentReport
-from repro.machines import get_machine, machine_names, table1_rows
+from repro.machines import get_machine, machine_names, table1_row
+from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.instrument import characterize_workloads
 
 __all__ = ["run_table1", "run_table2"]
 
 
+def _table1_point(params, seed):
+    name = params["machine"]
+    row = table1_row(name)
+    return {"row": row, "describe": get_machine(name).describe()}
+
+
+def _table1_spec() -> SweepSpec:
+    return SweepSpec(
+        name="table1",
+        runner=_table1_point,
+        points=[{"machine": name} for name in machine_names()],
+    )
+
+
 def run_table1() -> ExperimentReport:
     """Regenerate Table I from the machine registry."""
+    sweep = run_sweep(_table1_spec())
     rows = [
-        [r["machine"], r["gpus"], r["cpus/cores"], r["runtimes"], r["links"]]
-        for r in table1_rows()
+        [v["machine"], v["gpus"], v["cpus/cores"], v["runtimes"], v["links"]]
+        for v in (r.value["row"] for r in sweep)
     ]
     expectations = {
         "five platform views registered": len(rows) == 5,
@@ -28,7 +48,7 @@ def run_table1() -> ExperimentReport:
             if r[0].endswith("-cpu") and "gpu" not in r[0]
         ),
     }
-    notes = [get_machine(name).describe() for name in machine_names()]
+    notes = [r.value["describe"] for r in sweep]
     return ExperimentReport(
         experiment="table1",
         title="Evaluation platforms",
@@ -39,26 +59,44 @@ def run_table1() -> ExperimentReport:
     )
 
 
+def _table2_point(params, seed):
+    t2 = characterize_workloads(get_machine(params["machine"]))
+    return {
+        "cells": [r.cells() for r in t2],
+        "facts": {
+            r.workload: {"msgs_per_sync": r.msgs_per_sync, "pattern": r.pattern}
+            for r in t2
+        },
+    }
+
+
+def _table2_spec(machine_name: str) -> SweepSpec:
+    return SweepSpec(
+        name="table2",
+        runner=_table2_point,
+        points=[{"machine": machine_name}],
+    )
+
+
 def run_table2(machine_name: str = "perlmutter-cpu") -> ExperimentReport:
     """Regenerate Table II from instrumented workload runs."""
-    machine = get_machine(machine_name)
-    t2 = characterize_workloads(machine)
-    rows = [r.cells() for r in t2]
-    by_name = {r.workload: r for r in t2}
+    (result,) = run_sweep(_table2_spec(machine_name))
+    rows = [list(cells) for cells in result.value["cells"]]
+    facts = result.value["facts"]
     expectations = {
         "stencil: 4 messages per synchronization": (
-            by_name["Stencil"].msgs_per_sync.startswith("4")
+            facts["Stencil"]["msgs_per_sync"].startswith("4")
         ),
         "sptrsv: 1 message per synchronization": (
-            by_name["SpTRSV"].msgs_per_sync.startswith("1")
+            facts["SpTRSV"]["msgs_per_sync"].startswith("1")
         ),
         "hashtable: all inserts in one sync epoch": (
-            "all inserts" in by_name["Hashtable"].msgs_per_sync
+            "all inserts" in facts["Hashtable"]["msgs_per_sync"]
         ),
         "patterns match the paper": (
-            by_name["Stencil"].pattern == "BSP sync"
-            and by_name["SpTRSV"].pattern == "DAG async"
-            and by_name["Hashtable"].pattern == "Random async"
+            facts["Stencil"]["pattern"] == "BSP sync"
+            and facts["SpTRSV"]["pattern"] == "DAG async"
+            and facts["Hashtable"]["pattern"] == "Random async"
         ),
     }
     return ExperimentReport(

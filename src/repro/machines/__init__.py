@@ -1,14 +1,16 @@
 """Evaluation-platform models: Perlmutter, Frontier, Summit (Table I)."""
 
 from repro.machines.base import CommCosts, GpuSpec, MachineModel
-from repro.machines.cluster import INFINIBAND_EDR, SLINGSHOT11, make_cluster
+from repro.machines.cluster import FABRICS, INFINIBAND_EDR, SLINGSHOT11, make_cluster
 from repro.machines.frontier import frontier_cpu, frontier_gpu_projection
 from repro.machines.perlmutter import perlmutter_cpu, perlmutter_gpu
 from repro.machines.registry import (
     MACHINES,
     PROJECTIONS,
     get_machine,
+    machine_fingerprint,
     machine_names,
+    table1_row,
     table1_rows,
 )
 from repro.machines.summit import summit_cpu, summit_gpu
@@ -26,9 +28,12 @@ __all__ = [
     "make_cluster",
     "SLINGSHOT11",
     "INFINIBAND_EDR",
+    "FABRICS",
     "MACHINES",
     "PROJECTIONS",
     "get_machine",
+    "machine_fingerprint",
     "machine_names",
+    "table1_row",
     "table1_rows",
 ]

@@ -22,7 +22,7 @@ from repro.net.loggp import LinkParams
 from repro.net.topology import TopologySpec
 from repro.util.units import GBps, us
 
-__all__ = ["make_cluster", "SLINGSHOT11", "INFINIBAND_EDR"]
+__all__ = ["make_cluster", "FABRICS", "SLINGSHOT11", "INFINIBAND_EDR"]
 
 SLINGSHOT11 = LinkParams(
     latency=us(0.9), bandwidth=GBps(25), gap=us(0.05), name="Slingshot-11"
@@ -32,6 +32,13 @@ SLINGSHOT11 = LinkParams(
 INFINIBAND_EDR = LinkParams(
     latency=us(0.65), bandwidth=GBps(12.5), gap=us(0.08), name="IB EDR"
 )
+
+# Named fabric presets, so sweep points can reference an interconnect by a
+# plain JSON-able string (like machines are referenced by registry name).
+FABRICS: dict[str, LinkParams] = {
+    "slingshot11": SLINGSHOT11,
+    "infiniband-edr": INFINIBAND_EDR,
+}
 
 
 def _is_nic(endpoint: str) -> bool:

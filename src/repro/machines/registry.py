@@ -3,10 +3,19 @@
 Machines are constructed lazily and fresh on every call — a
 :class:`~repro.machines.base.MachineModel` carries mutable route caches and
 must not be shared across concurrently running simulations.
+
+This module is the single source of machine lookups: experiment point
+runners resolve registry *names* via :func:`get_machine` (projections
+included), and the sweep result cache fingerprints a machine's LogGP and
+topology parameters via :func:`machine_fingerprint` so recalibrating a
+platform invalidates exactly its cached points.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from collections.abc import Callable
 
 from repro.machines.base import MachineModel
@@ -18,7 +27,9 @@ __all__ = [
     "MACHINES",
     "PROJECTIONS",
     "get_machine",
+    "machine_fingerprint",
     "machine_names",
+    "table1_row",
     "table1_rows",
 ]
 
@@ -56,25 +67,59 @@ def machine_names(*, include_projections: bool = False) -> list[str]:
     return names
 
 
+def table1_row(name: str) -> dict[str, str]:
+    """One machine's row of the paper's Table I."""
+    m = get_machine(name)
+    gpus = f"{len(m.compute_endpoints)}x GPU" if m.is_gpu_machine else "-"
+    return {
+        "machine": m.name,
+        "gpus": gpus,
+        "cpus/cores": f"{len(m.compute_endpoints)}x{m.cores_per_endpoint}"
+        if not m.is_gpu_machine
+        else "host",
+        "runtimes": "+".join(sorted(m.runtimes)),
+        "links": "; ".join(
+            f"{k}: {v}" for k, v in sorted(m.nominal_link_specs.items())
+        ),
+    }
+
+
 def table1_rows() -> list[dict[str, str]]:
     """Rows of the paper's Table I, regenerated from the machine models."""
-    rows = []
-    for name in machine_names():
-        m = get_machine(name)
-        gpus = (
-            f"{len(m.compute_endpoints)}x GPU" if m.is_gpu_machine else "-"
-        )
-        rows.append(
-            {
-                "machine": m.name,
-                "gpus": gpus,
-                "cpus/cores": f"{len(m.compute_endpoints)}x{m.cores_per_endpoint}"
-                if not m.is_gpu_machine
-                else "host",
-                "runtimes": "+".join(sorted(m.runtimes)),
-                "links": "; ".join(
-                    f"{k}: {v}" for k, v in sorted(m.nominal_link_specs.items())
-                ),
-            }
-        )
-    return rows
+    return [table1_row(name) for name in machine_names()]
+
+
+def machine_fingerprint(name: str) -> str:
+    """Hash of everything that shapes a machine's simulated performance.
+
+    Covers the per-runtime software cost tables (the LogGP ``o``
+    components), every topology link's wire parameters, injection ports,
+    the loopback model, rank capacity, and the compute-rate/GPU
+    parameters.  Used by :class:`repro.sweep.cache.ResultCache` so cached
+    sweep points go stale the moment a machine model is recalibrated.
+    """
+    m = get_machine(name)
+    topo = m.topology
+    payload = {
+        "name": m.name,
+        "runtimes": {
+            k: dataclasses.asdict(v) for k, v in sorted(m.runtimes.items())
+        },
+        "links": {
+            "<->".join(sorted(key)): dataclasses.asdict(params)
+            for key, params in topo.links.items()
+        },
+        "injection": {
+            ep: dataclasses.asdict(params)
+            for ep, params in sorted(topo.injection.items())
+        },
+        "loopback": dataclasses.asdict(topo.loopback),
+        "compute_endpoints": list(m.compute_endpoints),
+        "cores_per_endpoint": m.cores_per_endpoint,
+        "mem_bandwidth_per_endpoint": m.mem_bandwidth_per_endpoint,
+        "mem_bandwidth_per_core": m.mem_bandwidth_per_core,
+        "flop_rate_per_core": m.flop_rate_per_core,
+        "gpu": dataclasses.asdict(m.gpu) if m.gpu is not None else None,
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()

@@ -1,0 +1,39 @@
+"""``repro.sweep`` — declarative sweep grids, parallel execution, caching.
+
+The paper's figures are all sweeps over (machine x runtime x message size
+x msg/sync); this package factors that shape out of the experiment
+modules:
+
+* :mod:`repro.sweep.spec` — :class:`SweepSpec`/:class:`SweepPoint`: a
+  declarative grid plus a pure, picklable point-runner function;
+* :mod:`repro.sweep.executor` — :func:`run_sweep` with serial and
+  process-pool backends; grid-order results and key-derived per-point
+  seeds make parallel output bit-identical to serial;
+* :mod:`repro.sweep.cache` — :class:`ResultCache`, a content-addressed
+  on-disk store keyed on point spec + machine fingerprints + repro
+  version;
+* :mod:`repro.sweep.config` — the ambient :func:`execution` context the
+  CLI's ``--jobs N`` / ``--no-cache`` flags install.
+
+See ``docs/SWEEPS.md`` for the full tour.
+"""
+
+from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.sweep.config import ExecutionConfig, current_execution, execution
+from repro.sweep.executor import SweepError, SweepResult, SweepStats, run_sweep
+from repro.sweep.spec import PointRunner, SweepPoint, SweepSpec
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ExecutionConfig",
+    "PointRunner",
+    "ResultCache",
+    "SweepError",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "SweepStats",
+    "current_execution",
+    "execution",
+    "run_sweep",
+]

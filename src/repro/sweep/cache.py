@@ -1,0 +1,97 @@
+"""Content-addressed on-disk result cache for sweep points.
+
+A point's cache key is the sha256 of everything that determines its
+result:
+
+* the repro package version;
+* the sweep name and :attr:`~repro.sweep.spec.SweepSpec.version`;
+* the runner's module-qualified name;
+* the canonical JSON of the point parameters;
+* a fingerprint of every referenced machine model's LogGP/topology
+  parameters (:func:`repro.machines.registry.machine_fingerprint`) — so
+  recalibrating a machine invalidates exactly its points.
+
+Entries are one JSON file each under ``<root>/<key[:2]>/<key>.json``
+(git-friendly two-level fan-out).  Reads tolerate corrupt or truncated
+files by treating them as misses; writes are atomic (tmp + rename) so a
+killed parallel run never leaves a half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro._version import __version__
+from repro.machines.registry import machine_fingerprint
+from repro.sweep.spec import SweepPoint, SweepSpec, canonical_json
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
+
+# Repo-local by convention (gitignored); the CLI resolves it against cwd.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """Content-addressed store of point results (see module docstring)."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, spec: SweepSpec, point: SweepPoint) -> str:
+        payload = {
+            "repro": __version__,
+            "sweep": spec.name,
+            "sweep_version": spec.version,
+            "runner": point.runner_id,
+            "params": point.params_dict,
+            "machines": {
+                name: machine_fingerprint(name)
+                for name in sorted(set(spec.machine_names(point)))
+            },
+        }
+        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached value for ``key``, or None (counts a hit/miss)."""
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as f:
+                value = json.load(f)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(value, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: dict[str, Any]) -> None:
+        """Atomically store ``value`` (must be JSON-serialisable)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(value, default=float)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                f.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

@@ -1,0 +1,239 @@
+"""Sweep execution: serial or process-pool, cache-aware, observable.
+
+:func:`run_sweep` expands a :class:`~repro.sweep.spec.SweepSpec` and
+returns one :class:`SweepResult` per point **in grid order** — results
+never depend on worker completion order, and per-point seeds derive from
+point keys, so ``--jobs N`` output is identical to serial output.
+
+When an ambient :class:`repro.obs.Obs` session is active, each sweep
+feeds it: ``sweep.points.completed`` / ``sweep.cache.hits`` /
+``sweep.cache.misses`` counters, a ``sweep.point.seconds`` histogram,
+per-sweep wall-time and worker-utilization gauges, and a
+``sweep.<name>`` span.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping
+from concurrent.futures import FIRST_COMPLETED, wait
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Any
+
+from repro import obs
+from repro.sweep.cache import ResultCache
+from repro.sweep.config import current_execution
+from repro.sweep.spec import PointRunner, SweepPoint, SweepSpec
+
+__all__ = ["SweepError", "SweepResult", "SweepStats", "run_sweep"]
+
+_UNSET = object()
+
+# Seconds buckets for the per-point duration histogram.
+_POINT_SECONDS_EDGES = (1e-3, 1e-2, 0.1, 1.0, 10.0)
+
+
+class SweepError(RuntimeError):
+    """A point runner raised; carries the failing point's identity."""
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one point: its value plus execution provenance."""
+
+    point: SweepPoint
+    value: dict[str, Any]
+    cached: bool
+    duration: float  # seconds spent executing (0.0 for cache hits)
+
+    @property
+    def params(self) -> dict[str, Any]:
+        return self.point.params_dict
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Aggregate execution stats for one sweep run."""
+
+    sweep: str
+    npoints: int
+    cache_hits: int
+    executed: int
+    wall_seconds: float
+    jobs: int
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the worker slots over the sweep's wall time."""
+        return 0.0 if self.wall_seconds <= 0 else min(
+            1.0, self._busy / (self.wall_seconds * self.jobs)
+        )
+
+    _busy: float = 0.0
+
+    def line(self) -> str:
+        cached = f", {self.cache_hits} cached" if self.cache_hits else ""
+        return (
+            f"[sweep] {self.sweep}: {self.npoints} points{cached}, "
+            f"jobs={self.jobs}, {self.wall_seconds:.2f}s, "
+            f"utilization {self.utilization:.0%}"
+        )
+
+
+def _execute_point(
+    runner: PointRunner, params: Mapping[str, Any], seed: int
+) -> tuple[dict[str, Any], float]:
+    """Run one point (in a worker or inline) and time it."""
+    t0 = time.perf_counter()
+    value = dict(runner(params, seed))
+    return value, time.perf_counter() - t0
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None | object = _UNSET,
+    progress: Callable[[str], None] | None | object = _UNSET,
+) -> list[SweepResult]:
+    """Execute every point of ``spec``; return results in grid order.
+
+    ``jobs``/``cache``/``progress`` default to the ambient
+    :func:`~repro.sweep.config.execution` config (serial, uncached, and
+    silent outside any ``execution()`` block).
+    """
+    cfg = current_execution()
+    jobs = cfg.jobs if jobs is None else jobs
+    cache = cfg.cache if cache is _UNSET else cache
+    progress = cfg.progress if progress is _UNSET else progress
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    points = spec.iter_points()
+    session = obs.current()
+    span = session.span(f"sweep.{spec.name}") if session else nullcontext()
+    t_start = time.perf_counter()
+    results: list[SweepResult | None] = [None] * len(points)
+    pending: list[tuple[int, SweepPoint, str | None]] = []
+    hits = 0
+
+    with span:
+        for i, pt in enumerate(points):
+            key = None
+            if cache is not None:
+                key = cache.key_for(spec, pt)
+                value = cache.get(key)
+                if value is not None:
+                    results[i] = SweepResult(pt, value, cached=True, duration=0.0)
+                    hits += 1
+                    continue
+            pending.append((i, pt, key))
+
+        if progress and points:
+            progress(
+                f"[sweep] {spec.name}: {len(points)} points "
+                f"({hits} cached, {len(pending)} to run), jobs={jobs}"
+            )
+
+        if jobs > 1 and len(pending) > 1:
+            _run_parallel(spec, pending, results, cache, cfg, jobs)
+        else:
+            _run_serial(spec, pending, results, cache, session)
+
+    wall = time.perf_counter() - t_start
+    done = [r for r in results if r is not None]
+    busy = sum(r.duration for r in done)
+    stats = SweepStats(
+        sweep=spec.name,
+        npoints=len(points),
+        cache_hits=hits,
+        executed=len(pending),
+        wall_seconds=wall,
+        jobs=jobs,
+        _busy=busy,
+    )
+    if session:
+        m = session.metrics
+        m.counter("sweep.points.completed").inc(len(points))
+        m.counter("sweep.cache.hits").inc(hits)
+        m.counter("sweep.cache.misses").inc(len(pending))
+        m.gauge(f"sweep.{spec.name}.wall_seconds").set(wall)
+        m.gauge(f"sweep.{spec.name}.utilization").set(stats.utilization)
+        hist = m.histogram("sweep.point.seconds", _POINT_SECONDS_EDGES)
+        for r in done:
+            if not r.cached:
+                hist.observe(r.duration)
+    if progress and points:
+        progress(stats.line())
+    return [r for r in results if r is not None]
+
+
+def _store(
+    results: list[SweepResult | None],
+    cache: ResultCache | None,
+    i: int,
+    pt: SweepPoint,
+    key: str | None,
+    value: dict[str, Any],
+    duration: float,
+) -> None:
+    if cache is not None and key is not None:
+        cache.put(key, value)
+    results[i] = SweepResult(pt, value, cached=False, duration=duration)
+
+
+def _run_serial(spec, pending, results, cache, session) -> None:
+    for i, pt, key in pending:
+        span = (
+            session.span(f"sweep.{spec.name}.point") if session else nullcontext()
+        )
+        try:
+            with span:
+                value, duration = _execute_point(pt.runner, pt.params_dict, pt.seed)
+        except Exception as exc:
+            raise SweepError(f"sweep point {pt.label()} failed: {exc}") from exc
+        _store(results, cache, i, pt, key, value, duration)
+
+
+def _run_parallel(spec, pending, results, cache, cfg, jobs) -> None:
+    # Use the ambient config's persistent pool when it matches the
+    # requested width (so `repro run all --jobs N` reuses workers across
+    # experiments); otherwise spin up a sweep-local pool.
+    if cfg.jobs == jobs and current_execution() is cfg:
+        pool, owned = cfg.pool(), False
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.sweep.config import _worker_init
+
+        pool, owned = (
+            ProcessPoolExecutor(max_workers=jobs, initializer=_worker_init),
+            True,
+        )
+    try:
+        futures = {
+            pool.submit(_execute_point, pt.runner, pt.params_dict, pt.seed): (
+                i,
+                pt,
+                key,
+            )
+            for i, pt, key in pending
+        }
+        not_done = set(futures)
+        while not_done:
+            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            for fut in done:
+                i, pt, key = futures[fut]
+                try:
+                    value, duration = fut.result()
+                except Exception as exc:
+                    for f in not_done:
+                        f.cancel()
+                    raise SweepError(
+                        f"sweep point {pt.label()} failed: {exc}"
+                    ) from exc
+                _store(results, cache, i, pt, key, value, duration)
+    finally:
+        if owned:
+            pool.shutdown(wait=True)

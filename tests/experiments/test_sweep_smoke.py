@@ -1,0 +1,48 @@
+"""Every experiment runs through the sweep engine, parallel == serial.
+
+The tentpole guarantee of ``repro.sweep``: an experiment's report is a
+pure function of its spec — worker count must never change a row.  Each
+``ALL_EXPERIMENTS`` entry runs twice (serial, then under
+``execution(jobs=2)``) with its smallest kwargs, and the reports must
+match row for row.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.sweep import execution
+
+# Smallest faithful configuration per experiment (defaults elsewhere).
+_FAST_KWARGS = {
+    "fig01": {"iters": 1},
+    "fig03": {"machines": ("perlmutter-cpu",), "iters": 1},
+    "fig04": {"iters": 1},
+    "fig05": {"nx": 2048, "iters": 2},
+    "fig06": {"iters": 1},
+    "fig08": {"n_supernodes": 60},
+    "fig09": {"total_inserts": 2000},
+    "internode": {"iters": 1},
+}
+
+
+def _rows_equal(a, b):
+    if isinstance(a, float) and isinstance(b, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_rows_equal(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_parallel_rows_identical_to_serial(name):
+    kwargs = _FAST_KWARGS.get(name, {})
+    serial = ALL_EXPERIMENTS[name](**kwargs)
+    with execution(jobs=2):
+        parallel = ALL_EXPERIMENTS[name](**kwargs)
+    assert serial.headers == parallel.headers
+    assert _rows_equal(serial.rows, parallel.rows), f"{name} rows diverged"
+    assert serial.expectations == parallel.expectations

@@ -1,0 +1,91 @@
+"""ResultCache: content-addressed keys, durability, corruption tolerance."""
+
+from __future__ import annotations
+
+import json
+
+from repro.sweep import ResultCache, SweepSpec
+from repro.sweep import cache as cache_mod
+
+
+def _runner(params, seed):
+    return {"v": params["x"]}
+
+
+def _spec(**kwargs):
+    defaults = dict(name="t", runner=_runner, points=[{"x": 1}])
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+def _one_key(cache, spec):
+    (pt,) = spec.iter_points()
+    return cache.key_for(spec, pt)
+
+
+class TestKeys:
+    def test_key_deterministic(self, tmp_path):
+        c = ResultCache(tmp_path)
+        assert _one_key(c, _spec()) == _one_key(c, _spec())
+
+    def test_key_changes_with_params(self, tmp_path):
+        c = ResultCache(tmp_path)
+        assert _one_key(c, _spec()) != _one_key(c, _spec(points=[{"x": 2}]))
+
+    def test_key_changes_with_sweep_version(self, tmp_path):
+        c = ResultCache(tmp_path)
+        assert _one_key(c, _spec()) != _one_key(c, _spec(version=2))
+
+    def test_key_changes_with_machine_fingerprint(self, tmp_path, monkeypatch):
+        c = ResultCache(tmp_path)
+        spec = _spec(points=[{"machine": "perlmutter-cpu"}])
+        before = _one_key(c, spec)
+        monkeypatch.setattr(
+            cache_mod, "machine_fingerprint", lambda name: "recalibrated"
+        )
+        assert _one_key(c, spec) != before
+
+    def test_key_ignores_unreferenced_machines(self, tmp_path):
+        # Only machine_params values enter the key; other params are data.
+        c = ResultCache(tmp_path)
+        a = _spec(points=[{"machine": "perlmutter-cpu", "x": 1}])
+        b = _spec(points=[{"machine": "summit-cpu", "x": 1}])
+        assert _one_key(c, a) != _one_key(c, b)
+
+
+class TestStore:
+    def test_round_trip_and_counters(self, tmp_path):
+        c = ResultCache(tmp_path)
+        key = _one_key(c, _spec())
+        assert c.get(key) is None
+        c.put(key, {"v": 1.5, "rows": [[1, 2]]})
+        assert c.get(key) == {"v": 1.5, "rows": [[1, 2]]}
+        assert c.stats() == {"hits": 1, "misses": 1}
+
+    def test_two_level_fanout_layout(self, tmp_path):
+        c = ResultCache(tmp_path)
+        key = _one_key(c, _spec())
+        c.put(key, {"v": 1})
+        assert (tmp_path / key[:2] / f"{key}.json").is_file()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        c = ResultCache(tmp_path)
+        key = _one_key(c, _spec())
+        c.put(key, {"v": 1})
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.write_text("{truncated")
+        assert c.get(key) is None
+
+    def test_non_dict_entry_is_a_miss(self, tmp_path):
+        c = ResultCache(tmp_path)
+        key = _one_key(c, _spec())
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps([1, 2, 3]))
+        assert c.get(key) is None
+
+    def test_no_tmp_droppings_after_put(self, tmp_path):
+        c = ResultCache(tmp_path)
+        key = _one_key(c, _spec())
+        c.put(key, {"v": 1})
+        assert not list(tmp_path.rglob("*.tmp"))

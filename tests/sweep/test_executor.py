@@ -1,0 +1,128 @@
+"""run_sweep: serial/parallel identity, caching, failures, obs feeding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.sweep import (
+    ResultCache,
+    SweepError,
+    SweepSpec,
+    current_execution,
+    execution,
+    run_sweep,
+)
+
+
+# Module-level runners: process-pool workers pickle them by reference.
+def _square(params, seed):
+    return {"y": params["x"] ** 2, "seed": seed}
+
+
+def _fail_on_two(params, seed):
+    if params["x"] == 2:
+        raise ValueError("x=2 is cursed")
+    return {"y": params["x"]}
+
+
+def _spec(xs=(1, 2, 3, 4), runner=_square):
+    return SweepSpec(name="unit", runner=runner, axes={"x": tuple(xs)})
+
+
+def _values(results):
+    return [(r.params, r.value) for r in results]
+
+
+class TestSerial:
+    def test_grid_order_and_values(self):
+        results = run_sweep(_spec())
+        assert [r.params["x"] for r in results] == [1, 2, 3, 4]
+        assert [r.value["y"] for r in results] == [1, 4, 9, 16]
+        assert all(not r.cached for r in results)
+
+    def test_seeds_are_point_derived(self):
+        a = run_sweep(_spec())
+        b = run_sweep(_spec())
+        assert [r.value["seed"] for r in a] == [r.value["seed"] for r in b]
+        assert len({r.value["seed"] for r in a}) == len(a)
+
+    def test_failure_raises_sweep_error_with_label(self):
+        with pytest.raises(SweepError, match=r"unit\(x=2\)"):
+            run_sweep(_spec(runner=_fail_on_two))
+
+    def test_jobs_zero_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(_spec(), jobs=0)
+
+
+class TestParallel:
+    def test_identical_to_serial(self):
+        serial = run_sweep(_spec(range(1, 9)))
+        parallel = run_sweep(_spec(range(1, 9)), jobs=2)
+        assert _values(serial) == _values(parallel)
+
+    def test_ambient_execution_config(self):
+        with execution(jobs=2):
+            assert current_execution().jobs == 2
+            results = run_sweep(_spec())
+        assert _values(results) == _values(run_sweep(_spec()))
+
+    def test_pool_reused_across_sweeps(self):
+        with execution(jobs=2) as cfg:
+            run_sweep(_spec())
+            pool = cfg._pool
+            run_sweep(_spec((5, 6, 7)))
+            assert cfg._pool is pool
+
+    def test_failure_raises_sweep_error(self):
+        with pytest.raises(SweepError, match="cursed"):
+            run_sweep(_spec(runner=_fail_on_two), jobs=2)
+
+
+class TestCaching:
+    def test_second_run_all_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_sweep(_spec(), cache=cache)
+        warm = run_sweep(_spec(), cache=cache)
+        assert _values(cold) == _values(warm)
+        assert all(not r.cached for r in cold)
+        assert all(r.cached and r.duration == 0.0 for r in warm)
+        assert cache.stats() == {"hits": 4, "misses": 4}
+
+    def test_parallel_run_fills_cache_serial_reads_it(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(_spec(), jobs=2, cache=cache)
+        warm = run_sweep(_spec(), cache=cache)
+        assert all(r.cached for r in warm)
+
+    def test_changed_param_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(_spec(), cache=cache)
+        fresh = run_sweep(_spec(xs=(1, 2, 3, 4, 5)), cache=cache)
+        assert [r.cached for r in fresh] == [True] * 4 + [False]
+
+
+class TestObs:
+    def test_metrics_fed_into_ambient_session(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(_spec(), cache=cache)  # warm the cache outside the session
+        with obs.observe(obs.Obs()) as session:
+            run_sweep(_spec(), cache=cache)
+            snap = session.metrics.snapshot()
+        assert snap["sweep.points.completed"] == 4.0
+        assert snap["sweep.cache.hits"] == 4.0
+        assert snap["sweep.cache.misses"] == 0.0
+        assert "sweep.unit.wall_seconds" in snap
+
+    def test_span_opened_per_sweep(self):
+        with obs.observe(obs.Obs()) as session:
+            run_sweep(_spec())
+        assert "sweep.unit" in session.spans.totals()
+
+    def test_progress_lines(self):
+        lines = []
+        run_sweep(_spec(), progress=lines.append)
+        assert len(lines) == 2
+        assert "4 points" in lines[0]
+        assert lines[1].startswith("[sweep] unit:")

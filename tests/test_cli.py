@@ -5,6 +5,14 @@ import pytest
 from repro.cli import build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_default_cache(tmp_path, monkeypatch):
+    """Keep the CLI's default on-disk sweep cache out of the repo tree."""
+    monkeypatch.setattr(
+        "repro.sweep.DEFAULT_CACHE_DIR", str(tmp_path / "default-cache")
+    )
+
+
 class TestParsing:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -154,6 +162,82 @@ class TestMetricsFlag:
         assert rc == 0
         d = json.loads((tmp_path / "table2.json").read_text())
         assert d["metrics"]["net.fabric.messages"] > 0
+
+
+class TestSweepExecutionFlags:
+    def test_run_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "fig03", "--jobs", "4", "--no-cache", "--cache-dir", "x"]
+        )
+        assert args.jobs == 4 and args.no_cache and args.cache_dir == "x"
+
+    def test_jobs_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "table1", "--jobs", "0"])
+        assert exc.value.code == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_second_run_hits_the_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "c")
+        assert main(["run", "table1", "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().err
+        assert "[sweep] cache: hits=0 misses=5" in first
+        assert main(["run", "table1", "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr().err
+        assert "[sweep] cache: hits=5 misses=0" in second
+
+    def test_no_cache_writes_nothing(self, tmp_path, capsys):
+        cache_dir = tmp_path / "c"
+        rc = main(
+            ["run", "table1", "--no-cache", "--cache-dir", str(cache_dir)]
+        )
+        assert rc == 0
+        assert not cache_dir.exists()
+        assert "[sweep] cache:" not in capsys.readouterr().err
+
+    def test_progress_goes_to_stderr_not_json_stdout(self, tmp_path, capsys):
+        import json
+
+        rc = main(
+            ["run", "table1", "--json", "--jobs", "2",
+             "--cache-dir", str(tmp_path / "c")]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout must stay pure JSON
+        assert "[sweep] table1" in captured.err
+
+    def _fake_experiments(self, pass_second):
+        from repro.experiments.report import ExperimentReport
+
+        def make(name, ok):
+            return lambda: ExperimentReport(
+                experiment=name, title=name, headers=["x"], rows=[[1]],
+                expectations={"claim": ok},
+            )
+
+        return {"alpha": make("alpha", True), "beta": make("beta", pass_second)}
+
+    def test_run_all_failure_sets_exit_code(self, monkeypatch, capsys):
+        import repro.experiments as experiments
+
+        monkeypatch.setattr(
+            experiments, "ALL_EXPERIMENTS", self._fake_experiments(False)
+        )
+        assert main(["run", "all", "--no-cache"]) == 1
+        err = capsys.readouterr().err
+        assert "alpha                PASS" in err
+        assert "beta                 FAIL" in err
+        assert "1/2 experiments failed expectations" in err
+
+    def test_run_all_success_exit_zero(self, monkeypatch, capsys):
+        import repro.experiments as experiments
+
+        monkeypatch.setattr(
+            experiments, "ALL_EXPERIMENTS", self._fake_experiments(True)
+        )
+        assert main(["run", "all", "--no-cache"]) == 0
+        assert "all 2 experiments passed" in capsys.readouterr().err
 
 
 class TestExport:
