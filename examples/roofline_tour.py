@@ -10,7 +10,6 @@ plots.
 Run:  python examples/roofline_tour.py
 """
 
-import numpy as np
 
 from repro.machines import frontier_cpu, perlmutter_gpu
 from repro.roofline import (

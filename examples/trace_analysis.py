@@ -9,8 +9,6 @@ lower bound vs the measured makespan).
 Run:  python examples/trace_analysis.py
 """
 
-import numpy as np
-
 from repro.analysis import (
     analyze_dag,
     ascii_timeline,
@@ -22,6 +20,7 @@ from repro.analysis import (
 )
 from repro.comm import Job
 from repro.machines import perlmutter_cpu
+from repro.transport import TWO_SIDED
 from repro.util import fmt_bytes, fmt_time
 from repro.workloads.sptrsv import (
     BlockCyclicLayout,
@@ -29,7 +28,7 @@ from repro.workloads.sptrsv import (
     MatrixSpec,
     generate_matrix,
 )
-from repro.workloads.sptrsv.runner import _program_two_sided
+from repro.workloads.sptrsv.runner import _mailbox_spec, _program_sptrsv
 
 
 def main() -> None:
@@ -47,10 +46,12 @@ def main() -> None:
     )
     print(f"  latency lower bound at 3.3 us/message: {fmt_time(bound)}")
 
-    # Traced distributed solve (two-sided, simulate mode).
-    job = Job(perlmutter_cpu(), nranks, "two_sided", placement="block",
+    # Traced distributed solve (two-sided, simulate mode).  The program is
+    # runtime-neutral: the transport channel supplies the op sequence.
+    job = Job(perlmutter_cpu(), nranks, TWO_SIDED, placement="block",
               trace=True)
-    result = job.run(_program_two_sided, plan, None, False)
+    chan = job.channel(_mailbox_spec(plan, nranks, False))
+    result = job.run(_program_sptrsv, plan, None, False, chan)
     makespan = max(r["time"] for r in result.results)
     print(f"  simulated solve makespan: {fmt_time(makespan)} "
           f"({makespan / bound:.1f}x the bound)")

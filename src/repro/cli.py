@@ -25,6 +25,8 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.transport import backend_names
+
     p = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -79,7 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     fp = sub.add_parser("flood", help="run a flood bandwidth point")
     fp.add_argument("machine")
-    fp.add_argument("runtime", choices=["two_sided", "one_sided", "shmem"])
+    fp.add_argument("runtime", choices=backend_names())
     fp.add_argument("--size", default="64KiB", help="message size (e.g. 4KiB)")
     fp.add_argument("--msgs", type=int, default=64, help="messages per sync")
     fp.add_argument("--iters", type=int, default=3)
@@ -101,7 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     rp = sub.add_parser("roofline", help="query the analytic bound")
     rp.add_argument("machine")
-    rp.add_argument("runtime", choices=["two_sided", "one_sided", "shmem"])
+    rp.add_argument("runtime", choices=backend_names())
     rp.add_argument("--size", default="64KiB")
     rp.add_argument("--msgs", type=int, default=64)
     return p
@@ -366,14 +368,16 @@ def _cmd_flood(args: argparse.Namespace) -> int:
 
 def _cmd_roofline(args: argparse.Namespace) -> int:
     from repro.roofline import MessageRoofline
+    from repro.transport import get_backend
     from repro.util import fmt_bw, fmt_time, parse_size
 
     machine = _resolve_machine(args.machine)
     if machine is None:
         return 2
-    sided = {"two_sided": "two", "one_sided": "one", "shmem": "shmem"}[args.runtime]
+    backend = get_backend(args.runtime)
     params = machine.loggp(
-        args.runtime, 0, 1, nranks=2, placement="spread", sided=sided
+        backend.resolve_costs_key(), 0, 1, nranks=2, placement="spread",
+        sided=backend.sided,
     )
     roof = MessageRoofline(params)
     B = parse_size(args.size)

@@ -326,9 +326,15 @@ class RankContext:
         return [r.event.value for r in reqs]
 
     def waitany(self, reqs: list[Request]) -> Generator:
-        """Block until at least one request completes; returns its index."""
+        """Block until at least one request completes; returns its index.
+
+        An empty request list completes immediately and returns ``None``
+        (the ``MPI_UNDEFINED`` analogue).
+        """
         self.counter.syncs += 1
         self.counter.operations += 1
+        if not reqs:
+            return None
         for i, r in enumerate(reqs):
             if r.done:
                 if self.costs.wait_per_req > 0:

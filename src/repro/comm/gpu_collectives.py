@@ -26,6 +26,7 @@ from repro.comm.base import CommError
 from repro.comm.job import Job
 from repro.comm.shmem import ShmemContext
 from repro.comm.window import Window
+from repro.transport import SHMEM
 
 __all__ = ["ring_allreduce_shmem", "run_ring_allreduce"]
 
@@ -152,7 +153,7 @@ def run_ring_allreduce(
     """
     if nelems % max(nranks, 1):
         raise CommError("nelems must be divisible by nranks")
-    job = Job(machine, nranks, "shmem", placement="spread")
+    job = Job(machine, nranks, SHMEM, placement="spread")
     chunk = max(nelems // max(nranks, 1), 1)
     data_win = job.window(2 * chunk, dtype=np.float64)
     sig_win = job.window(

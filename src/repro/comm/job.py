@@ -22,7 +22,6 @@ import numpy as np
 
 from repro.comm.base import OpCounter
 from repro.comm.context import RankContext
-from repro.comm.shmem import ShmemContext
 from repro.comm.window import Window
 from repro.machines.base import MachineModel, Placement
 from repro.net.fabric import Fabric
@@ -32,6 +31,7 @@ from repro.sim.engine import Simulator
 from repro.sim.event import Event
 from repro.sim.rng import RngFactory
 from repro.sim.trace import NullTracer, Tracer
+from repro.transport.registry import TransportBackend, get_backend
 
 __all__ = ["Job", "JobResult"]
 
@@ -60,7 +60,7 @@ class Job:
         self,
         machine: MachineModel,
         nranks: int,
-        runtime: str,
+        runtime: str | TransportBackend,
         *,
         placement: Placement = "block",
         seed: int = 0,
@@ -74,8 +74,13 @@ class Job:
             )
         self.machine = machine
         self.nranks = nranks
-        self.runtime_name = runtime
-        self.costs = machine.runtime(runtime)
+        # The backend registry supplies the context class, the cost-profile
+        # key, and the channel factory (repro.transport).
+        self.backend = (
+            runtime if isinstance(runtime, TransportBackend) else get_backend(runtime)
+        )
+        self.runtime_name = self.backend.name
+        self.costs = machine.runtime(self.backend.resolve_costs_key())
         self.placement = placement
         self.sim = Simulator()
         # An ambient observation session (repro.obs.observe) supplies the
@@ -85,7 +90,9 @@ class Job:
         if trace:
             self.tracer: Tracer = Tracer()
         elif self.obs is not None:
-            self.tracer = self.obs.tracer_for(f"{machine.name}/{runtime}/P{nranks}")
+            self.tracer = self.obs.tracer_for(
+                f"{machine.name}/{self.runtime_name}/P{nranks}"
+            )
         else:
             self.tracer = NullTracer()
         self.metrics = self.obs.metrics if self.obs is not None else None
@@ -102,7 +109,7 @@ class Job:
             machine.endpoint_of_rank(r, nranks, placement) for r in range(nranks)
         ]
         self.sharing = machine.ranks_per_endpoint(nranks, placement)
-        ctx_cls = ShmemContext if runtime == "shmem" else RankContext
+        ctx_cls = self.backend.context_cls
         self.contexts: list[RankContext] = [
             ctx_cls(self, r) for r in range(nranks)
         ]
@@ -188,6 +195,11 @@ class Job:
         win = Window(self, count, dtype=dtype, fill=fill)
         self.windows.append(win)
         return win
+
+    def channel(self, spec: Any):
+        """Open a transport channel for ``spec`` through this job's backend
+        (see :mod:`repro.transport`).  Collective, zero simulated cost."""
+        return self.backend.open(self, spec)
 
     # ------------------------------------------------------------------
     # execution

@@ -18,13 +18,11 @@ from __future__ import annotations
 
 import dataclasses
 
-import numpy as np
-
 from repro.experiments.report import ExperimentReport
 from repro.machines.registry import get_machine
-from repro.machines.base import CommCosts
 from repro.roofline import MessageRoofline, SplitModel
 from repro.workloads.sptrsv import MatrixSpec, generate_matrix, run_sptrsv
+from repro.transport import ONE_SIDED, ONE_SIDED_HW, TWO_SIDED
 
 __all__ = [
     "run_ablation_gap",
@@ -39,7 +37,7 @@ __all__ = [
 def run_ablation_gap() -> ExperimentReport:
     """Let the injection gap go to zero and watch the ceiling move."""
     machine = get_machine("perlmutter-cpu")
-    base = machine.loggp("two_sided", 0, 1, nranks=2, placement="spread",
+    base = machine.loggp(TWO_SIDED, 0, 1, nranks=2, placement="spread",
                          sided="two")
     no_gap = dataclasses.replace(base, g=0.0)
     no_overhead = dataclasses.replace(base, o=1e-9, g=0.0)
@@ -81,7 +79,7 @@ def run_ablation_sharp_junction() -> ExperimentReport:
     """Quantify the sharp-vs-rounded gap around the knee (Fig. 1's
     'ideal region one can never practically reach')."""
     machine = get_machine("perlmutter-cpu")
-    params = machine.loggp("two_sided", 0, 1, nranks=2, placement="spread",
+    params = machine.loggp(TWO_SIDED, 0, 1, nranks=2, placement="spread",
                            sided="two")
     roof = MessageRoofline(params)
     headers = ["B (bytes)", "rounded GB/s", "sharp GB/s", "sharp/rounded"]
@@ -117,8 +115,8 @@ def _with_hw_put_signal(machine):
     """A hypothetical CrayMPI with hardware put-with-signal: the 4-op
     sequence becomes one fused op (paper §V: 'one-sided MPI can easily
     outperform the two-sided with hardware-level support')."""
-    one = machine.runtimes["one_sided"]
-    machine.runtimes["one_sided_hw"] = dataclasses.replace(
+    one = machine.runtimes[ONE_SIDED]
+    machine.runtimes[ONE_SIDED_HW] = dataclasses.replace(
         one,
         put_signal=one.put,  # single fused issue
         wait_wakeup=1.0e-6,  # lightweight notification wake
@@ -141,33 +139,32 @@ def run_ablation_put_with_signal() -> ExperimentReport:
     rows = []
     t: dict[tuple[str, int], float] = {}
     for P in (4, 16):
-        for variant in ("two_sided", "one_sided"):
+        for variant in (TWO_SIDED, ONE_SIDED):
             res = run_sptrsv(get_machine("perlmutter-cpu"), variant, matrix, P)
             t[(variant, P)] = res.time
         hw_machine = _with_hw_put_signal(get_machine("perlmutter-cpu"))
-        # Run the shmem program (put_signal + wait_until_any) on the CPU
-        # with the hypothetical hw profile.
-        hw_machine.runtimes["shmem"] = hw_machine.runtimes["one_sided_hw"]
-        res = run_sptrsv(hw_machine, "shmem", matrix, P)
-        t[("one_sided_hw", P)] = res.time
-        for variant in ("two_sided", "one_sided", "one_sided_hw"):
+        # The one_sided_hw backend issues put_signal + wait_until_any on
+        # the CPU with the hypothetical hw profile above.
+        res = run_sptrsv(hw_machine, ONE_SIDED_HW, matrix, P)
+        t[(ONE_SIDED_HW, P)] = res.time
+        for variant in (TWO_SIDED, ONE_SIDED, ONE_SIDED_HW):
             rows.append(
                 [
                     variant,
                     P,
                     t[(variant, P)] * 1e3,
-                    t[(variant, P)] / t[("two_sided", P)],
+                    t[(variant, P)] / t[(TWO_SIDED, P)],
                 ]
             )
     expectations = {
         "4-op one-sided loses to two-sided": all(
-            t[("one_sided", P)] > t[("two_sided", P)] for P in (4, 16)
+            t[(ONE_SIDED, P)] > t[(TWO_SIDED, P)] for P in (4, 16)
         ),
         "hw put-with-signal beats the 4-op emulation": all(
-            t[("one_sided_hw", P)] < t[("one_sided", P)] for P in (4, 16)
+            t[(ONE_SIDED_HW, P)] < t[(ONE_SIDED, P)] for P in (4, 16)
         ),
         "hw put-with-signal beats two-sided (the paper's projection)": all(
-            t[("one_sided_hw", P)] < t[("two_sided", P)] for P in (4, 16)
+            t[(ONE_SIDED_HW, P)] < t[(TWO_SIDED, P)] for P in (4, 16)
         ),
     }
     return ExperimentReport(
@@ -190,14 +187,14 @@ def run_ablation_polling() -> ExperimentReport:
     rows = []
     ratios = {}
     P = 16
-    two = run_sptrsv(get_machine("perlmutter-cpu"), "two_sided", matrix, P).time
+    two = run_sptrsv(get_machine("perlmutter-cpu"), TWO_SIDED, matrix, P).time
     for poll_us in (0.0, 0.05, 0.5):
         machine = get_machine("perlmutter-cpu")
-        one = machine.runtimes["one_sided"]
-        machine.runtimes["one_sided"] = dataclasses.replace(
+        one = machine.runtimes[ONE_SIDED]
+        machine.runtimes[ONE_SIDED] = dataclasses.replace(
             one, poll_slot=poll_us * 1e-6
         )
-        res = run_sptrsv(machine, "one_sided", matrix, P)
+        res = run_sptrsv(machine, ONE_SIDED, matrix, P)
         ratios[poll_us] = res.time / two
         rows.append([poll_us, P, res.time * 1e3, res.time / two])
     expectations = {

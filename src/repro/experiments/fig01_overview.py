@@ -25,6 +25,7 @@ from repro.machines.registry import get_machine
 from repro.roofline import MessageRoofline, Series, ascii_loglog
 from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.flood import run_flood
+from repro.transport import ONE_SIDED
 
 __all__ = ["run_fig01"]
 
@@ -50,7 +51,7 @@ def _spec(iters: int) -> SweepSpec:
         name="fig01",
         runner=_point,
         axes={"msgs": _DOT_NS, "size": _DOT_SIZES},
-        common={"machine": "frontier-cpu", "runtime": "one_sided", "iters": iters},
+        common={"machine": "frontier-cpu", "runtime": ONE_SIDED, "iters": iters},
     )
 
 
@@ -60,7 +61,7 @@ def run_fig01(*, measured: bool = True, iters: int = 2) -> ExperimentReport:
     # Flood-style accounting: one put per message, completion amortised
     # over the batch (the paper's Fig. 1 is the generic put roofline).
     params = machine.loggp(
-        "one_sided", 0, 1, nranks=2, placement="spread", sided="one",
+        ONE_SIDED, 0, 1, nranks=2, placement="spread", sided="one",
         ops_per_message=1,
     )
     roofline = MessageRoofline(params, name="frontier-cpu/one-sided")
@@ -127,7 +128,7 @@ def run_fig01(*, measured: bool = True, iters: int = 2) -> ExperimentReport:
         charts=charts,
         notes=[
             f"overlap gain at 64 B, n=100: {small_gain:.1f}x "
-            f"(paper: up to ~10x when L >> G)",
+            "(paper: up to ~10x when L >> G)",
             f"overlap gain at 4 MiB, n=100: {large_gain:.2f}x (bandwidth-bound)",
         ],
     )

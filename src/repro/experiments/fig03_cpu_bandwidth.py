@@ -26,12 +26,13 @@ from repro.roofline import fit_loggp
 from repro.roofline.fit import FloodSample
 from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.flood import run_flood
+from repro.transport import TWO_SIDED, ONE_SIDED
 
 __all__ = ["run_fig03"]
 
 _SIZES = (64, 1024, 16384, 262144, 4194304)
 _NS = (1, 16, 256)
-_RUNTIMES = ("two_sided", "one_sided")
+_RUNTIMES = (TWO_SIDED, ONE_SIDED)
 
 
 def _point(params, seed):
@@ -100,9 +101,9 @@ def _summarize(
                         mname,
                         B,
                         n,
-                        bw["two_sided"] / 1e9,
-                        bw["one_sided"] / 1e9,
-                        bw["one_sided"] / bw["two_sided"],
+                        bw[TWO_SIDED] / 1e9,
+                        bw[ONE_SIDED] / 1e9,
+                        bw[ONE_SIDED] / bw[TWO_SIDED],
                     ]
                 )
 
@@ -112,37 +113,37 @@ def _summarize(
     big = _SIZES[-1]
     if "perlmutter-cpu" in machines:
         expectations["perlmutter: one-sided beats two-sided at high msg/sync"] = (
-            results[("perlmutter-cpu", "one_sided", small, hi_n)]
-            > results[("perlmutter-cpu", "two_sided", small, hi_n)]
+            results[("perlmutter-cpu", ONE_SIDED, small, hi_n)]
+            > results[("perlmutter-cpu", TWO_SIDED, small, hi_n)]
         )
         expectations["perlmutter: achieved near 32 GB/s IF peak"] = (
-            results[("perlmutter-cpu", "one_sided", big, hi_n)] > 30e9
+            results[("perlmutter-cpu", ONE_SIDED, big, hi_n)] > 30e9
         )
         expectations["perlmutter: the two models converge for large messages"] = (
             abs(
-                results[("perlmutter-cpu", "one_sided", big, hi_n)]
-                / results[("perlmutter-cpu", "two_sided", big, hi_n)]
+                results[("perlmutter-cpu", ONE_SIDED, big, hi_n)]
+                / results[("perlmutter-cpu", TWO_SIDED, big, hi_n)]
                 - 1.0
             )
             < 0.1
         )
     if "frontier-cpu" in machines:
         expectations["frontier: one-sided beats two-sided at high msg/sync"] = (
-            results[("frontier-cpu", "one_sided", small, hi_n)]
-            > results[("frontier-cpu", "two_sided", small, hi_n)]
+            results[("frontier-cpu", ONE_SIDED, small, hi_n)]
+            > results[("frontier-cpu", TWO_SIDED, small, hi_n)]
         )
         expectations["frontier: achieved near 36 GB/s IF bound"] = (
-            results[("frontier-cpu", "one_sided", big, hi_n)] > 33e9
+            results[("frontier-cpu", ONE_SIDED, big, hi_n)] > 33e9
         )
     if "summit-cpu" in machines:
         expectations["summit: one-sided consistently below two-sided (Spectrum)"] = all(
-            results[("summit-cpu", "one_sided", B, n)]
-            <= results[("summit-cpu", "two_sided", B, n)] * 1.05
+            results[("summit-cpu", ONE_SIDED, B, n)]
+            <= results[("summit-cpu", TWO_SIDED, B, n)] * 1.05
             for B in _SIZES[:3]
             for n in _NS
         )
         expectations["summit: achieved ~25 GB/s despite 64 GB/s X-Bus"] = (
-            20e9 < results[("summit-cpu", "two_sided", big, hi_n)] < 27e9
+            20e9 < results[("summit-cpu", TWO_SIDED, big, hi_n)] < 27e9
         )
 
     notes = []

@@ -23,6 +23,7 @@ from repro.experiments.report import ExperimentReport
 from repro.machines.registry import get_machine
 from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.flood import run_cas_flood, run_flood
+from repro.transport import SHMEM
 
 __all__ = ["run_fig04"]
 
@@ -41,7 +42,7 @@ def _point(params, seed):
     machine = get_machine(params["machine"])
     if params["kind"] == "flood":
         r = run_flood(
-            machine, "shmem", params["size"], params["msgs"],
+            machine, SHMEM, params["size"], params["msgs"],
             iters=params["iters"],
         )
         return {
@@ -49,7 +50,7 @@ def _point(params, seed):
             "latency_per_message": r.latency_per_message,
         }
     c = run_cas_flood(
-        machine, "shmem", nranks=params["nranks"], target_rank=params["target"]
+        machine, SHMEM, nranks=params["nranks"], target_rank=params["target"]
     )
     return {"ops": c["ops"], "latency_per_cas": c["latency_per_cas"]}
 

@@ -20,6 +20,7 @@ from repro.experiments.report import ExperimentReport
 from repro.machines.registry import get_machine
 from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.stencil import StencilConfig, run_stencil
+from repro.transport import TWO_SIDED, ONE_SIDED, SHMEM
 
 __all__ = ["run_fig05"]
 
@@ -32,11 +33,11 @@ _CPU_PS = (4, 16, 64, 128)
 # host MPI + relaunch.
 _CASES = (
     *[("perlmutter-cpu", runtime, P)
-      for P in _CPU_PS for runtime in ("two_sided", "one_sided")],
-    *[("summit-cpu", "two_sided", P) for P in (16, 32)],
+      for P in _CPU_PS for runtime in (TWO_SIDED, ONE_SIDED)],
+    *[("summit-cpu", TWO_SIDED, P) for P in (16, 32)],
     *[("perlmutter-gpu", runtime, P)
-      for P in (2, 4) for runtime in ("shmem", "two_sided")],
-    *[("summit-gpu", "shmem", P) for P in (2, 6)],
+      for P in (2, 4) for runtime in (SHMEM, TWO_SIDED)],
+    *[("summit-gpu", SHMEM, P) for P in (2, 6)],
 )
 
 
@@ -79,7 +80,7 @@ def run_fig05(*, nx: int = 16384, iters: int = 5) -> ExperimentReport:
         )
 
     two_vs_one = [
-        t[("perlmutter-cpu", "one_sided", P)] / t[("perlmutter-cpu", "two_sided", P)]
+        t[("perlmutter-cpu", ONE_SIDED, P)] / t[("perlmutter-cpu", TWO_SIDED, P)]
         for P in _CPU_PS
     ]
     expectations = {
@@ -87,19 +88,19 @@ def run_fig05(*, nx: int = 16384, iters: int = 5) -> ExperimentReport:
             0.9 < r < 1.1 for r in two_vs_one
         ),
         "CPU stencil scales 4 -> 128 ranks": (
-            t[("perlmutter-cpu", "two_sided", 128)]
-            < t[("perlmutter-cpu", "two_sided", 4)]
+            t[("perlmutter-cpu", TWO_SIDED, 128)]
+            < t[("perlmutter-cpu", TWO_SIDED, 4)]
         ),
         "GPU (4xA100) beats CPU (128 ranks)": (
-            t[("perlmutter-gpu", "shmem", 4)]
-            < t[("perlmutter-cpu", "two_sided", 128)]
+            t[("perlmutter-gpu", SHMEM, 4)]
+            < t[("perlmutter-cpu", TWO_SIDED, 128)]
         ),
         "stencil insensitive to Summit dumbbell (6 GPUs scale)": (
-            t[("summit-gpu", "shmem", 6)] < t[("summit-gpu", "shmem", 2)]
+            t[("summit-gpu", SHMEM, 6)] < t[("summit-gpu", SHMEM, 2)]
         ),
         "GPU-initiated beats host-initiated two-sided on GPUs": (
-            t[("perlmutter-gpu", "shmem", 4)]
-            <= t[("perlmutter-gpu", "two_sided", 4)]
+            t[("perlmutter-gpu", SHMEM, 4)]
+            <= t[("perlmutter-gpu", TWO_SIDED, 4)]
         ),
     }
     return ExperimentReport(

@@ -23,6 +23,7 @@ from repro.machines.registry import get_machine
 from repro.roofline import WorkloadProfile, bound_workload
 from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.flood import run_cas_flood, run_flood
+from repro.transport import TWO_SIDED, ONE_SIDED
 
 __all__ = ["run_fig06"]
 
@@ -51,7 +52,7 @@ def _point(params, seed):
             sided=params["sided"],
             ops_per_message=params["ops"],
         )
-        runtime = "one_sided" if prof.sided == "one" else "two_sided"
+        runtime = ONE_SIDED if prof.sided == "one" else TWO_SIDED
         wb = bound_workload(machine, runtime, prof)
         return {
             "rows": [dict(r) for r in wb.rows()],
@@ -79,9 +80,9 @@ def _spec(iters: int) -> SweepSpec:
         for name, (wl, sizes, msgs, sided, ops) in _PROFILES.items()
     ]
     points += [
-        {"kind": "flood", "runtime": "two_sided", "size": 2**16, "msgs": 4,
+        {"kind": "flood", "runtime": TWO_SIDED, "size": 2**16, "msgs": 4,
          "iters": iters},
-        {"kind": "cas", "runtime": "one_sided"},
+        {"kind": "cas", "runtime": ONE_SIDED},
     ]
     return SweepSpec(
         name="fig06",
@@ -122,10 +123,10 @@ def run_fig06(*, iters: int = 2) -> ExperimentReport:
 
     # Measured dots to compare against the bounds.
     measured_notes = [
-        f"measured stencil-like flood (64 KiB x 4/sync): "
+        "measured stencil-like flood (64 KiB x 4/sync): "
         f"{stencil_bw / 1e9:.1f} GB/s",
         f"measured one-sided CAS: {cas_lat * 1e6:.2f} us "
-        f"(paper: one CAS per ~2 us => 500K GUPS/rank bound)",
+        "(paper: one CAS per ~2 us => 500K GUPS/rank bound)",
     ]
 
     sptrsv_two_us = bounds["sptrsv/two"]["time_per_sync"][0] * 1e6

@@ -16,6 +16,7 @@ from repro.experiments.report import ExperimentReport
 from repro.machines.registry import get_machine
 from repro.roofline import MessageRoofline
 from repro.sweep import SweepSpec, run_sweep
+from repro.transport import ONE_SIDED, SHMEM
 
 __all__ = ["run_fig07"]
 
@@ -27,8 +28,8 @@ _WORKLOAD_POINTS = {
 }
 
 _MACHINE_RUNTIMES = (
-    ("perlmutter-gpu", "shmem", "shmem"),
-    ("perlmutter-cpu", "one_sided", "one"),
+    ("perlmutter-gpu", SHMEM, "shmem"),
+    ("perlmutter-cpu", ONE_SIDED, "one"),
 )
 
 

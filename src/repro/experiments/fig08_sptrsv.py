@@ -23,15 +23,16 @@ from repro.experiments.report import ExperimentReport
 from repro.machines.registry import get_machine
 from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.sptrsv import MatrixSpec, generate_matrix, run_sptrsv
+from repro.transport import TWO_SIDED, ONE_SIDED, SHMEM
 
 __all__ = ["run_fig08"]
 
 _CASES = (
     *[("perlmutter-cpu", runtime, P)
-      for P in (1, 4, 16, 32) for runtime in ("two_sided", "one_sided")],
-    *[("summit-cpu", "two_sided", P) for P in (4, 16, 32, 42)],
-    *[("perlmutter-gpu", "shmem", P) for P in (1, 2, 4)],
-    *[("summit-gpu", "shmem", P) for P in (1, 2, 4, 6)],
+      for P in (1, 4, 16, 32) for runtime in (TWO_SIDED, ONE_SIDED)],
+    *[("summit-cpu", TWO_SIDED, P) for P in (4, 16, 32, 42)],
+    *[("perlmutter-gpu", SHMEM, P) for P in (1, 2, 4)],
+    *[("summit-gpu", SHMEM, P) for P in (1, 2, 4, 6)],
 )
 
 
@@ -76,31 +77,31 @@ def run_fig08(*, n_supernodes: int = 220, seed: int = 2) -> ExperimentReport:
         t[(p["machine"], p["runtime"], p["P"])] = r.value["time"]
         rows.append([p["machine"], p["runtime"], p["P"], r.value["time"] * 1e3])
 
-    ratio_4gpu = t[("summit-gpu", "shmem", 4)] / t[("perlmutter-gpu", "shmem", 4)]
+    ratio_4gpu = t[("summit-gpu", SHMEM, 4)] / t[("perlmutter-gpu", SHMEM, 4)]
     expectations = {
         "CPU: one-sided slower than two-sided (P=4)": (
-            t[("perlmutter-cpu", "one_sided", 4)]
-            > t[("perlmutter-cpu", "two_sided", 4)]
+            t[("perlmutter-cpu", ONE_SIDED, 4)]
+            > t[("perlmutter-cpu", TWO_SIDED, 4)]
         ),
         "CPU: one-sided slower than two-sided (P=32)": (
-            t[("perlmutter-cpu", "one_sided", 32)]
-            > t[("perlmutter-cpu", "two_sided", 32)]
+            t[("perlmutter-cpu", ONE_SIDED, 32)]
+            > t[("perlmutter-cpu", TWO_SIDED, 32)]
         ),
         "perlmutter GPUs scale 1 -> 4": (
-            t[("perlmutter-gpu", "shmem", 4)] < t[("perlmutter-gpu", "shmem", 1)]
+            t[("perlmutter-gpu", SHMEM, 4)] < t[("perlmutter-gpu", SHMEM, 1)]
         ),
         "perlmutter GPUs faster than summit GPUs at 4 GPUs": ratio_4gpu > 1.2,
         "single-GPU times roughly equal on the two machines": (
             0.5
-            < t[("summit-gpu", "shmem", 1)] / t[("perlmutter-gpu", "shmem", 1)]
+            < t[("summit-gpu", SHMEM, 1)] / t[("perlmutter-gpu", SHMEM, 1)]
             < 2.0
         ),
         "summit GPUs do not scale 4 -> 6": (
-            t[("summit-gpu", "shmem", 6)] > t[("summit-gpu", "shmem", 4)] * 0.85
+            t[("summit-gpu", SHMEM, 6)] > t[("summit-gpu", SHMEM, 4)] * 0.85
         ),
         "summit CPU stops scaling past 32 ranks": (
-            t[("summit-cpu", "two_sided", 42)]
-            > t[("summit-cpu", "two_sided", 32)] * 0.93
+            t[("summit-cpu", TWO_SIDED, 42)]
+            > t[("summit-cpu", TWO_SIDED, 32)] * 0.93
         ),
     }
     # Regenerate once (deterministic) for the title's size/nnz stamp.
@@ -113,8 +114,8 @@ def run_fig08(*, n_supernodes: int = 220, seed: int = 2) -> ExperimentReport:
         rows=rows,
         expectations=expectations,
         notes=[
-            f"paper matrix: 126K x 126K, 1e8 nnz (M3D-C1 via SuperLU_DIST); "
-            f"this synthetic matrix preserves the message-size distribution "
+            "paper matrix: 126K x 126K, 1e8 nnz (M3D-C1 via SuperLU_DIST); "
+            "this synthetic matrix preserves the message-size distribution "
             f"(paper ratio at 4 GPUs: 3.7x; measured here: {ratio_4gpu:.1f}x)",
         ],
     )

@@ -20,14 +20,15 @@ from repro.experiments.report import ExperimentReport
 from repro.machines.registry import get_machine
 from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.hashtable import HashTableConfig, run_hashtable
+from repro.transport import TWO_SIDED, ONE_SIDED, SHMEM
 
 __all__ = ["run_fig09"]
 
 _CASES = (
     *[("perlmutter-cpu", runtime, P)
-      for P in (2, 8, 32, 128) for runtime in ("one_sided", "two_sided")],
-    *[("perlmutter-gpu", "shmem", P) for P in (1, 2, 4)],
-    *[("summit-gpu", "shmem", P) for P in (1, 3, 4, 6)],
+      for P in (2, 8, 32, 128) for runtime in (ONE_SIDED, TWO_SIDED)],
+    *[("perlmutter-gpu", SHMEM, P) for P in (1, 2, 4)],
+    *[("summit-gpu", SHMEM, P) for P in (1, 3, 4, 6)],
 )
 
 
@@ -67,28 +68,28 @@ def run_fig09(*, total_inserts: int = 8000, seed: int = 5) -> ExperimentReport:
         )
 
     speedup_128 = (
-        t[("perlmutter-cpu", "two_sided", 128)]
-        / t[("perlmutter-cpu", "one_sided", 128)]
+        t[("perlmutter-cpu", TWO_SIDED, 128)]
+        / t[("perlmutter-cpu", ONE_SIDED, 128)]
     )
     expectations = {
         "one-sided slower than two-sided at P=2": (
-            t[("perlmutter-cpu", "one_sided", 2)]
-            > t[("perlmutter-cpu", "two_sided", 2)]
+            t[("perlmutter-cpu", ONE_SIDED, 2)]
+            > t[("perlmutter-cpu", TWO_SIDED, 2)]
         ),
         "one-sided faster at P=128 (paper: 5x)": speedup_128 > 1.5,
         "one-sided advantage grows with P": (
             speedup_128
-            > t[("perlmutter-cpu", "two_sided", 8)]
-            / t[("perlmutter-cpu", "one_sided", 8)]
+            > t[("perlmutter-cpu", TWO_SIDED, 8)]
+            / t[("perlmutter-cpu", ONE_SIDED, 8)]
         ),
         "perlmutter GPUs scale 1 -> 4": (
-            t[("perlmutter-gpu", "shmem", 4)] < t[("perlmutter-gpu", "shmem", 1)]
+            t[("perlmutter-gpu", SHMEM, 4)] < t[("perlmutter-gpu", SHMEM, 1)]
         ),
         "summit GPUs stop scaling past the island (4 >= ~3)": (
-            t[("summit-gpu", "shmem", 4)] > t[("summit-gpu", "shmem", 3)] * 0.9
+            t[("summit-gpu", SHMEM, 4)] > t[("summit-gpu", SHMEM, 3)] * 0.9
         ),
         "summit GPUs scale within the island (3 < 1)": (
-            t[("summit-gpu", "shmem", 3)] < t[("summit-gpu", "shmem", 1)]
+            t[("summit-gpu", SHMEM, 3)] < t[("summit-gpu", SHMEM, 1)]
         ),
     }
     return ExperimentReport(

@@ -20,6 +20,7 @@ from repro.experiments.report import ExperimentReport
 from repro.machines.registry import get_machine
 from repro.roofline import SplitModel
 from repro.sweep import SweepSpec, run_sweep
+from repro.transport import SHMEM
 
 __all__ = ["run_fig10"]
 
@@ -30,7 +31,7 @@ def _point(params, seed):
     """Simulated time to move ``volume`` bytes as ``split`` concurrent puts."""
     volume, k = params["volume"], params["split"]
     machine = get_machine(params["machine"])
-    job = Job(machine, 2, "shmem", placement="spread")
+    job = Job(machine, 2, SHMEM, placement="spread")
     win = job.window(max(volume // 8, 1), dtype=np.float64)
     sig = job.window(max(k, 1), dtype=np.uint64)
 

@@ -29,6 +29,7 @@ from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.hashtable import HashTableConfig, run_hashtable
 from repro.workloads.sptrsv import MatrixSpec, generate_matrix, run_sptrsv
 from repro.workloads.stencil import StencilConfig, run_stencil
+from repro.transport import SHMEM
 
 __all__ = ["run_future_frontier"]
 
@@ -44,15 +45,15 @@ def _point(params, seed):
     workload, P = params["workload"], params["P"]
     if workload == "stencil":
         cfg = StencilConfig(nx=8192, ny=8192, iters=5, mode="simulate")
-        res = run_stencil(machine, "shmem", cfg, P)
+        res = run_stencil(machine, SHMEM, cfg, P)
     elif workload == "sptrsv":
         matrix = generate_matrix(
             MatrixSpec(n_supernodes=160, width_lo=3, width_hi=130, seed=6)
         )
-        res = run_sptrsv(machine, "shmem", matrix, P)
+        res = run_sptrsv(machine, SHMEM, matrix, P)
     else:
         res = run_hashtable(
-            machine, "shmem", HashTableConfig(total_inserts=4000, seed=6), P
+            machine, SHMEM, HashTableConfig(total_inserts=4000, seed=6), P
         )
     return {"time": res.time}
 
@@ -110,7 +111,7 @@ def run_future_frontier() -> ExperimentReport:
             "frontier-gpu* is a projection, not a paper result: link rates "
             "from public MI250X specs, ROC_SHMEM wait_until_any emulated in "
             "software (see DESIGN.md)",
-            f"SpTRSV at 4 GPUs: Frontier projection "
+            "SpTRSV at 4 GPUs: Frontier projection "
             f"{sptrsv_fr / sptrsv_pm:.2f}x slower than A100+NVSHMEM — the "
             "quantitative case for adding the wait primitive to ROC_SHMEM",
         ],

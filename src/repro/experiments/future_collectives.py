@@ -28,6 +28,7 @@ from repro.comm.gpu_collectives import run_ring_allreduce
 from repro.experiments.report import ExperimentReport
 from repro.machines.registry import get_machine
 from repro.sweep import SweepSpec, run_sweep
+from repro.transport import TWO_SIDED
 
 __all__ = ["run_future_collectives"]
 
@@ -36,7 +37,7 @@ _VARIANTS = ("host-mpi", "gpu-ring", "gpu-ring-x4")
 
 
 def _host_allreduce_time(machine, nranks: int, nelems: int) -> float:
-    job = Job(machine, nranks, "two_sided", placement="spread")
+    job = Job(machine, nranks, TWO_SIDED, placement="spread")
 
     def program(ctx):
         yield from ctx.barrier()

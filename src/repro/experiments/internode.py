@@ -23,6 +23,7 @@ from repro.machines.cluster import FABRICS, make_cluster
 from repro.machines.registry import get_machine
 from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.flood import run_flood
+from repro.transport import TWO_SIDED, ONE_SIDED
 
 __all__ = ["run_internode"]
 
@@ -54,7 +55,7 @@ def _spec(iters: int) -> SweepSpec:
             {"fabric": fabric, "machine": base, "fabric_key": key,
              "placement": placement, "runtime": runtime, "size": B, "msgs": n}
             for fabric, base, key, placement in _CASES
-            for runtime in ("two_sided", "one_sided")
+            for runtime in (TWO_SIDED, ONE_SIDED)
             for B in (64, 65536, 4194304)
             for n in (1, 256)
         ],
@@ -87,24 +88,24 @@ def run_internode(*, iters: int = 2) -> ExperimentReport:
     big, hi_n = 4194304, 256
     expectations = {
         "SS-11 bandwidth NIC-bound (~25 GB/s < 32 on-node)": (
-            22e9 < bw[("perlmutter SS-11", "one_sided", big, hi_n)] < 25.5e9
+            22e9 < bw[("perlmutter SS-11", ONE_SIDED, big, hi_n)] < 25.5e9
         ),
         "IB bandwidth NIC-bound (~12.5 GB/s)": (
-            10e9 < bw[("summit IB-EDR", "two_sided", big, hi_n)] < 13e9
+            10e9 < bw[("summit IB-EDR", TWO_SIDED, big, hi_n)] < 13e9
         ),
         "switch roughly doubles small-message latency": (
             1.6
-            < lat[("perlmutter SS-11", "two_sided", 64, 1)]
-            / lat[("perlmutter on-node", "two_sided", 64, 1)]
+            < lat[("perlmutter SS-11", TWO_SIDED, 64, 1)]
+            / lat[("perlmutter on-node", TWO_SIDED, 64, 1)]
             < 3.5
         ),
         "CrayMPI: one-sided still wins at high msg/sync inter-node": (
-            bw[("perlmutter SS-11", "one_sided", 64, hi_n)]
-            > bw[("perlmutter SS-11", "two_sided", 64, hi_n)]
+            bw[("perlmutter SS-11", ONE_SIDED, 64, hi_n)]
+            > bw[("perlmutter SS-11", TWO_SIDED, 64, hi_n)]
         ),
         "Spectrum: one-sided still loses inter-node": (
-            bw[("summit IB-EDR", "one_sided", 64, hi_n)]
-            <= bw[("summit IB-EDR", "two_sided", 64, hi_n)] * 1.05
+            bw[("summit IB-EDR", ONE_SIDED, 64, hi_n)]
+            <= bw[("summit IB-EDR", TWO_SIDED, 64, hi_n)] * 1.05
         ),
     }
     return ExperimentReport(

@@ -10,6 +10,7 @@ from repro.experiments.report import ExperimentReport
 from repro.machines import get_machine, machine_names, table1_row
 from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.instrument import characterize_workloads
+from repro.transport import TWO_SIDED, ONE_SIDED, SHMEM
 
 __all__ = ["run_table1", "run_table2"]
 
@@ -38,12 +39,12 @@ def run_table1() -> ExperimentReport:
     expectations = {
         "five platform views registered": len(rows) == 5,
         "both GPU machines expose NVSHMEM-style runtime": all(
-            "shmem" in r[3]
+            SHMEM in r[3]
             for r in rows
             if r[0] in ("perlmutter-gpu", "summit-gpu")
         ),
         "all CPU machines expose both MPI runtimes": all(
-            "one_sided" in r[3] and "two_sided" in r[3]
+            ONE_SIDED in r[3] and TWO_SIDED in r[3]
             for r in rows
             if r[0].endswith("-cpu") and "gpu" not in r[0]
         ),

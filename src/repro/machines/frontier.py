@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.machines.base import CommCosts, GpuSpec, MachineModel
 from repro.machines.perlmutter import CRAYMPI_ONE_SIDED, CRAYMPI_TWO_SIDED
+from repro.transport import ONE_SIDED, SHMEM, TWO_SIDED
 from repro.net.loggp import LinkParams
 from repro.net.topology import TopologySpec
 from repro.util.units import GBps, us
@@ -61,8 +62,8 @@ def frontier_cpu() -> MachineModel:
         topology=topo,
         compute_endpoints=["numa0", "numa1"],
         runtimes={
-            "two_sided": CRAYMPI_TWO_SIDED,
-            "one_sided": CRAYMPI_ONE_SIDED,
+            TWO_SIDED: CRAYMPI_TWO_SIDED,
+            ONE_SIDED: CRAYMPI_ONE_SIDED,
         },
         cores_per_endpoint=32,
         mem_bandwidth_per_endpoint=GBps(102.4),
@@ -139,7 +140,7 @@ def frontier_gpu_projection() -> MachineModel:
         "with software-emulated signal waiting",
         topology=topo,
         compute_endpoints=gpus,
-        runtimes={"shmem": ROCSHMEM_PROJECTED},
+        runtimes={SHMEM: ROCSHMEM_PROJECTED},
         cores_per_endpoint=1,
         mem_bandwidth_per_endpoint=GBps(204.8),
         gpu=GpuSpec(

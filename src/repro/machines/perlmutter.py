@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from repro.machines.base import CommCosts, GpuSpec, MachineModel
 from repro.net.loggp import LinkParams
+from repro.transport import ONE_SIDED, SHMEM, TWO_SIDED
 from repro.net.topology import TopologySpec
 from repro.util.units import GBps, us
 
@@ -81,8 +82,8 @@ def perlmutter_cpu() -> MachineModel:
         topology=topo,
         compute_endpoints=["cpu0", "cpu1"],
         runtimes={
-            "two_sided": CRAYMPI_TWO_SIDED,
-            "one_sided": CRAYMPI_ONE_SIDED,
+            TWO_SIDED: CRAYMPI_TWO_SIDED,
+            ONE_SIDED: CRAYMPI_ONE_SIDED,
         },
         cores_per_endpoint=64,
         mem_bandwidth_per_endpoint=GBps(204.8),
@@ -160,8 +161,8 @@ def perlmutter_gpu() -> MachineModel:
         topology=topo,
         compute_endpoints=gpus,
         runtimes={
-            "shmem": NVSHMEM_PERLMUTTER,
-            "two_sided": CUDA_AWARE_TWO_SIDED,
+            SHMEM: NVSHMEM_PERLMUTTER,
+            TWO_SIDED: CUDA_AWARE_TWO_SIDED,
         },
         cores_per_endpoint=1,
         mem_bandwidth_per_endpoint=GBps(204.8),

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.machines.base import CommCosts, GpuSpec, MachineModel
 from repro.net.loggp import LinkParams
+from repro.transport import ONE_SIDED, SHMEM, TWO_SIDED
 from repro.net.topology import TopologySpec
 from repro.util.units import GBps, us
 
@@ -130,8 +131,8 @@ def summit_cpu() -> MachineModel:
         topology=_summit_topology(),
         compute_endpoints=["cpu0", "cpu1"],
         runtimes={
-            "two_sided": SPECTRUM_TWO_SIDED,
-            "one_sided": SPECTRUM_ONE_SIDED,
+            TWO_SIDED: SPECTRUM_TWO_SIDED,
+            ONE_SIDED: SPECTRUM_ONE_SIDED,
         },
         cores_per_endpoint=21,
         mem_bandwidth_per_endpoint=GBps(135),
@@ -150,8 +151,8 @@ def summit_gpu() -> MachineModel:
         topology=_summit_topology(),
         compute_endpoints=[f"gpu{i}" for i in range(6)],
         runtimes={
-            "shmem": NVSHMEM_SUMMIT,
-            "two_sided": CUDA_AWARE_TWO_SIDED_SUMMIT,
+            SHMEM: NVSHMEM_SUMMIT,
+            TWO_SIDED: CUDA_AWARE_TWO_SIDED_SUMMIT,
         },
         cores_per_endpoint=1,
         mem_bandwidth_per_endpoint=GBps(135),

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.transport import SHMEM
 from repro.util.validation import check_non_negative, check_positive
 
 __all__ = ["SplitModel"]
@@ -62,12 +63,12 @@ class SplitModel:
             raise ValueError(f"channels must be >= 1, got {self.channels}")
 
     @classmethod
-    def from_machine(cls, machine, src: str, dst: str, runtime: str = "shmem") -> "SplitModel":
+    def from_machine(cls, machine, src: str, dst: str, runtime: str = SHMEM) -> "SplitModel":
         """Build from a machine's topology and runtime profile."""
         link = machine.topology.link_params(src, dst)
         inj = machine.topology.injection.get(src)
         costs = machine.runtime(runtime)
-        o = costs.put_signal if runtime == "shmem" else costs.isend
+        o = costs.put_signal if runtime == SHMEM else costs.isend
         return cls(
             o=o,
             L=link.latency,

@@ -1,0 +1,56 @@
+"""repro.transport — runtime-neutral communication channels.
+
+Write each workload once against the :class:`Endpoint` verbs; pick the
+runtime by backend name at ``Job`` construction.  See docs/TRANSPORT.md.
+"""
+
+from repro.transport.api import (
+    AtomicDomainSpec,
+    BackendCaps,
+    BatchSpec,
+    Channel,
+    Endpoint,
+    HaloSpec,
+    MailboxMsg,
+    MailboxSpec,
+    SpaceSpec,
+    TransportError,
+    UnknownBackendError,
+    UnsupportedTransportOp,
+)
+from repro.transport.registry import (
+    ONE_SIDED,
+    ONE_SIDED_HW,
+    SHMEM,
+    TWO_SIDED,
+    TransportBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+    _load_builtins,
+)
+
+_load_builtins()
+
+__all__ = [
+    "TWO_SIDED",
+    "ONE_SIDED",
+    "SHMEM",
+    "ONE_SIDED_HW",
+    "TransportBackend",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+    "TransportError",
+    "UnknownBackendError",
+    "UnsupportedTransportOp",
+    "BackendCaps",
+    "HaloSpec",
+    "MailboxMsg",
+    "MailboxSpec",
+    "BatchSpec",
+    "SpaceSpec",
+    "AtomicDomainSpec",
+    "Channel",
+    "Endpoint",
+]

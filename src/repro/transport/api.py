@@ -1,0 +1,291 @@
+"""Runtime-neutral transport API: specs, channels, and endpoint verbs.
+
+The paper's central comparison — two-sided MPI vs one-sided MPI RMA vs
+GPU-initiated NVSHMEM — maps onto four *communication patterns* that the
+workloads use.  Each pattern is described by a declarative spec and served
+by a per-backend :class:`Channel`:
+
+======================  ==============================  ====================
+pattern / spec          verbs (on the rank Endpoint)    used by
+======================  ==============================  ====================
+:class:`HaloSpec`       ``begin / put / finish``        stencil (BSP halos)
+:class:`MailboxSpec`    ``expect / send / recv /        SpTRSV (notified
+                        drain``                         point-to-point)
+:class:`BatchSpec`      ``post / commit / wait_batch``  flood (bandwidth)
+:class:`AtomicDomainSpec`  ``cas / faa / swap /         hashtable, CAS flood
+                        publish / native_cas``
+======================  ==============================  ====================
+
+A workload is written *once* against these verbs; the backend chosen by
+name (see :mod:`repro.transport.registry`) supplies the op sequence with
+the paper-calibrated accounting:
+
+* two-sided: 2 ops per message (``Isend`` + matching receive);
+* one-sided MPI: the 4-op emulation — ``Put``, ``Win_flush``,
+  ``Put(signal)``, ``Win_flush`` — with the Listing-1 software polling
+  receiver;
+* NVSHMEM: fused ``put_signal_nbi`` + hardware ``wait_until`` waits.
+
+Verbs are simulation generators: call them with ``yield from`` inside a
+rank program.  A verb that is a pure no-op for some backend still yields
+zero events, so programs never branch on the backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "TransportError",
+    "UnknownBackendError",
+    "UnsupportedTransportOp",
+    "BackendCaps",
+    "HaloSpec",
+    "MailboxMsg",
+    "MailboxSpec",
+    "BatchSpec",
+    "SpaceSpec",
+    "AtomicDomainSpec",
+    "Channel",
+    "Endpoint",
+]
+
+
+class TransportError(RuntimeError):
+    """Base class for transport-layer failures."""
+
+
+class UnknownBackendError(TransportError, ValueError):
+    """Raised for a runtime/backend name that is not registered."""
+
+    def __init__(self, name: str, valid: Sequence[str]):
+        self.name = name
+        self.valid = tuple(valid)
+        super().__init__(
+            f"unknown runtime backend {name!r}; valid backends: "
+            + ", ".join(repr(v) for v in self.valid)
+        )
+
+
+class UnsupportedTransportOp(TransportError):
+    """A verb the selected backend does not implement for this pattern."""
+
+    def __init__(self, backend: str, op: str):
+        super().__init__(f"backend {backend!r} does not support {op}")
+
+
+@dataclass(frozen=True)
+class BackendCaps:
+    """What a backend can do natively (programs may branch on these to
+    pick an algorithm, never to pick an op sequence)."""
+
+    remote_atomics: bool = True  # true sender's-control CAS/FAA/swap
+    ops_per_message: int = 2  # paper Table I accounting
+    gpu_initiated: bool = False
+
+
+# ---------------------------------------------------------------------------
+# pattern specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HaloSpec:
+    """BSP halo exchange: every rank swaps fixed strips with its grid
+    neighbours each iteration.
+
+    All maps are *global* (rank-indexed) because one-sided puts target the
+    receiver's window layout, which differs from the sender's when blocks
+    are uneven.
+    """
+
+    # segment name -> signal-slot / tag index (e.g. north=0 .. east=3).
+    slot: Mapping[str, int]
+    # segment name -> the segment the receiver reads it from.
+    opposite: Mapping[str, str]
+    # rank -> {segment name -> neighbour rank}, in exchange order.
+    neighbors: Mapping[int, Mapping[str, int]]
+    # rank -> {segment name -> (offset, nelems)} window layout.
+    segments: Mapping[int, Mapping[str, tuple[int, int]]]
+    # rank -> total elems of that rank's halo layout (buffer stride).
+    counts: Mapping[int, int]
+    # symmetric window allocation (max layout across ranks).
+    win_count: int
+    dtype: Any = np.float64
+
+    @property
+    def itemsize(self) -> int:
+        return np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class MailboxMsg:
+    """One expected notified message: a receive slot, its payload length
+    in words, and opaque metadata handed back by ``recv``."""
+
+    slot: int
+    words: int
+    meta: Any = None
+
+
+@dataclass(frozen=True)
+class MailboxSpec:
+    """Notified point-to-point messages into pre-planned receive slots
+    (SpTRSV's one-message-per-sync pattern)."""
+
+    # Symmetric data window size in words; >= any rank's slot layout.
+    data_words: int
+    # Symmetric signal window size; >= any rank's expected-message count.
+    nslots: int
+    # rank -> word offset of each receive slot in its data window.
+    offsets: Mapping[int, Sequence[int]]
+    word_bytes: float = 8.0
+    dtype: Any = np.float64
+    signal_dtype: Any = np.int64
+    # Copy payloads out of the data window on recv (execute mode).
+    read_data: bool = False
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """Flood batches: n back-to-back messages rank->rank, then one
+    synchronisation (the paper's msg/sync axis)."""
+
+    nbytes: int
+    dtype: Any = np.float64
+    nsignals: int = 4
+
+    @property
+    def nelems(self) -> int:
+        return max(int(self.nbytes // np.dtype(self.dtype).itemsize), 1)
+
+
+@dataclass(frozen=True)
+class SpaceSpec:
+    """One named symmetric array in an atomic domain."""
+
+    count: int
+    dtype: Any = np.int64
+    fill: Any = 0
+
+
+@dataclass(frozen=True)
+class AtomicDomainSpec:
+    """A set of named symmetric spaces targeted by remote atomics
+    (hashtable's table/chain/heap/meta, the CAS flood's counter)."""
+
+    spaces: Mapping[str, SpaceSpec] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# channel / endpoint contract
+# ---------------------------------------------------------------------------
+
+
+class Channel:
+    """Per-job communication resources for one pattern (windows, signal
+    slots, or nothing at all for pure two-sided messaging).
+
+    Created by ``Job.channel(spec)`` before the run; each rank program
+    derives its :class:`Endpoint` with ``channel.endpoint(ctx)`` at zero
+    simulated cost.
+    """
+
+    def __init__(self, backend, job, spec):
+        self.backend = backend
+        self.job = job
+        self.spec = spec
+
+    @property
+    def caps(self) -> BackendCaps:
+        return self.backend.caps
+
+    def endpoint(self, ctx) -> "Endpoint":
+        raise NotImplementedError
+
+    # Atomic domains expose the backing arrays for post-run collection.
+    def array(self, space: str, rank: int) -> np.ndarray:
+        raise UnsupportedTransportOp(self.backend.name, "array()")
+
+
+class Endpoint:
+    """One rank's verbs on a channel.  Subclasses implement the verb set
+    matching their channel's spec; everything else raises
+    :class:`UnsupportedTransportOp`.
+    """
+
+    def __init__(self, channel: Channel, ctx):
+        self.channel = channel
+        self.ctx = ctx
+        self.spec = channel.spec
+
+    @property
+    def caps(self) -> BackendCaps:
+        return self.channel.caps
+
+    def _unsupported(self, op: str):
+        raise UnsupportedTransportOp(self.channel.backend.name, op)
+
+    # -- halo ----------------------------------------------------------
+    def begin(self, it: int):
+        self._unsupported("begin")
+
+    def put(self, seg: str, dst: int, values=None):
+        self._unsupported("put")
+
+    def finish(self, it: int):
+        self._unsupported("finish")
+
+    # -- mailbox -------------------------------------------------------
+    def expect(self, msgs: Mapping[int, MailboxMsg]) -> None:
+        self._unsupported("expect")
+
+    def send(self, dst: int, slot: int, *, words: int, values=None,
+             meta=None, tag: int = 0):
+        self._unsupported("send")
+
+    def recv(self):
+        self._unsupported("recv")
+
+    def drain(self):
+        self._unsupported("drain")
+
+    # -- batch ---------------------------------------------------------
+    def post(self, dst: int):
+        self._unsupported("post")
+
+    def commit(self, dst: int, it: int):
+        self._unsupported("commit")
+
+    def wait_batch(self, src: int, it: int, n: int):
+        self._unsupported("wait_batch")
+
+    # -- atomic domain -------------------------------------------------
+    def local(self, space: str) -> np.ndarray:
+        self._unsupported("local")
+
+    def cas(self, space: str, dst: int, offset: int, compare: int, value: int):
+        self._unsupported("cas")
+
+    def faa(self, space: str, dst: int, offset: int, value: int):
+        self._unsupported("faa")
+
+    def swap(self, space: str, dst: int, offset: int, value: int):
+        self._unsupported("swap")
+
+    def publish(self, space: str, dst: int, values, *, offset: int = 0):
+        self._unsupported("publish")
+
+    def native_cas(self, space: str, dst: int, offset: int, compare: int,
+                   value: int):
+        self._unsupported("native_cas")
+
+    def post_msg(self, dst: int, *, nbytes: float, payload=None, tag: int = 0):
+        self._unsupported("post_msg")
+
+    def recv_msg_poll(self, tag: int = 0):
+        self._unsupported("recv_msg_poll")

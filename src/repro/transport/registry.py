@@ -1,0 +1,144 @@
+"""Backend registry: the single home of runtime names.
+
+Every runtime the repo knows about is a :class:`TransportBackend`
+registered here under its name.  ``Job`` resolves the name through
+:func:`get_backend`, so the string literals ``"two_sided"``,
+``"one_sided"``, ``"shmem"`` (NVSHMEM) and ``"one_sided_hw"`` appear in
+exactly one place — import the constants instead of spelling them out.
+
+Adding a runtime is a single file: subclass :class:`TransportBackend`
+(usually one of the built-in adapters), give it a ``name`` and a
+``costs_key``, and call :func:`register_backend`.  No workload code
+changes — see ``examples/custom_backend.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.transport.api import (
+    AtomicDomainSpec,
+    BackendCaps,
+    BatchSpec,
+    Channel,
+    HaloSpec,
+    MailboxSpec,
+    UnknownBackendError,
+)
+
+__all__ = [
+    "TWO_SIDED",
+    "ONE_SIDED",
+    "SHMEM",
+    "ONE_SIDED_HW",
+    "TransportBackend",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+]
+
+# Canonical runtime names (the CommCosts keys machines are calibrated
+# with).  "shmem" is the NVSHMEM GPU-initiated runtime.
+TWO_SIDED = "two_sided"
+ONE_SIDED = "one_sided"
+SHMEM = "shmem"
+# Hypothetical CrayMPI with hardware put-with-signal (DESIGN.md ablation
+# #3): the 4-op one-sided emulation fused into one op.
+ONE_SIDED_HW = "one_sided_hw"
+
+_REGISTRY: dict[str, "TransportBackend"] = {}
+_BUILTINS_LOADED = False
+
+
+class TransportBackend:
+    """A named runtime adapter: context class + cost profile + channels.
+
+    Class attributes:
+
+    * ``name`` — registry key and ``--runtime`` value;
+    * ``costs_key`` — the machine's :class:`CommCosts` entry to charge
+      (defaults to ``name``);
+    * ``sided`` — op-accounting family for the analytic rooflines
+      (``"two"`` | ``"one"`` | ``"shmem"``);
+    * ``caps`` — :class:`BackendCaps` programs may branch on.
+    """
+
+    name: str = ""
+    costs_key: str | None = None
+    sided: str = "two"
+    caps: BackendCaps = BackendCaps()
+    description: str = ""
+
+    @property
+    def context_cls(self):
+        from repro.comm.context import RankContext
+
+        return RankContext
+
+    def resolve_costs_key(self) -> str:
+        return self.costs_key if self.costs_key is not None else self.name
+
+    # -- channel factory -----------------------------------------------
+
+    def open(self, job, spec: Any) -> Channel:
+        """Allocate the channel resources for ``spec`` on ``job``."""
+        if isinstance(spec, HaloSpec):
+            return self.open_halo(job, spec)
+        if isinstance(spec, MailboxSpec):
+            return self.open_mailbox(job, spec)
+        if isinstance(spec, BatchSpec):
+            return self.open_batch(job, spec)
+        if isinstance(spec, AtomicDomainSpec):
+            return self.open_atomics(job, spec)
+        raise TypeError(f"unknown channel spec {type(spec).__name__}")
+
+    def open_halo(self, job, spec: HaloSpec) -> Channel:
+        raise NotImplementedError(f"{self.name}: halo channels unsupported")
+
+    def open_mailbox(self, job, spec: MailboxSpec) -> Channel:
+        raise NotImplementedError(f"{self.name}: mailbox channels unsupported")
+
+    def open_batch(self, job, spec: BatchSpec) -> Channel:
+        raise NotImplementedError(f"{self.name}: batch channels unsupported")
+
+    def open_atomics(self, job, spec: AtomicDomainSpec) -> Channel:
+        raise NotImplementedError(f"{self.name}: atomic channels unsupported")
+
+
+def register_backend(backend: TransportBackend, *, replace: bool = False) -> TransportBackend:
+    """Register ``backend`` under ``backend.name``; returns it for chaining."""
+    if not backend.name:
+        raise ValueError("backend must define a non-empty name")
+    if backend.name in _REGISTRY and not replace:
+        raise ValueError(f"backend {backend.name!r} already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def _load_builtins() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    # Imported lazily so this module stays import-cycle-free: the backend
+    # modules pull in comm.context/window/shmem, which must not be loaded
+    # just to resolve a name constant.
+    from repro.transport import two_sided  # noqa: F401
+    from repro.transport import rma  # noqa: F401
+    from repro.transport import shmem  # noqa: F401
+    from repro.transport import hw  # noqa: F401
+
+
+def get_backend(name: str) -> TransportBackend:
+    """Resolve a runtime name, with a listing of valid names on miss."""
+    _load_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownBackendError(name, backend_names()) from None
+
+
+def backend_names() -> tuple[str, ...]:
+    """All registered runtime names, built-ins first."""
+    _load_builtins()
+    return tuple(_REGISTRY)

@@ -1,0 +1,239 @@
+"""One-sided MPI RMA backend over :class:`repro.comm.window.Window`.
+
+Paper accounting (Table I): a notified message is the 4-op emulation —
+``Put(data)``, ``Win_flush``, ``Put(signal)``, ``Win_flush`` — and the
+receiver runs the user-implemented Listing-1 polling loop, paying
+``poll_slot`` per still-outstanding slot per scan.  BSP exchanges use
+``Put`` bracketed by a pair of ``Win_fence``.  Remote atomics are native
+(MPI_Compare_and_swap / MPI_Fetch_and_op).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transport.api import (
+    AtomicDomainSpec,
+    BackendCaps,
+    BatchSpec,
+    Channel,
+    Endpoint,
+    HaloSpec,
+    MailboxSpec,
+)
+from repro.transport.registry import ONE_SIDED, TransportBackend, register_backend
+
+__all__ = ["RmaBackend"]
+
+
+class _HaloChannel(Channel):
+    def __init__(self, backend, job, spec: HaloSpec):
+        super().__init__(backend, job, spec)
+        self.win = job.window(spec.win_count, dtype=spec.dtype)
+
+    def endpoint(self, ctx):
+        return _HaloEndpoint(self, ctx)
+
+
+class _HaloEndpoint(Endpoint):
+    """Puts within a pair of ``Win_fence`` (paper §III-A)."""
+
+    def __init__(self, channel, ctx):
+        super().__init__(channel, ctx)
+        self.win = channel.win
+        self.h = channel.win.handle(ctx)
+
+    def begin(self, it):
+        # Epoch open (paper: "four MPI_Put within a pair of MPI_Win_fence").
+        yield from self.h.fence()
+
+    def put(self, seg, dst, values=None):
+        # Data lands in the segment the *receiver* reads for the opposite
+        # direction (blocks can be uneven, so layouts differ per rank).
+        seg_dir = self.spec.opposite[seg]
+        offset, length = self.spec.segments[dst][seg_dir]
+        if values is not None:
+            yield from self.h.put(dst, values, offset=offset)
+        else:
+            yield from self.h.put(dst, nelems=length, offset=offset)
+
+    def finish(self, it):
+        yield from self.h.fence()
+        received = {}
+        for d in self.spec.neighbors[self.ctx.rank]:
+            offset, length = self.spec.segments[self.ctx.rank][d]
+            received[d] = self.win.local(self.ctx.rank)[offset : offset + length]
+        return received
+
+
+class _MailboxChannel(Channel):
+    def __init__(self, backend, job, spec: MailboxSpec):
+        super().__init__(backend, job, spec)
+        self.data_win = job.window(max(spec.data_words, 1), dtype=spec.dtype)
+        self.sig_win = job.window(max(spec.nslots, 1), dtype=spec.signal_dtype)
+
+    def endpoint(self, ctx):
+        return _MailboxEndpoint(self, ctx)
+
+
+class _MailboxEndpoint(Endpoint):
+    """4-op notified send + the Listing-1 polling receiver."""
+
+    def __init__(self, channel, ctx):
+        super().__init__(channel, ctx)
+        self.data_win = channel.data_win
+        self.sig_win = channel.sig_win
+        self.h_data = channel.data_win.handle(ctx)
+        self.h_sig = channel.sig_win.handle(ctx)
+        self._one = np.ones(1, dtype=channel.sig_win.dtype)
+        self._remaining: dict = {}
+        self._hits: list = []
+
+    def expect(self, msgs):
+        self._remaining = dict(msgs)
+        self._hits = []
+
+    def send(self, dst, slot, *, words, values=None, meta=None, tag=0):
+        offset = self.spec.offsets[dst][slot]
+        if values is not None:
+            yield from self.h_data.put(dst, values, offset=offset)
+        else:
+            yield from self.h_data.put(dst, nelems=words, offset=offset)
+        yield from self.h_data.flush(dst)
+        yield from self.h_sig.put(dst, self._one, offset=slot)
+        yield from self.h_sig.flush(dst)
+
+    def recv(self):
+        ctx = self.ctx
+        # Listing 1: scan the mask of outstanding slots; each pass costs
+        # poll_slot per unmasked entry.  Slots that fired together are
+        # handed out one recv() at a time without rescanning.
+        while not self._hits:
+            scan = ctx.costs.poll_slot * len(self._remaining)
+            if scan > 0:
+                yield ctx.sim.timeout(scan)
+            sig = self.sig_win.local(ctx.rank)
+            hit = [s for s in self._remaining if sig[s] >= 1]
+            if not hit:
+                yield self.sig_win.on_write(ctx.rank)
+                continue
+            self._hits.extend(self._remaining.pop(s) for s in hit)
+        m = self._hits.pop(0)
+        return m.meta, self._read(m)
+
+    def _read(self, m):
+        if not self.spec.read_data:
+            return None
+        off = self.spec.offsets[self.ctx.rank][m.slot]
+        return np.array(
+            self.data_win.local(self.ctx.rank)[off : off + m.words], copy=True
+        )
+
+    def drain(self):
+        return
+        yield  # pragma: no cover - makes drain a (no-op) generator
+
+
+class _BatchChannel(Channel):
+    def __init__(self, backend, job, spec: BatchSpec):
+        super().__init__(backend, job, spec)
+        self.data_win = job.window(spec.nelems, dtype=spec.dtype)
+        self.sig_win = job.window(spec.nsignals, dtype=np.int64)
+
+    def endpoint(self, ctx):
+        return _BatchEndpoint(self, ctx)
+
+
+class _BatchEndpoint(Endpoint):
+    """``Put`` x n + flush, then the put/flush signal pair; receiver polls
+    (4 MPI ops per synchronised message group)."""
+
+    def __init__(self, channel, ctx):
+        super().__init__(channel, ctx)
+        self.sig_win = channel.sig_win
+        self.h = channel.data_win.handle(ctx)
+        self.h_sig = channel.sig_win.handle(ctx)
+
+    def post(self, dst):
+        yield from self.h.put(dst, nelems=self.spec.nelems)
+
+    def commit(self, dst, it):
+        yield from self.h.flush(dst)
+        yield from self.h_sig.put(
+            dst, np.array([it + 1], dtype=np.int64), offset=0
+        )
+        yield from self.h_sig.flush(dst)
+
+    def wait_batch(self, src, it, n):
+        yield from self.ctx.poll_wait_signals(self.sig_win, [0], 1, value=it + 1)
+
+
+class _AtomicChannel(Channel):
+    def __init__(self, backend, job, spec: AtomicDomainSpec):
+        super().__init__(backend, job, spec)
+        self.wins = {
+            name: job.window(s.count, dtype=s.dtype, fill=s.fill)
+            for name, s in spec.spaces.items()
+        }
+
+    def endpoint(self, ctx):
+        return _AtomicEndpoint(self, ctx)
+
+    def array(self, space, rank):
+        return self.wins[space].local(rank)
+
+
+class _AtomicEndpoint(Endpoint):
+    """Native remote atomics (MPI_Compare_and_swap / MPI_Fetch_and_op)."""
+
+    def __init__(self, channel, ctx):
+        super().__init__(channel, ctx)
+        self.h = {name: win.handle(ctx) for name, win in channel.wins.items()}
+
+    def local(self, space):
+        return self.channel.wins[space].local(self.ctx.rank)
+
+    def cas(self, space, dst, offset, compare, value):
+        old = yield from self.h[space].cas_blocking(dst, offset, compare, value)
+        return old
+
+    def faa(self, space, dst, offset, value):
+        old = yield from self.h[space].faa_blocking(dst, offset, value)
+        return old
+
+    def swap(self, space, dst, offset, value):
+        req = yield from self.h[space].fetch_and_replace(dst, offset, value)
+        old = yield from self.ctx.wait(req)
+        return old
+
+    def publish(self, space, dst, values, *, offset=0):
+        # flush_local orders the element write before any subsequent op
+        # from this origin.
+        yield from self.h[space].put(dst, values, offset=offset)
+        yield from self.h[space].flush_local(dst)
+
+    def native_cas(self, space, dst, offset, compare, value):
+        old = yield from self.h[space].cas_blocking(dst, offset, compare, value)
+        return old
+
+
+class RmaBackend(TransportBackend):
+    name = ONE_SIDED
+    sided = "one"
+    caps = BackendCaps(remote_atomics=True, ops_per_message=4)
+    description = "one-sided MPI RMA: 4-op put/flush/signal + Listing-1 polling"
+
+    def open_halo(self, job, spec: HaloSpec):
+        return _HaloChannel(self, job, spec)
+
+    def open_mailbox(self, job, spec: MailboxSpec):
+        return _MailboxChannel(self, job, spec)
+
+    def open_batch(self, job, spec: BatchSpec):
+        return _BatchChannel(self, job, spec)
+
+    def open_atomics(self, job, spec: AtomicDomainSpec):
+        return _AtomicChannel(self, job, spec)
+
+
+register_backend(RmaBackend())

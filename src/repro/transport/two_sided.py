@@ -1,0 +1,197 @@
+"""Two-sided MPI backend: tagged ``Isend``/``Irecv``/``Recv`` over
+:class:`repro.comm.context.RankContext`.
+
+Paper accounting: 2 ops per message (the send and its matching receive);
+synchronisation is carried by the message matching itself — no windows,
+no signals.  Remote atomics are not native: the atomic-domain channel
+exposes owner-routed triplet messaging instead (``post_msg`` /
+``recv_msg_poll``), the hashtable's two-sided design.
+"""
+
+from __future__ import annotations
+
+from repro.transport.api import (
+    AtomicDomainSpec,
+    BackendCaps,
+    BatchSpec,
+    Channel,
+    Endpoint,
+    HaloSpec,
+    MailboxSpec,
+)
+from repro.transport.registry import TWO_SIDED, TransportBackend, register_backend
+
+__all__ = ["TwoSidedBackend"]
+
+
+class _HaloChannel(Channel):
+    def endpoint(self, ctx):
+        return _HaloEndpoint(self, ctx)
+
+
+class _HaloEndpoint(Endpoint):
+    """Four ``Irecv`` + four ``Isend`` + ``Waitall`` per iteration."""
+
+    def __init__(self, channel, ctx):
+        super().__init__(channel, ctx)
+        self._recvs: list = []
+        self._sends: list = []
+
+    def begin(self, it):
+        self._recvs = []
+        self._sends = []
+        for d, nb in self.spec.neighbors[self.ctx.rank].items():
+            r = yield from self.ctx.irecv(source=nb, tag=self.spec.slot[d])
+            self._recvs.append((d, r))
+
+    def put(self, seg, dst, values=None):
+        payload = values.copy() if values is not None else None
+        # Tag by the direction the receiver sees it coming from.
+        tag = self.spec.slot[self.spec.opposite[seg]]
+        nelems = self.spec.segments[self.ctx.rank][seg][1]
+        s = yield from self.ctx.isend(
+            dst, nbytes=nelems * self.spec.itemsize, tag=tag, payload=payload
+        )
+        self._sends.append(s)
+
+    def finish(self, it):
+        yield from self.ctx.waitall([r for _, r in self._recvs] + self._sends)
+        received = {}
+        for d, r in self._recvs:
+            data, _status = r.value
+            received[d] = data
+        return received
+
+
+class _MailboxChannel(Channel):
+    def endpoint(self, ctx):
+        return _MailboxEndpoint(self, ctx)
+
+
+class _MailboxEndpoint(Endpoint):
+    """``Isend`` + blocking ``Recv(ANY_SOURCE)``; sends drained at the end."""
+
+    def __init__(self, channel, ctx):
+        super().__init__(channel, ctx)
+        self._send_reqs: list = []
+
+    def expect(self, msgs):
+        pass  # matching is carried by the messages themselves
+
+    def send(self, dst, slot, *, words, values=None, meta=None, tag=0):
+        r = yield from self.ctx.isend(
+            dst,
+            nbytes=words * self.spec.word_bytes,
+            tag=tag,
+            payload=(meta, values),
+        )
+        self._send_reqs.append(r)
+
+    def recv(self):
+        (payload, _status) = yield from self.ctx.recv()
+        meta, data = payload
+        return meta, data
+
+    def drain(self):
+        if self._send_reqs:
+            yield from self.ctx.waitall(self._send_reqs)
+            self._send_reqs = []
+
+
+_BATCH_TAG = 7
+
+
+class _BatchChannel(Channel):
+    def endpoint(self, ctx):
+        return _BatchEndpoint(self, ctx)
+
+
+class _BatchEndpoint(Endpoint):
+    """``Isend`` x n / pre-posted ``Irecv`` x n + ``Waitall``."""
+
+    def __init__(self, channel, ctx):
+        super().__init__(channel, ctx)
+        self._reqs: list = []
+
+    def post(self, dst):
+        r = yield from self.ctx.isend(dst, nbytes=self.spec.nbytes, tag=_BATCH_TAG)
+        self._reqs.append(r)
+
+    def commit(self, dst, it):
+        yield from self.ctx.waitall(self._reqs)
+        self._reqs = []
+
+    def wait_batch(self, src, it, n):
+        reqs = []
+        for _ in range(n):
+            r = yield from self.ctx.irecv(source=src, tag=_BATCH_TAG)
+            reqs.append(r)
+        yield from self.ctx.waitall(reqs)
+
+
+class _AtomicChannel(Channel):
+    """Symmetric spaces without remote atomics: owners mutate their own
+    arrays, writers route triplets to the owner (plus a window-backed CAS
+    for the atomic flood, which any MPI runtime can issue)."""
+
+    def __init__(self, backend, job, spec: AtomicDomainSpec):
+        super().__init__(backend, job, spec)
+        self.wins = {
+            name: job.window(s.count, dtype=s.dtype, fill=s.fill)
+            for name, s in spec.spaces.items()
+        }
+
+    def endpoint(self, ctx):
+        return _AtomicEndpoint(self, ctx)
+
+    def array(self, space, rank):
+        return self.wins[space].local(rank)
+
+
+class _AtomicEndpoint(Endpoint):
+    def __init__(self, channel, ctx):
+        super().__init__(channel, ctx)
+        self._send_reqs: list = []
+
+    def local(self, space):
+        return self.channel.wins[space].local(self.ctx.rank)
+
+    def post_msg(self, dst, *, nbytes, payload=None, tag=0):
+        req = yield from self.ctx.isend(dst, nbytes=nbytes, tag=tag, payload=payload)
+        self._send_reqs.append(req)
+
+    def recv_msg_poll(self, tag=0):
+        (payload, _status) = yield from self.ctx.recv_poll(tag=tag)
+        return payload
+
+    def drain(self):
+        if self._send_reqs:
+            yield from self.ctx.waitall(self._send_reqs)
+            self._send_reqs = []
+
+    def native_cas(self, space, dst, offset, compare, value):
+        h = self.channel.wins[space].handle(self.ctx)
+        old = yield from h.cas_blocking(dst, offset, compare, value)
+        return old
+
+
+class TwoSidedBackend(TransportBackend):
+    name = TWO_SIDED
+    sided = "two"
+    caps = BackendCaps(remote_atomics=False, ops_per_message=2)
+    description = "two-sided MPI: Isend/Irecv/Recv with tag matching"
+
+    def open_halo(self, job, spec: HaloSpec):
+        return _HaloChannel(self, job, spec)
+
+    def open_mailbox(self, job, spec: MailboxSpec):
+        return _MailboxChannel(self, job, spec)
+
+    def open_batch(self, job, spec: BatchSpec):
+        return _BatchChannel(self, job, spec)
+
+    def open_atomics(self, job, spec: AtomicDomainSpec):
+        return _AtomicChannel(self, job, spec)
+
+
+register_backend(TwoSidedBackend())

@@ -22,7 +22,7 @@ class WorkloadResult:
     workload: str
     machine: str
     runtime: str
-    variant: str  # "two_sided" | "one_sided" | "shmem"
+    variant: str  # a transport backend name (repro.transport.backend_names())
     nranks: int
     time: float  # virtual seconds for the measured region
     counters: OpCounter  # merged across ranks

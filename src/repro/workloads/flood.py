@@ -1,8 +1,10 @@
 """Flood (bandwidth) microbenchmarks: the measured dots of Figs. 1, 3, 4.
 
 A flood run sends ``msgs_per_sync`` messages of ``nbytes`` each from rank 0
-to rank 1, then synchronises — repeated ``iters`` times.  Three variants
-match the paper's three communication flavours:
+to rank 1, then synchronises — repeated ``iters`` times.  The program is
+written once against the transport :class:`BatchSpec` channel
+(``post`` / ``commit`` / ``wait_batch``); the backend chosen by runtime
+name supplies the op sequence (see docs/TRANSPORT.md):
 
 * two-sided: ``Isend`` x n  /  pre-posted ``Irecv`` x n + ``Waitall``;
 * one-sided MPI: ``Put`` x n + ``flush``, then the put/flush signal pair,
@@ -26,6 +28,7 @@ import numpy as np
 from repro.comm.job import Job
 from repro.machines.base import MachineModel
 from repro.roofline.fit import FloodSample
+from repro.transport import AtomicDomainSpec, BatchSpec, SpaceSpec
 
 __all__ = [
     "FloodResult",
@@ -64,69 +67,18 @@ class FloodResult:
         )
 
 
-def _flood_two_sided(ctx, nbytes: int, n: int, iters: int):
+def _program_flood(ctx, chan, n: int, iters: int):
     """Rank 0 floods rank 1; both measure the batch window."""
-    yield from ctx.barrier()
-    t0 = ctx.sim.now
-    for _ in range(iters):
-        if ctx.rank == 0:
-            reqs = []
-            for _ in range(n):
-                r = yield from ctx.isend(1, nbytes=nbytes, tag=7)
-                reqs.append(r)
-            yield from ctx.waitall(reqs)
-        elif ctx.rank == 1:
-            reqs = []
-            for _ in range(n):
-                r = yield from ctx.irecv(source=0, tag=7)
-                reqs.append(r)
-            yield from ctx.waitall(reqs)
-        yield from ctx.barrier()
-    return ctx.sim.now - t0
-
-
-def _flood_one_sided(ctx, data_win, sig_win, nbytes: int, n: int, iters: int):
-    """One-sided MPI flood with the paper's 4-op completion sequence."""
-    nelems = max(int(nbytes // data_win.dtype.itemsize), 1)
-    h = data_win.handle(ctx)
-    s = sig_win.handle(ctx)
+    ep = chan.endpoint(ctx)
     yield from ctx.barrier()
     t0 = ctx.sim.now
     for it in range(iters):
         if ctx.rank == 0:
             for _ in range(n):
-                yield from h.put(1, nelems=nelems)
-            yield from h.flush(1)
-            yield from s.put(
-                1, np.array([it + 1], dtype=np.int64), offset=0
-            )
-            yield from s.flush(1)
+                yield from ep.post(1)
+            yield from ep.commit(1, it)
         elif ctx.rank == 1:
-            yield from ctx.poll_wait_signals(sig_win, [0], 1, value=it + 1)
-        yield from ctx.barrier()
-    return ctx.sim.now - t0
-
-
-def _flood_shmem(ctx, data_win, sig_win, nbytes: int, n: int, iters: int):
-    """GPU-initiated put-with-signal flood."""
-    nelems = max(int(nbytes // data_win.dtype.itemsize), 1)
-    yield from ctx.barrier()
-    t0 = ctx.sim.now
-    for it in range(iters):
-        if ctx.rank == 0:
-            for _ in range(n):
-                yield from ctx.put_signal_nbi(
-                    data_win,
-                    1,
-                    nelems=nelems,
-                    signal_win=sig_win,
-                    signal_idx=0,
-                    signal_value=1,
-                    signal_op="add",
-                )
-            yield from ctx.quiet()
-        elif ctx.rank == 1:
-            yield from ctx.wait_until_all(sig_win, [0], value=(it + 1) * n)
+            yield from ep.wait_batch(0, it, n)
         yield from ctx.barrier()
     return ctx.sim.now - t0
 
@@ -152,24 +104,8 @@ def run_flood(
     if msgs_per_sync < 1:
         raise ValueError(f"msgs_per_sync must be >= 1, got {msgs_per_sync}")
     job = Job(machine, nranks, runtime, placement=placement)
-    if runtime == "two_sided":
-        result = job.run(_flood_two_sided, nbytes, msgs_per_sync, iters)
-    elif runtime == "one_sided":
-        nelems = max(int(nbytes // 8), 1)
-        data_win = job.window(nelems)
-        sig_win = job.window(4, dtype=np.int64)
-        result = job.run(
-            _flood_one_sided, data_win, sig_win, nbytes, msgs_per_sync, iters
-        )
-    elif runtime == "shmem":
-        nelems = max(int(nbytes // 8), 1)
-        data_win = job.window(nelems)
-        sig_win = job.window(4, dtype=np.uint64)
-        result = job.run(
-            _flood_shmem, data_win, sig_win, nbytes, msgs_per_sync, iters
-        )
-    else:
-        raise ValueError(f"unknown flood runtime {runtime!r}")
+    chan = job.channel(BatchSpec(nbytes=nbytes))
+    result = job.run(_program_flood, chan, msgs_per_sync, iters)
     # Receiver-observed window (rank 1's elapsed time over the batches).
     elapsed = result.results[1]
     total_bytes = float(nbytes) * msgs_per_sync * iters
@@ -180,7 +116,7 @@ def run_flood(
     bw = total_bytes / net
     return FloodResult(
         machine=machine.name,
-        runtime=runtime,
+        runtime=job.runtime_name,
         nbytes=nbytes,
         msgs_per_sync=msgs_per_sync,
         iters=iters,
@@ -209,17 +145,14 @@ def sweep_flood(
     return out
 
 
-def _cas_flood(ctx, win, n: int, target: int):
+def _cas_flood(ctx, chan, n: int, target: int):
     """Back-to-back remote CAS stream, rank 0 -> ``target`` (Fig. 4 series)."""
+    ep = chan.endpoint(ctx)
     yield from ctx.barrier()
     t0 = ctx.sim.now
     if ctx.rank == 0:
         for i in range(n):
-            if hasattr(ctx, "atomic_compare_swap"):
-                yield from ctx.atomic_compare_swap(win, target, 0, i, i + 1)
-            else:
-                h = win.handle(ctx)
-                yield from h.cas_blocking(target, 0, i, i + 1)
+            yield from ep.native_cas("ctr", target, 0, i, i + 1)
         return ctx.sim.now - t0
     # Target rank is passive.
     return 0.0
@@ -241,12 +174,14 @@ def run_cas_flood(
     if not 0 < target_rank < nranks:
         raise ValueError(f"target_rank {target_rank} out of range (1..{nranks - 1})")
     job = Job(machine, nranks, runtime, placement="spread")
-    win = job.window(8, dtype=np.int64)
-    result = job.run(_cas_flood, win, n_ops, target_rank)
+    chan = job.channel(
+        AtomicDomainSpec(spaces={"ctr": SpaceSpec(8, dtype=np.int64, fill=0)})
+    )
+    result = job.run(_cas_flood, chan, n_ops, target_rank)
     elapsed = result.results[0]
     return {
         "machine": machine.name,
-        "runtime": runtime,
+        "runtime": job.runtime_name,
         "ops": n_ops,
         "time": elapsed,
         "latency_per_cas": elapsed / n_ops,

@@ -2,17 +2,21 @@
 
 One million (scaled) unique keys are inserted into a table distributed over
 P ranks; the home rank of a key is known only to the sender — the "true
-sender's control" pattern.
+sender's control" pattern.  The program is written once against the
+transport :class:`AtomicDomainSpec` channel and branches only on the
+backend's ``caps.remote_atomics`` (an algorithm choice, not an op
+sequence — see docs/TRANSPORT.md):
 
-* **one-sided** (CPU MPI RMA or GPU SHMEM): an insert is an atomic
-  compare-and-swap on the remote slot; a collision allocates an overflow
-  element with fetch-and-add and links it with an atomic swap, exactly the
-  paper's CAS / increment / second-atomic sequence.  No synchronisation
-  until the end of all inserts — msg/sync is the total insert count.
-* **two-sided**: each insert travels as a ``(ID, elem, pos)`` triplet
-  (3 words, per Table II) to its owner, which applies it locally; ranks
-  synchronise every P inserts (Table II's P messages per sync), so each
-  round costs a ~log2(P) termination exchange on top of the messages —
+* **with remote atomics** (one-sided RMA, GPU SHMEM): an insert is an
+  atomic compare-and-swap on the remote slot; a collision allocates an
+  overflow element with fetch-and-add and links it with an atomic swap,
+  exactly the paper's CAS / increment / second-atomic sequence.  No
+  synchronisation until the end of all inserts — msg/sync is the total
+  insert count.
+* **without** (two-sided): each insert travels as a ``(ID, elem, pos)``
+  triplet (3 words, per Table II) to its owner, which applies it locally;
+  ranks synchronise every P inserts (Table II's P messages per sync), so
+  each round costs a ~log2(P) termination exchange on top of the messages —
   this is the log-P per-insert growth the paper's §III-C analysis assigns
   to the two-sided design, and why one-sided wins at scale but loses at
   P = 2 (1.1 us/message vs a 2 us CAS).
@@ -34,6 +38,7 @@ import numpy as np
 from repro.comm.base import OpCounter
 from repro.comm.job import Job
 from repro.machines.base import MachineModel
+from repro.transport import AtomicDomainSpec, SpaceSpec
 from repro.workloads.base import WorkloadResult
 from repro.workloads.hashtable.table import (
     EMPTY,
@@ -94,56 +99,57 @@ def generate_keys(cfg: HashTableConfig, nranks: int) -> list[np.ndarray]:
 
 
 # ---------------------------------------------------------------------------
-# one-sided (CPU RMA and GPU SHMEM share this program; the context supplies
-# the op costs)
+# the one program (runtime comes from the channel's backend)
 # ---------------------------------------------------------------------------
 
 
-def _program_one_sided(ctx, geom: TableGeometry, my_keys, wins):
-    table_w, chain_w, heap_w, meta_w = wins
-    h_table = table_w.handle(ctx)
-    h_chain = chain_w.handle(ctx)
-    h_heap = heap_w.handle(ctx)
-    h_meta = meta_w.handle(ctx)
-    yield from ctx.barrier()
-    t0 = ctx.sim.now
-    collisions = 0
-    for key in my_keys:
-        key = int(key)
-        r, s = geom.locate(key)
-        old = yield from h_table.cas_blocking(r, s, EMPTY, key)
-        if old != EMPTY:
-            collisions += 1
-            idx = yield from h_meta.faa_blocking(r, 0, 1)
-            if idx >= geom.heap_per_rank:
-                raise RuntimeError("overflow heap exhausted at target rank")
-            # Link in at the head of the slot's chain: swap the head, then
-            # publish the (key, next) pair; flush_local orders the element
-            # write before any subsequent op from this origin.
-            swap_req = yield from h_chain.fetch_and_replace(r, s, idx + 1)
-            prev = yield from ctx.wait(swap_req)
-            yield from h_heap.put(
-                r, np.array([key, prev], dtype=np.int64), offset=2 * idx
-            )
-            yield from h_heap.flush_local(r)
-    insert_time = ctx.sim.now - t0
-    yield from ctx.barrier()
-    return {"time": insert_time, "collisions": collisions}
+def _domain_spec(geom: TableGeometry) -> AtomicDomainSpec:
+    return AtomicDomainSpec(
+        spaces={
+            "table": SpaceSpec(geom.slots_per_rank, dtype=np.int64, fill=EMPTY),
+            "chain": SpaceSpec(geom.slots_per_rank, dtype=np.int64, fill=0),
+            "heap": SpaceSpec(2 * geom.heap_per_rank, dtype=np.int64, fill=EMPTY),
+            "meta": SpaceSpec(1, dtype=np.int64, fill=0),
+        }
+    )
 
 
-# ---------------------------------------------------------------------------
-# two-sided
-# ---------------------------------------------------------------------------
-
-
-def _program_two_sided(ctx, geom: TableGeometry, keys_by_rank, incoming_per_round,
-                       window: int, state):
-    table, chain, heap, meta = state
+def _program_hashtable(ctx, geom: TableGeometry, keys_by_rank, incoming_per_round,
+                       window: int, chan):
+    ep = chan.endpoint(ctx)
     my_keys = keys_by_rank[ctx.rank]
+    if ep.caps.remote_atomics:
+        # Sender's-control inserts: CAS / increment / second-atomic.
+        yield from ctx.barrier()
+        t0 = ctx.sim.now
+        collisions = 0
+        for key in my_keys:
+            key = int(key)
+            r, s = geom.locate(key)
+            old = yield from ep.cas("table", r, s, EMPTY, key)
+            if old != EMPTY:
+                collisions += 1
+                idx = yield from ep.faa("meta", r, 0, 1)
+                if idx >= geom.heap_per_rank:
+                    raise RuntimeError("overflow heap exhausted at target rank")
+                # Link in at the head of the slot's chain: swap the head,
+                # then publish the (key, next) pair ordered before any
+                # subsequent op from this origin.
+                prev = yield from ep.swap("chain", r, s, idx + 1)
+                yield from ep.publish(
+                    "heap", r, np.array([key, prev], dtype=np.int64), offset=2 * idx
+                )
+        insert_time = ctx.sim.now - t0
+        yield from ctx.barrier()
+        return {"time": insert_time, "collisions": collisions}
+    # Owner-routed triplets with per-round synchronisation.
+    table = ep.local("table")
+    chain = ep.local("chain")
+    heap = ep.local("heap")
+    meta = ep.local("meta")
     nrounds = len(incoming_per_round[ctx.rank])
     yield from ctx.barrier()
     t0 = ctx.sim.now
-    send_reqs = []
     for rnd in range(nrounds):
         lo, hi = rnd * window, min((rnd + 1) * window, len(my_keys))
         for key in my_keys[lo:hi]:
@@ -153,15 +159,12 @@ def _program_two_sided(ctx, geom: TableGeometry, keys_by_rank, incoming_per_roun
                 local_insert(key, s, table, chain, heap, meta)
                 yield from ctx.compute(nbytes=64.0)
             else:
-                req = yield from ctx.isend(
-                    r, nbytes=24.0, tag=1, payload=(r, key, s)
-                )
-                send_reqs.append(req)
+                yield from ep.post_msg(r, nbytes=24.0, tag=1, payload=(r, key, s))
         expected = incoming_per_round[ctx.rank][rnd]
         for _ in range(expected):
             # Hot-loop receive: GUPS-style codes poll MPI_Recv in a tight
             # loop rather than descheduling per message.
-            (payload, _status) = yield from ctx.recv_poll(tag=1)
+            payload = yield from ep.recv_msg_poll(tag=1)
             rid, key, s = payload
             if rid != ctx.rank:
                 raise RuntimeError("triplet routed to the wrong owner")
@@ -169,8 +172,7 @@ def _program_two_sided(ctx, geom: TableGeometry, keys_by_rank, incoming_per_roun
             yield from ctx.compute(nbytes=64.0)
         # Round synchronisation: termination/quiescence exchange.
         yield from ctx.allreduce_sum(float(expected))
-    if send_reqs:
-        yield from ctx.waitall(send_reqs)
+    yield from ep.drain()
     insert_time = ctx.sim.now - t0
     yield from ctx.barrier()
     return {"time": insert_time, "collisions": 0}
@@ -213,7 +215,7 @@ def run_hashtable(
 ) -> WorkloadResult:
     """Run the distributed hashtable benchmark.
 
-    ``runtime``: ``one_sided`` (CPU RMA), ``shmem`` (GPU), or ``two_sided``.
+    ``runtime`` is a backend name from :mod:`repro.transport`.
     Execute-mode verification data (all stored values) is returned in
     ``extras["values"]``; ``extras["gups"]`` holds giga-updates/s.
     """
@@ -224,46 +226,20 @@ def run_hashtable(
     if placement is None:
         placement = "spread" if machine.is_gpu_machine else "block"
     job = Job(machine, nranks, runtime, placement=placement)
-    if runtime in ("one_sided", "shmem"):
-        table_w = job.window(geom.slots_per_rank, dtype=np.int64, fill=EMPTY)
-        chain_w = job.window(geom.slots_per_rank, dtype=np.int64, fill=0)
-        heap_w = job.window(2 * geom.heap_per_rank, dtype=np.int64, fill=EMPTY)
-        meta_w = job.window(1, dtype=np.int64, fill=0)
-        wins = (table_w, chain_w, heap_w, meta_w)
-        result = job.run(
-            lambda ctx: _program_one_sided(ctx, geom, keys_by_rank[ctx.rank], wins)
-        )
-        tables = [table_w.local(r) for r in range(nranks)]
-        heaps = [heap_w.local(r) for r in range(nranks)]
-        metas = [meta_w.local(r) for r in range(nranks)]
-        chains = [chain_w.local(r) for r in range(nranks)]
-        collisions = sum(r["collisions"] for r in result.results)
-    elif runtime == "two_sided":
-        tables = [np.zeros(geom.slots_per_rank, dtype=np.int64) for _ in range(nranks)]
-        chains = [np.zeros(geom.slots_per_rank, dtype=np.int64) for _ in range(nranks)]
-        heaps = [
-            np.zeros(2 * geom.heap_per_rank, dtype=np.int64) for _ in range(nranks)
-        ]
-        metas = [np.zeros(1, dtype=np.int64) for _ in range(nranks)]
-        incoming = _plan_rounds(geom, keys_by_rank, nranks, cfg.sync_window)
-        result = job.run(
-            lambda ctx: _program_two_sided(
-                ctx,
-                geom,
-                keys_by_rank,
-                incoming,
-                cfg.sync_window,
-                (
-                    tables[ctx.rank],
-                    chains[ctx.rank],
-                    heaps[ctx.rank],
-                    metas[ctx.rank],
-                ),
-            )
-        )
-        collisions = None
-    else:
-        raise ValueError(f"unknown hashtable runtime {runtime!r}")
+    chan = job.channel(_domain_spec(geom))
+    incoming = _plan_rounds(geom, keys_by_rank, nranks, cfg.sync_window)
+    result = job.run(
+        _program_hashtable, geom, keys_by_rank, incoming, cfg.sync_window, chan
+    )
+    tables = [chan.array("table", r) for r in range(nranks)]
+    chains = [chan.array("chain", r) for r in range(nranks)]
+    heaps = [chan.array("heap", r) for r in range(nranks)]
+    metas = [chan.array("meta", r) for r in range(nranks)]
+    collisions = (
+        sum(r["collisions"] for r in result.results)
+        if chan.caps.remote_atomics
+        else None
+    )
     times = [r["time"] for r in result.results]
     elapsed = max(times)
     values: list[int] = []
@@ -282,8 +258,8 @@ def run_hashtable(
     return WorkloadResult(
         workload="hashtable",
         machine=machine.name,
-        runtime=runtime,
-        variant=runtime,
+        runtime=job.runtime_name,
+        variant=job.runtime_name,
         nranks=nranks,
         time=elapsed,
         counters=merged,

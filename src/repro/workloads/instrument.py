@@ -17,6 +17,7 @@ from repro.obs.session import current as _obs_current
 from repro.workloads.hashtable import HashTableConfig, run_hashtable
 from repro.workloads.sptrsv import MatrixSpec, generate_matrix, run_sptrsv
 from repro.workloads.stencil import ProcessGrid, StencilConfig, run_stencil
+from repro.transport import TWO_SIDED, ONE_SIDED
 
 __all__ = ["Table2Row", "characterize_workloads"]
 
@@ -57,7 +58,7 @@ def _stencil_measurements(machine: MachineModel, nranks: int = 16) -> tuple[floa
     """Measured (msg/sync, words/msg) for an interior stencil rank."""
     cfg = StencilConfig(nx=1024, ny=1024, iters=4, mode="simulate")
     grid = ProcessGrid.square_ish(nranks)
-    res = run_stencil(machine, "two_sided", cfg, nranks, grid=grid)
+    res = run_stencil(machine, TWO_SIDED, cfg, nranks, grid=grid)
     # Interior ranks have the full four neighbors; pick one.
     interior = None
     for r in range(nranks):
@@ -75,7 +76,7 @@ def _stencil_measurements(machine: MachineModel, nranks: int = 16) -> tuple[floa
 
 def _sptrsv_measurements(machine: MachineModel, nranks: int = 4) -> tuple[float, float]:
     matrix = generate_matrix(MatrixSpec(n_supernodes=48, seed=7))
-    res = run_sptrsv(machine, "two_sided", matrix, nranks)
+    res = run_sptrsv(machine, TWO_SIDED, matrix, nranks)
     c = res.counters
     words = c.words_per_message()
     # SpTRSV synchronises per message (a Recv per expected message).
@@ -87,7 +88,7 @@ def _hashtable_measurements(
     machine: MachineModel, nranks: int = 4
 ) -> tuple[float, float]:
     cfg = HashTableConfig(total_inserts=2000, seed=11)
-    res = run_hashtable(machine, "one_sided", cfg, nranks)
+    res = run_hashtable(machine, ONE_SIDED, cfg, nranks)
     c = res.counters
     # One-sided: atomics all the way; syncs happen only at the start/end
     # barriers, so msg/sync is the full insert stream.

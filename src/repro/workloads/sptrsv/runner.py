@@ -12,15 +12,13 @@ Message sizes are the supernode widths (24 B .. ~1 KB, avg ~100 words) and
 every message is followed by work that depends on it — one message per
 synchronization, the paper's latency-bound extreme.
 
-Variants:
-
-* **two_sided**: ``Isend`` + a blocking ``Recv(ANY_SOURCE)`` loop whose trip
-  count equals the number of expected messages;
-* **one_sided**: the paper's 4-op emulation — ``Put(data)``, ``Win_flush``,
-  ``Put(signal)``, ``Win_flush`` — plus the user-implemented Listing-1
-  polling receiver, whose per-wake scan over the remaining signal slots is
-  the overhead that stops one-sided SpTRSV from scaling;
-* **shmem**: ``put_signal_nbi`` + ``wait_until_any`` in a loop (GPU).
+The solver is written once against the transport :class:`MailboxSpec`
+channel (``send`` / ``expect`` / ``recv`` / ``drain``); the runtime backend
+supplies the op sequence — two-sided Isend + Recv(ANY_SOURCE), the paper's
+4-op one-sided emulation with the Listing-1 polling receiver (whose
+per-wake scan over the remaining slots is the overhead that stops
+one-sided SpTRSV from scaling), or fused GPU put-with-signal +
+``wait_until_any`` (see docs/TRANSPORT.md).
 """
 
 from __future__ import annotations
@@ -35,6 +33,7 @@ import scipy.linalg as sla
 from repro.comm.base import OpCounter
 from repro.comm.job import Job
 from repro.machines.base import MachineModel
+from repro.transport import MailboxMsg, MailboxSpec
 from repro.workloads.base import WorkloadResult
 from repro.workloads.sptrsv.matrix import SupernodalMatrix
 from repro.workloads.sptrsv.plan import (
@@ -174,152 +173,58 @@ def _dispatch(state: _SolveState, kind: int, sn: int, data, send_lsum):
 
 
 # ---------------------------------------------------------------------------
-# two-sided
+# the one program (runtime comes from the channel's backend)
 # ---------------------------------------------------------------------------
 
 
-def _program_two_sided(ctx, plan: CommPlan, b, execute: bool):
+def _mailbox_spec(plan: CommPlan, nranks: int, execute: bool) -> MailboxSpec:
+    """Receive-slot geometry for the notified-message backends."""
+    return MailboxSpec(
+        data_words=max((plan.window_words(r) for r in range(nranks)), default=1),
+        nslots=max((plan.expected_count(r) for r in range(nranks)), default=1),
+        offsets={r: plan.slot_offsets(r) for r in range(nranks)},
+        dtype=np.float64,
+        signal_dtype=np.int64,
+        read_data=execute,
+    )
+
+
+def _program_sptrsv(ctx, plan: CommPlan, b, execute: bool, chan):
     state = _SolveState(ctx, plan, b, execute)
-    send_reqs = []
+    ep = chan.endpoint(ctx)
+
+    def send_msg(kind, sn, block, dst, values, words):
+        slot = plan.slot_of[dst][(kind, sn, ctx.rank, block)]
+        yield from ep.send(
+            dst,
+            slot,
+            words=words,
+            values=values if execute else None,
+            meta=(kind, sn),
+            tag=kind,
+        )
 
     def send_x(J, dst, xJ):
-        payload = (X_MSG, J, xJ if execute else None)
-        r = yield from ctx.isend(
-            dst, nbytes=plan.matrix.widths[J] * 8.0, tag=X_MSG, payload=payload
-        )
-        send_reqs.append(r)
+        yield from send_msg(X_MSG, J, None, dst, xJ, plan.matrix.widths[J])
 
     def send_lsum(I, block, dst, u):
-        payload = (LSUM_MSG, I, u if execute else None)
-        r = yield from ctx.isend(
-            dst, nbytes=plan.matrix.widths[I] * 8.0, tag=LSUM_MSG, payload=payload
-        )
-        send_reqs.append(r)
+        yield from send_msg(LSUM_MSG, I, block, dst, u, plan.matrix.widths[I])
 
     yield from ctx.barrier()
     t0 = ctx.sim.now
     yield from _drain_ready(state, send_x, send_lsum)
-    expected = plan.expected_count(ctx.rank)
-    for _ in range(expected):
-        (payload, _status) = yield from ctx.recv()
-        kind, sn, data = payload
+    expected = plan.expected[ctx.rank]
+    ep.expect(
+        {
+            m.slot: MailboxMsg(slot=m.slot, words=m.words, meta=(m.kind, m.supernode))
+            for m in expected
+        }
+    )
+    for _ in range(len(expected)):
+        (kind, sn), data = yield from ep.recv()
         yield from _dispatch(state, kind, sn, data, send_lsum)
         yield from _drain_ready(state, send_x, send_lsum)
-    if send_reqs:
-        yield from ctx.waitall(send_reqs)
-    elapsed = ctx.sim.now - t0
-    return {"time": elapsed, "x": {J: state.x.get(J) for J in plan.owned_diags.get(ctx.rank, [])}}
-
-
-# ---------------------------------------------------------------------------
-# one-sided MPI (4 ops per message + Listing-1 polling receiver)
-# ---------------------------------------------------------------------------
-
-
-def _program_one_sided(ctx, plan: CommPlan, b, execute: bool, data_win, sig_win,
-                       slot_offsets):
-    state = _SolveState(ctx, plan, b, execute)
-    h_data = data_win.handle(ctx)
-    h_sig = sig_win.handle(ctx)
-    one = np.ones(1, dtype=np.int64)
-
-    def send_msg(kind, sn, block, dst, values, words):
-        slot = plan.slot_of[dst][(kind, sn, ctx.rank, block)]
-        offset = slot_offsets[dst][slot]
-        if execute and values is not None:
-            yield from h_data.put(dst, values, offset=offset)
-        else:
-            yield from h_data.put(dst, nelems=words, offset=offset)
-        yield from h_data.flush(dst)
-        yield from h_sig.put(dst, one, offset=slot)
-        yield from h_sig.flush(dst)
-
-    def send_x(J, dst, xJ):
-        yield from send_msg(X_MSG, J, None, dst, xJ, plan.matrix.widths[J])
-
-    def send_lsum(I, block, dst, u):
-        yield from send_msg(LSUM_MSG, I, block, dst, u, plan.matrix.widths[I])
-
-    yield from ctx.barrier()
-    t0 = ctx.sim.now
-    yield from _drain_ready(state, send_x, send_lsum)
-    expected = plan.expected[ctx.rank]
-    remaining = {m.slot: m for m in expected}
-    my_offsets = slot_offsets[ctx.rank]
-    # Listing 1: scan the mask of outstanding slots; each pass costs
-    # poll_slot per unmasked entry.
-    while remaining:
-        scan = ctx.costs.poll_slot * len(remaining)
-        if scan > 0:
-            yield ctx.sim.timeout(scan)
-        sig = sig_win.local(ctx.rank)
-        hit = [s for s in remaining if sig[s] >= 1]
-        if not hit:
-            yield sig_win.on_write(ctx.rank)
-            continue
-        for s in hit:
-            m = remaining.pop(s)
-            if execute:
-                off = my_offsets[m.slot]
-                data = np.array(
-                    data_win.local(ctx.rank)[off : off + m.words], copy=True
-                )
-            else:
-                data = None
-            yield from _dispatch(state, m.kind, m.supernode, data, send_lsum)
-            yield from _drain_ready(state, send_x, send_lsum)
-    elapsed = ctx.sim.now - t0
-    return {"time": elapsed, "x": {J: state.x.get(J) for J in plan.owned_diags.get(ctx.rank, [])}}
-
-
-# ---------------------------------------------------------------------------
-# GPU SHMEM (put-with-signal + wait_until_any)
-# ---------------------------------------------------------------------------
-
-
-def _program_shmem(ctx, plan: CommPlan, b, execute: bool, data_win, sig_win,
-                   slot_offsets):
-    state = _SolveState(ctx, plan, b, execute)
-
-    def send_msg(kind, sn, block, dst, values, words):
-        slot = plan.slot_of[dst][(kind, sn, ctx.rank, block)]
-        offset = slot_offsets[dst][slot]
-        yield from ctx.put_signal_nbi(
-            data_win,
-            dst,
-            values=values if execute else None,
-            nelems=words,
-            offset=offset,
-            signal_win=sig_win,
-            signal_idx=slot,
-            signal_value=1,
-        )
-
-    def send_x(J, dst, xJ):
-        yield from send_msg(X_MSG, J, None, dst, xJ, plan.matrix.widths[J])
-
-    def send_lsum(I, block, dst, u):
-        yield from send_msg(LSUM_MSG, I, block, dst, u, plan.matrix.widths[I])
-
-    yield from ctx.barrier()
-    t0 = ctx.sim.now
-    yield from _drain_ready(state, send_x, send_lsum)
-    expected = plan.expected[ctx.rank]
-    remaining = {m.slot: m for m in expected}
-    my_offsets = slot_offsets[ctx.rank]
-    while remaining:
-        slot = yield from ctx.wait_until_any(
-            sig_win, list(remaining), value=1, consume=True
-        )
-        m = remaining.pop(slot)
-        if execute:
-            off = my_offsets[m.slot]
-            data = np.array(data_win.local(ctx.rank)[off : off + m.words], copy=True)
-        else:
-            data = None
-        yield from _dispatch(state, m.kind, m.supernode, data, send_lsum)
-        yield from _drain_ready(state, send_x, send_lsum)
-    yield from ctx.quiet()
+    yield from ep.drain()
     elapsed = ctx.sim.now - t0
     return {"time": elapsed, "x": {J: state.x.get(J) for J in plan.owned_diags.get(ctx.rank, [])}}
 
@@ -353,18 +258,8 @@ def run_sptrsv(
     if placement is None:
         placement = "spread" if machine.is_gpu_machine else "block"
     job = Job(machine, nranks, runtime, placement=placement)
-    if runtime == "two_sided":
-        result = job.run(_program_two_sided, plan, b, execute)
-    elif runtime in ("one_sided", "shmem"):
-        slot_offsets = {r: plan.slot_offsets(r) for r in range(nranks)}
-        max_words = max((plan.window_words(r) for r in range(nranks)), default=1)
-        max_slots = max((plan.expected_count(r) for r in range(nranks)), default=1)
-        data_win = job.window(max(max_words, 1), dtype=np.float64)
-        sig_win = job.window(max(max_slots, 1), dtype=np.int64)
-        prog = _program_one_sided if runtime == "one_sided" else _program_shmem
-        result = job.run(prog, plan, b, execute, data_win, sig_win, slot_offsets)
-    else:
-        raise ValueError(f"unknown sptrsv runtime {runtime!r}")
+    chan = job.channel(_mailbox_spec(plan, nranks, execute))
+    result = job.run(_program_sptrsv, plan, b, execute, chan)
     times = [r["time"] for r in result.results]
     extras: dict = {"plan": plan.describe(), "nnz": matrix.nnz}
     if execute:
@@ -378,8 +273,8 @@ def run_sptrsv(
     return WorkloadResult(
         workload="sptrsv",
         machine=machine.name,
-        runtime=runtime,
-        variant=runtime,
+        runtime=job.runtime_name,
+        variant=job.runtime_name,
         nranks=nranks,
         time=max(times),
         counters=merged,

@@ -1,18 +1,13 @@
-"""Distributed 2D stencil: two-sided, one-sided, and GPU-SHMEM variants.
+"""Distributed 2D stencil (paper §III-A).
 
 Per iteration every rank exchanges four halo strips with its grid neighbors
-and then relaxes its local block (paper §III-A):
-
-* **two-sided**: four ``Isend`` + four ``Irecv`` + ``Waitall`` — the halo
-  data is usable after the waitall;
-* **one-sided**: four ``Put`` bracketed by a pair of ``Win_fence`` — the
-  fence closes the epoch and doubles as the BSP barrier;
-* **shmem** (GPU): four ``put_signal_nbi`` + ``wait_until_all`` on the
-  neighbor signals — everything happens inside the (persistent) kernel.
-
-All three variants share the same decomposition and the same communication
-structure (message concurrency = number of neighbors, message size = halo
-size), exactly the design-portability point the paper makes.
+and then relaxes its local block.  The exchange is written once against the
+transport :class:`HaloSpec` channel (``begin`` / ``put`` / ``finish``); the
+runtime backend supplies the op sequence — two-sided Isend/Irecv/Waitall,
+one-sided puts within a fence pair, or fused GPU put-with-signal (see
+docs/TRANSPORT.md).  All backends share the same decomposition and the same
+communication structure (message concurrency = number of neighbors, message
+size = halo size), exactly the design-portability point the paper makes.
 
 ``mode="execute"`` does the real numpy Jacobi math on the payloads and the
 result is verifiable against the serial reference; ``mode="simulate"`` moves
@@ -30,6 +25,7 @@ import numpy as np
 from repro.comm.base import OpCounter
 from repro.comm.job import Job
 from repro.machines.base import MachineModel
+from repro.transport import HaloSpec
 from repro.workloads.base import WorkloadResult
 from repro.workloads.stencil.decomposition import ProcessGrid
 from repro.workloads.stencil.kernels import (
@@ -226,127 +222,41 @@ def _compute_sweep(ctx, plan: _RankPlan, cfg: StencilConfig, local, scratch,
     return local, scratch
 
 
-def _program_two_sided(ctx, cfg: StencilConfig, grid: ProcessGrid):
+def _halo_spec(grid: ProcessGrid, cfg: StencilConfig, nranks: int) -> HaloSpec:
+    """Global halo geometry: the transport backends need the *receiver's*
+    window layout (blocks can be uneven, so neighbor layouts differ)."""
+    plans = {r: _RankPlan.build(grid, r, cfg.nx, cfg.ny) for r in range(nranks)}
+    bx = -(-cfg.nx // grid.px)  # ceil: largest block dims size the windows
+    by = -(-cfg.ny // grid.py)
+    return HaloSpec(
+        slot=dict(_DIR_INDEX),
+        opposite={d: ProcessGrid.opposite(d) for d in _DIR_ORDER},
+        neighbors={r: plans[r].neighbors for r in range(nranks)},
+        segments={r: dict(plans[r].win_segment) for r in range(nranks)},
+        counts={r: plans[r].window_count for r in range(nranks)},
+        win_count=2 * bx + 2 * by,
+        dtype=np.float64,
+    )
+
+
+def _program_stencil(ctx, cfg: StencilConfig, grid: ProcessGrid, chan):
     plan = _RankPlan.build(grid, ctx.rank, cfg.nx, cfg.ny)
     local = _local_setup(plan, cfg)
     scratch = local.copy() if local is not None else None
     pinned = _pinned_slices(plan, local)
     sources = _local_sources(plan, cfg)
-    itemsize = 8
-    yield from ctx.barrier()
-    t0 = ctx.sim.now
-    for _ in range(cfg.iters):
-        recvs = []
-        sends = []
-        for d, nb in plan.neighbors.items():
-            r = yield from ctx.irecv(source=nb, tag=_DIR_INDEX[d])
-            recvs.append((d, r))
-        for d, nb in plan.neighbors.items():
-            payload = (
-                plan.edge_strip(local, d).copy() if local is not None else None
-            )
-            # Tag by the direction the receiver sees it coming from.
-            tag = _DIR_INDEX[ProcessGrid.opposite(d)]
-            s = yield from ctx.isend(
-                nb, nbytes=plan.halo_elems[d] * itemsize, tag=tag, payload=payload
-            )
-            sends.append(s)
-        yield from ctx.waitall([r for _, r in recvs] + sends)
-        if local is not None:
-            for d, r in recvs:
-                data, _status = r.value
-                plan.write_halo(local, d, data)
-        local, scratch = yield from _compute_sweep(
-            ctx, plan, cfg, local, scratch, pinned, sources
-        )
-    elapsed = ctx.sim.now - t0
-    return {"time": elapsed, "block": local[1:-1, 1:-1] if local is not None else None}
-
-
-def _program_one_sided(ctx, cfg: StencilConfig, grid: ProcessGrid, win):
-    plan = _RankPlan.build(grid, ctx.rank, cfg.nx, cfg.ny)
-    local = _local_setup(plan, cfg)
-    scratch = local.copy() if local is not None else None
-    pinned = _pinned_slices(plan, local)
-    sources = _local_sources(plan, cfg)
-    # Remote offsets follow the *receiver's* window layout (blocks can be
-    # uneven, so neighbor layouts differ from ours).
-    nb_plans = {
-        nb: _RankPlan.build(grid, nb, cfg.nx, cfg.ny)
-        for nb in plan.neighbors.values()
-    }
-    h = win.handle(ctx)
-    yield from ctx.barrier()
-    t0 = ctx.sim.now
-    for _ in range(cfg.iters):
-        # Epoch open (paper: "four MPI_Put within a pair of MPI_Win_fence").
-        yield from h.fence()
-        for d, nb in plan.neighbors.items():
-            # Data lands in the segment the *receiver* reads for the
-            # opposite direction.
-            seg_dir = ProcessGrid.opposite(d)
-            offset, length = nb_plans[nb].win_segment[seg_dir]
-            if local is not None:
-                yield from h.put(nb, plan.edge_strip(local, d), offset=offset)
-            else:
-                yield from h.put(nb, nelems=length, offset=offset)
-        yield from h.fence()
-        if local is not None:
-            for d in plan.neighbors:
-                offset, length = plan.win_segment[d]
-                plan.write_halo(
-                    local, d, win.local(ctx.rank)[offset : offset + length]
-                )
-        local, scratch = yield from _compute_sweep(
-            ctx, plan, cfg, local, scratch, pinned, sources
-        )
-    elapsed = ctx.sim.now - t0
-    return {"time": elapsed, "block": local[1:-1, 1:-1] if local is not None else None}
-
-
-def _program_shmem(ctx, cfg: StencilConfig, grid: ProcessGrid, win, sig):
-    # The halo window is double-buffered by iteration parity: without the
-    # strict fence of the one-sided variant, a fast neighbor's iteration
-    # k+1 put must not overwrite halo data this rank has not yet consumed
-    # for iteration k (the standard NVSHMEM stencil idiom).
-    plan = _RankPlan.build(grid, ctx.rank, cfg.nx, cfg.ny)
-    local = _local_setup(plan, cfg)
-    scratch = local.copy() if local is not None else None
-    pinned = _pinned_slices(plan, local)
-    sources = _local_sources(plan, cfg)
-    nb_plans = {
-        nb: _RankPlan.build(grid, nb, cfg.nx, cfg.ny)
-        for nb in plan.neighbors.values()
-    }
+    ep = chan.endpoint(ctx)
     yield from ctx.barrier()
     t0 = ctx.sim.now
     for it in range(cfg.iters):
-        parity = it % 2
+        yield from ep.begin(it)
         for d, nb in plan.neighbors.items():
-            seg_dir = ProcessGrid.opposite(d)
-            nbp = nb_plans[nb]
-            offset, length = nbp.win_segment[seg_dir]
-            offset += parity * nbp.window_count
             values = plan.edge_strip(local, d) if local is not None else None
-            yield from ctx.put_signal_nbi(
-                win,
-                nb,
-                values=values,
-                nelems=length,
-                offset=offset,
-                signal_win=sig,
-                signal_idx=_DIR_INDEX[seg_dir],
-                signal_value=it + 1,
-            )
-        expected = [_DIR_INDEX[d] for d in plan.neighbors]
-        yield from ctx.wait_until_all(sig, expected, value=it + 1)
+            yield from ep.put(d, nb, values=values)
+        received = yield from ep.finish(it)
         if local is not None:
             for d in plan.neighbors:
-                offset, length = plan.win_segment[d]
-                start = parity * plan.window_count + offset
-                plan.write_halo(
-                    local, d, win.local(ctx.rank)[start : start + length]
-                )
+                plan.write_halo(local, d, received[d])
         local, scratch = yield from _compute_sweep(
             ctx, plan, cfg, local, scratch, pinned, sources
         )
@@ -365,9 +275,9 @@ def run_stencil(
 ) -> WorkloadResult:
     """Run the stencil and return timing + instrumentation.
 
-    ``runtime`` selects the variant: ``two_sided``, ``one_sided`` (CPU MPI
-    RMA), or ``shmem`` (GPU-initiated).  In execute mode the assembled
-    global field is returned in ``extras["field"]`` for verification.
+    ``runtime`` is a backend name from :mod:`repro.transport`.  In execute
+    mode the assembled global field is returned in ``extras["field"]`` for
+    verification.
     """
     grid = grid if grid is not None else ProcessGrid.square_ish(nranks)
     if grid.nranks != nranks:
@@ -375,20 +285,8 @@ def run_stencil(
     if placement is None:
         placement = "spread" if machine.is_gpu_machine else "block"
     job = Job(machine, nranks, runtime, placement=placement)
-    bx = -(-cfg.nx // grid.px)  # ceil: largest block dims size the windows
-    by = -(-cfg.ny // grid.py)
-    if runtime == "two_sided":
-        result = job.run(_program_two_sided, cfg, grid)
-    elif runtime == "one_sided":
-        win = job.window(2 * bx + 2 * by, dtype=np.float64)
-        result = job.run(_program_one_sided, cfg, grid, win)
-    elif runtime == "shmem":
-        # Double-buffered halo window (iteration parity), 4 signal slots.
-        win = job.window(2 * (2 * bx + 2 * by), dtype=np.float64)
-        sig = job.window(4, dtype=np.uint64)
-        result = job.run(_program_shmem, cfg, grid, win, sig)
-    else:
-        raise ValueError(f"unknown stencil runtime {runtime!r}")
+    chan = job.channel(_halo_spec(grid, cfg, nranks))
+    result = job.run(_program_stencil, cfg, grid, chan)
     times = [r["time"] for r in result.results]
     extras: dict = {
         "grid": f"{grid.px}x{grid.py}",
@@ -407,8 +305,8 @@ def run_stencil(
     return WorkloadResult(
         workload="stencil",
         machine=machine.name,
-        runtime=runtime,
-        variant=runtime,
+        runtime=job.runtime_name,
+        variant=job.runtime_name,
         nranks=nranks,
         time=max(times),
         counters=merged,

@@ -143,7 +143,6 @@ class TestAtomicTiming:
 
         res = job.run(program)
         t1, t2 = sorted(res.results[1:])
-        apply_cost = pm_cpu.runtime("one_sided").atomic_apply
         assert t2 >= t1  # loser waited at the atomic unit
 
     def test_atomic_gap_throttles_cross_socket(self, sm_gpu):

@@ -1,0 +1,156 @@
+"""Edge cases of the completion and probing verbs.
+
+MPI leaves several corners underspecified in folklore but precise in the
+standard: zero-request waits complete immediately, wildcard receives
+report the *actual* source/tag in the status, and a ``Sendrecv`` with
+``dest == source == self`` must not deadlock.  Pin our semantics.
+"""
+
+import pytest
+
+from repro.comm import ANY_SOURCE, ANY_TAG, Job
+
+
+class TestWaitanyEdges:
+    def test_empty_request_list_returns_none(self, pm_cpu):
+        def program(ctx):
+            t0 = ctx.sim.now
+            idx = yield from ctx.waitany([])
+            return idx, ctx.sim.now - t0
+
+        res = Job(pm_cpu, 1, "two_sided").run(program)
+        idx, elapsed = res.results[0]
+        assert idx is None
+        assert elapsed == 0.0
+
+    def test_waitall_empty_request_list(self, pm_cpu):
+        def program(ctx):
+            values = yield from ctx.waitall([])
+            return values
+
+        assert Job(pm_cpu, 1, "two_sided").run(program).results == [[]]
+
+    def test_returns_index_of_first_done(self, pm_cpu):
+        def program(ctx):
+            from repro.comm import ANY_SOURCE
+
+            if ctx.rank == 0:
+                # Tag 9 arrives much later than tag 5.
+                late = yield from ctx.irecv(source=ANY_SOURCE, tag=9)
+                soon = yield from ctx.irecv(source=1, tag=5)
+                idx = yield from ctx.waitany([late, soon])
+                # Drain the dangling request so the job can finish.
+                req = yield from ctx.isend(0, nbytes=8, tag=9)
+                yield from ctx.waitall([req, late])
+                return idx
+            req = yield from ctx.isend(0, nbytes=8, tag=5)
+            yield from ctx.waitall([req])
+
+        job = Job(pm_cpu, 2, "two_sided", placement="spread")
+        assert job.run(program).results[0] == 1
+
+    def test_already_complete_request_is_instant(self, pm_cpu):
+        def program(ctx):
+            if ctx.rank == 0:
+                payload_req = yield from ctx.irecv(source=1, tag=1)
+                yield from ctx.wait(payload_req)
+                # Request is complete: waitany must not block or wake.
+                idx = yield from ctx.waitany([payload_req])
+                return idx
+            req = yield from ctx.isend(0, nbytes=8, tag=1)
+            yield from ctx.waitall([req])
+
+        job = Job(pm_cpu, 2, "two_sided", placement="spread")
+        assert job.run(program).results[0] == 0
+
+
+class TestWildcards:
+    def test_recv_any_source_reports_actual_source(self, pm_cpu):
+        def program(ctx):
+            if ctx.rank == 0:
+                sources = set()
+                for _ in range(2):
+                    _, status = yield from ctx.recv(source=ANY_SOURCE, tag=7)
+                    sources.add(status.source)
+                return sources
+            req = yield from ctx.isend(0, nbytes=16, tag=7, payload=ctx.rank)
+            yield from ctx.waitall([req])
+
+        res = Job(pm_cpu, 3, "two_sided").run(program)
+        assert res.results[0] == {1, 2}
+
+    def test_recv_any_tag_reports_actual_tag(self, pm_cpu):
+        def program(ctx):
+            if ctx.rank == 0:
+                tags = set()
+                for _ in range(2):
+                    _, status = yield from ctx.recv(source=1, tag=ANY_TAG)
+                    tags.add(status.tag)
+                return tags
+            for tag in (3, 11):
+                req = yield from ctx.isend(0, nbytes=8, tag=tag)
+                yield from ctx.waitall([req])
+
+        res = Job(pm_cpu, 2, "two_sided", placement="spread").run(program)
+        assert res.results[0] == {3, 11}
+
+    def test_iprobe_wildcards_match_any_pending(self, pm_cpu):
+        def program(ctx):
+            if ctx.rank == 0:
+                status = None
+                while status is None:
+                    status = yield from ctx.iprobe(ANY_SOURCE, ANY_TAG)
+                    if status is None:
+                        yield from ctx.compute(seconds=1e-6)
+                # Specific probes: wrong tag misses, right tag hits.
+                miss = yield from ctx.iprobe(source=1, tag=status.tag + 1)
+                hit = yield from ctx.iprobe(source=1, tag=status.tag)
+                payload, _ = yield from ctx.recv(ANY_SOURCE, ANY_TAG)
+                return status.source, status.tag, miss, hit.nbytes, payload
+            req = yield from ctx.isend(0, nbytes=32, tag=4, payload="x")
+            yield from ctx.waitall([req])
+
+        res = Job(pm_cpu, 2, "two_sided", placement="spread").run(program)
+        source, tag, miss, hit_nbytes, payload = res.results[0]
+        assert (source, tag) == (1, 4)
+        assert miss is None
+        assert hit_nbytes == 32
+        assert payload == "x"
+
+    def test_irecv_source_out_of_range_rejected(self, pm_cpu):
+        from repro.comm import CommError
+
+        def program(ctx):
+            with pytest.raises(CommError, match="out of range"):
+                yield from ctx.irecv(source=5)
+            yield from ctx.compute(seconds=0)
+
+        Job(pm_cpu, 2, "two_sided").run(program)
+
+
+class TestSelfSendrecv:
+    def test_sendrecv_with_self_completes(self, pm_cpu):
+        def program(ctx):
+            payload, status = yield from ctx.sendrecv(
+                ctx.rank, nbytes=8, payload=f"self {ctx.rank}"
+            )
+            return payload, status.source
+
+        res = Job(pm_cpu, 2, "two_sided").run(program)
+        assert res.results[0] == ("self 0", 0)
+        assert res.results[1] == ("self 1", 1)
+
+    def test_sendrecv_tagged_exchange(self, pm_cpu):
+        """Each side tags with its own rank; statuses carry the tags."""
+
+        def program(ctx):
+            other = 1 - ctx.rank
+            payload, status = yield from ctx.sendrecv(
+                other, nbytes=8, source=other, sendtag=ctx.rank,
+                recvtag=other, payload=ctx.rank,
+            )
+            return payload, status.tag
+
+        res = Job(pm_cpu, 2, "two_sided", placement="spread").run(program)
+        assert res.results[0] == (1, 1)
+        assert res.results[1] == (0, 0)

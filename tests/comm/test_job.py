@@ -46,7 +46,9 @@ class TestLifecycle:
             Job(pm_cpu, 0, "two_sided")
 
     def test_unknown_runtime(self, pm_cpu):
-        with pytest.raises(KeyError):
+        from repro.transport import UnknownBackendError
+
+        with pytest.raises(UnknownBackendError, match="valid backends"):
             Job(pm_cpu, 2, "nccl")
 
     def test_gpu_machine_caps_at_device_count(self, pm_gpu):

@@ -4,7 +4,6 @@ import pytest
 
 from repro.comm import ANY_SOURCE, ANY_TAG, Message
 from repro.comm.matching import MatchingEngine
-from repro.sim import Simulator
 
 
 @pytest.fixture

@@ -1,7 +1,5 @@
 """The ambient observation session: Job pickup, metrics wiring, spans."""
 
-import numpy as np
-
 from repro import obs
 from repro.comm.job import Job
 from repro.obs.sinks import JsonlSink, RingBufferSink

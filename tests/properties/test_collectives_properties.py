@@ -5,7 +5,6 @@ always match numpy computed on the gathered inputs.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.comm import Job

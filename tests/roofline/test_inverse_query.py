@@ -1,6 +1,5 @@
 """The inverse roofline query: concurrency needed for a bandwidth target."""
 
-import numpy as np
 import pytest
 
 from repro.net import LogGPParams

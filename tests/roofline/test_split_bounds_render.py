@@ -1,6 +1,5 @@
 """SplitModel (Fig. 10), workload bounds (Fig. 6), ASCII rendering."""
 
-import numpy as np
 import pytest
 
 from repro.machines import perlmutter_cpu, perlmutter_gpu

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.comm import Job
-from repro.machines import perlmutter_cpu
 from repro.sim import Simulator
 from repro.sim.event import SimulationError
 

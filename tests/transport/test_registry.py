@@ -1,0 +1,143 @@
+"""Backend registry: name resolution, errors, caps, extension seam."""
+
+import pytest
+
+from repro.comm import Job
+from repro.transport import (
+    ONE_SIDED,
+    ONE_SIDED_HW,
+    SHMEM,
+    TWO_SIDED,
+    BackendCaps,
+    TransportBackend,
+    UnknownBackendError,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+
+
+class TestResolution:
+    def test_builtin_names_in_canonical_order(self):
+        names = backend_names()
+        assert names[:4] == (TWO_SIDED, ONE_SIDED, SHMEM, ONE_SIDED_HW)
+
+    def test_get_backend_by_name(self):
+        for name in (TWO_SIDED, ONE_SIDED, SHMEM):
+            assert get_backend(name).name == name
+
+    def test_unknown_name_lists_valid_backends(self):
+        with pytest.raises(UnknownBackendError) as exc:
+            get_backend("nccl")
+        assert "'nccl'" in str(exc.value)
+        for name in (TWO_SIDED, ONE_SIDED, SHMEM):
+            assert repr(name) in str(exc.value)
+
+    def test_unknown_backend_error_is_a_value_error(self):
+        # Callers that caught ValueError from the old literal check keep
+        # working.
+        with pytest.raises(ValueError):
+            get_backend("mystery")
+
+    def test_costs_key_defaults_to_name(self):
+        assert get_backend(TWO_SIDED).resolve_costs_key() == TWO_SIDED
+        assert get_backend(ONE_SIDED_HW).resolve_costs_key() == ONE_SIDED_HW
+
+
+class TestCaps:
+    def test_paper_op_accounting(self):
+        """Table I: 2 ops/msg two-sided, 4-op one-sided emulation, fused
+        single-op NVSHMEM."""
+        assert get_backend(TWO_SIDED).caps.ops_per_message == 2
+        assert get_backend(ONE_SIDED).caps.ops_per_message == 4
+        assert get_backend(SHMEM).caps.ops_per_message == 1
+        assert get_backend(ONE_SIDED_HW).caps.ops_per_message == 1
+
+    def test_remote_atomics(self):
+        assert not get_backend(TWO_SIDED).caps.remote_atomics
+        assert get_backend(ONE_SIDED).caps.remote_atomics
+        assert get_backend(SHMEM).caps.remote_atomics
+
+    def test_gpu_initiated(self):
+        assert get_backend(SHMEM).caps.gpu_initiated
+        assert not get_backend(ONE_SIDED_HW).caps.gpu_initiated
+
+    def test_sided_labels(self):
+        assert get_backend(TWO_SIDED).sided == "two"
+        assert get_backend(ONE_SIDED).sided == "one"
+        assert get_backend(SHMEM).sided == "shmem"
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(get_backend(TWO_SIDED))
+
+    def test_replace_allows_overwrite(self):
+        original = get_backend(TWO_SIDED)
+        try:
+            register_backend(original, replace=True)
+            assert get_backend(TWO_SIDED) is original
+        finally:
+            register_backend(original, replace=True)
+
+    def test_nameless_backend_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            register_backend(TransportBackend())
+
+    def test_custom_backend_roundtrip(self):
+        class Quiet(TransportBackend):
+            name = "quiet-test-backend"
+            costs_key = TWO_SIDED
+            caps = BackendCaps(remote_atomics=False, ops_per_message=2)
+
+        try:
+            register_backend(Quiet())
+            assert get_backend("quiet-test-backend").caps.ops_per_message == 2
+            assert "quiet-test-backend" in backend_names()
+        finally:
+            from repro.transport import registry
+
+            registry._REGISTRY.pop("quiet-test-backend", None)
+
+
+class TestJobIntegration:
+    def test_job_resolves_backend_by_name(self, pm_cpu):
+        job = Job(pm_cpu, 2, TWO_SIDED)
+        assert job.runtime_name == TWO_SIDED
+        assert job.backend is get_backend(TWO_SIDED)
+
+    def test_job_accepts_backend_instance(self, pm_cpu):
+        job = Job(pm_cpu, 2, get_backend(ONE_SIDED))
+        assert job.runtime_name == ONE_SIDED
+
+    def test_job_unknown_runtime_helpful_error(self, pm_cpu):
+        with pytest.raises(UnknownBackendError, match="valid backends"):
+            Job(pm_cpu, 2, "rdma++")
+
+    def test_custom_backend_runs_without_workload_edits(self, pm_cpu):
+        """The seam: a new backend + a cost profile = a runnable runtime."""
+        import dataclasses
+
+        from repro.transport.shmem import ShmemBackend
+        from repro.workloads.flood import run_flood
+
+        class FusedNic(ShmemBackend):
+            name = "fused-nic-test"
+            costs_key = "fused-nic-test"
+            sided = "shmem"
+            caps = BackendCaps(remote_atomics=True, ops_per_message=1)
+
+        try:
+            register_backend(FusedNic())
+            one = pm_cpu.runtimes[ONE_SIDED]
+            pm_cpu.runtimes["fused-nic-test"] = dataclasses.replace(
+                one, put_signal=one.put, poll_slot=0.0, wait_poll=2e-7
+            )
+            r = run_flood(pm_cpu, "fused-nic-test", 512, 16, iters=2)
+            assert r.runtime == "fused-nic-test"
+            assert r.bandwidth > 0
+        finally:
+            from repro.transport import registry
+
+            registry._REGISTRY.pop("fused-nic-test", None)

@@ -3,8 +3,6 @@
 import pytest
 
 from repro.workloads.sptrsv import (
-    LSUM_MSG,
-    X_MSG,
     BlockCyclicLayout,
     CommPlan,
 )

@@ -6,9 +6,7 @@ import pytest
 from repro.machines import perlmutter_cpu, perlmutter_gpu, summit_gpu
 from repro.workloads.sptrsv import (
     BlockCyclicLayout,
-    MatrixSpec,
     SpTrsvConfig,
-    generate_matrix,
     reference_solve,
     run_sptrsv,
 )
