@@ -86,6 +86,41 @@ def build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--msgs", type=int, default=64, help="messages per sync")
     fp.add_argument("--iters", type=int, default=3)
 
+    fap = sub.add_parser(
+        "fault",
+        help="run a flood point under fault injection; compare to clean",
+    )
+    fap.add_argument("machine")
+    fap.add_argument("runtime", choices=backend_names())
+    fap.add_argument("--size", default="64KiB", help="message size (e.g. 4KiB)")
+    fap.add_argument("--msgs", type=int, default=64, help="messages per sync")
+    fap.add_argument("--iters", type=int, default=2)
+    fap.add_argument(
+        "--loss", type=float, default=0.05,
+        help="per-traversal link loss probability in [0, 1) (default 0.05)",
+    )
+    fap.add_argument(
+        "--jitter-us", type=float, default=0.0,
+        help="max extra per-traversal latency, microseconds",
+    )
+    fap.add_argument(
+        "--degrade", type=float, default=1.0,
+        help="per-byte time multiplier on every link (>= 1)",
+    )
+    fap.add_argument(
+        "--down", action="append", default=[], metavar="START:END",
+        help="link outage window in simulated microseconds (repeatable)",
+    )
+    fap.add_argument("--seed", type=int, default=0, help="fault plan seed")
+    fap.add_argument(
+        "--timeout-us", type=float, default=20.0,
+        help="base retransmission detection timeout, microseconds",
+    )
+    fap.add_argument(
+        "--max-retries", type=int, default=8,
+        help="retries per message before the transfer fails",
+    )
+
     ep = sub.add_parser(
         "export", help="run experiments and write JSON reports to a directory"
     )
@@ -146,18 +181,25 @@ def _execution_from_args(args: argparse.Namespace):
     )
 
 
-def _print_run_summary(statuses: dict[str, bool], cache) -> None:
-    """Per-experiment PASS/FAIL lines plus a greppable cache-stats line."""
+def _print_run_summary(statuses: dict[str, str], cache) -> None:
+    """Per-experiment PASS/FAIL/ERROR lines plus a greppable cache-stats
+    line.  ERROR marks an experiment that raised rather than merely
+    failing its expectations."""
     if len(statuses) > 1:
         print("summary:", file=sys.stderr)
-        for n, passed in statuses.items():
-            print(f"  {n:<20} {'PASS' if passed else 'FAIL'}", file=sys.stderr)
-        failed = sum(1 for ok in statuses.values() if not ok)
-        print(
-            f"  {failed}/{len(statuses)} experiments failed expectations"
-            if failed else f"  all {len(statuses)} experiments passed",
-            file=sys.stderr,
-        )
+        for n, status in statuses.items():
+            print(f"  {n:<20} {status}", file=sys.stderr)
+        failed = sum(1 for s in statuses.values() if s == "FAIL")
+        errored = sum(1 for s in statuses.values() if s == "ERROR")
+        if failed or errored:
+            parts = []
+            if failed:
+                parts.append(f"{failed}/{len(statuses)} experiments failed expectations")
+            if errored:
+                parts.append(f"{errored}/{len(statuses)} experiments raised")
+            print(f"  {'; '.join(parts)}", file=sys.stderr)
+        else:
+            print(f"  all {len(statuses)} experiments passed", file=sys.stderr)
     if cache is not None:
         s = cache.stats()
         print(
@@ -207,16 +249,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    statuses: dict[str, bool] = {}
+    statuses: dict[str, str] = {}
     with _execution_from_args(args) as cfg:
         for n in names:
-            report = _run_one(n, args.metrics)
+            # One crashing experiment must not abort the rest of `run all`:
+            # record it as ERROR and keep going (non-zero exit at the end).
+            try:
+                report = _run_one(n, args.metrics)
+            except Exception:
+                import traceback
+
+                print(f"experiment {n} raised:", file=sys.stderr)
+                traceback.print_exc()
+                statuses[n] = "ERROR"
+                continue
             print(report.to_json() if args.json else report.render())
             if not args.json:
                 print()
-            statuses[n] = report.all_expectations_met
+            statuses[n] = "PASS" if report.all_expectations_met else "FAIL"
         _print_run_summary(statuses, cfg.cache)
-    return 0 if all(statuses.values()) else 1
+    return 0 if all(s == "PASS" for s in statuses.values()) else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -317,17 +369,26 @@ def _cmd_export(args: argparse.Namespace) -> int:
         return 2
     out = pathlib.Path(args.outdir)
     out.mkdir(parents=True, exist_ok=True)
-    statuses: dict[str, bool] = {}
+    statuses: dict[str, str] = {}
     with _execution_from_args(args) as cfg:
         for n in names:
-            report = _run_one(n, args.metrics)
+            try:
+                report = _run_one(n, args.metrics)
+            except Exception:
+                import traceback
+
+                print(f"experiment {n} raised:", file=sys.stderr)
+                traceback.print_exc()
+                print(f"  {n}: ERROR (no report written)")
+                statuses[n] = "ERROR"
+                continue
             (out / f"{n}.json").write_text(report.to_json() + "\n")
             (out / f"{n}.txt").write_text(report.render() + "\n")
             status = "ok" if report.all_expectations_met else "CHECKS FAILED"
             print(f"  {n}: {status} -> {out / n}.{{json,txt}}")
-            statuses[n] = report.all_expectations_met
+            statuses[n] = "PASS" if report.all_expectations_met else "FAIL"
         _print_run_summary(statuses, cfg.cache)
-    return 0 if all(statuses.values()) else 1
+    return 0 if all(s == "PASS" for s in statuses.values()) else 1
 
 
 def _cmd_machines() -> int:
@@ -363,6 +424,64 @@ def _cmd_flood(args: argparse.Namespace) -> int:
     print(f"message   : {args.size} x {args.msgs}/sync x {args.iters} iters")
     print(f"bandwidth : {fmt_bw(r.bandwidth)}")
     print(f"latency   : {fmt_time(r.latency_per_message)} per message")
+    return 0
+
+
+def _cmd_fault(args: argparse.Namespace) -> int:
+    from repro import faults
+    from repro.util import fmt_bw, parse_size
+    from repro.workloads.flood import run_flood
+
+    machine = _resolve_machine(args.machine)
+    if machine is None:
+        return 2
+    down = []
+    for spec in args.down:
+        try:
+            a, b = spec.split(":")
+            down.append((float(a) * 1e-6, float(b) * 1e-6))
+        except ValueError:
+            print(f"--down expects START:END in microseconds, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+    try:
+        plan = faults.FaultPlan.uniform(
+            loss=args.loss,
+            jitter=args.jitter_us * 1e-6,
+            degrade=args.degrade,
+            down=tuple(down),
+            seed=args.seed,
+            timeout=args.timeout_us * 1e-6,
+            max_retries=args.max_retries,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    size = parse_size(args.size)
+    clean = run_flood(machine, args.runtime, size, args.msgs, iters=args.iters)
+    try:
+        with faults.inject(plan) as scope:
+            faulty = run_flood(
+                machine, args.runtime, size, args.msgs, iters=args.iters
+            )
+    except faults.FaultError as exc:
+        print(f"machine   : {machine.name} / {args.runtime}")
+        print(f"plan      : loss={args.loss} jitter={args.jitter_us}us "
+              f"degrade={args.degrade} seed={args.seed}")
+        print(f"aborted   : {exc}")
+        return 1
+    s = scope.stats()
+    print(f"machine   : {machine.name} / {args.runtime}")
+    print(f"message   : {args.size} x {args.msgs}/sync x {args.iters} iters")
+    print(f"plan      : loss={args.loss} jitter={args.jitter_us}us "
+          f"degrade={args.degrade} down={len(down)} window(s) seed={args.seed}")
+    print(f"clean     : {fmt_bw(clean.bandwidth)}")
+    print(f"faulty    : {fmt_bw(faulty.bandwidth)} "
+          f"({faulty.bandwidth / clean.bandwidth * 100:.1f}% of clean)")
+    print(f"recovery  : {int(s['drops'])} drops, {int(s['retransmits'])} "
+          f"retransmits, {int(s['exhausted'])} exhausted")
+    if s["down_stall_seconds"] > 0:
+        print(f"stalled   : {s['down_stall_seconds'] * 1e6:.1f} us at down links")
     return 0
 
 
@@ -410,6 +529,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_export(args)
     if args.command == "flood":
         return _cmd_flood(args)
+    if args.command == "fault":
+        return _cmd_fault(args)
     if args.command == "roofline":
         return _cmd_roofline(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -48,6 +48,17 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["RankContext"]
 
 
+def _raise(exc: BaseException) -> None:
+    """Re-raise a failed delivery from inside an event callback.
+
+    Two-sided deliveries only fail when fault injection runs a two-sided
+    verb under surface-mode semantics (no receiver exists to surface the
+    loss at); re-raising aborts the simulation at the delivery instant
+    rather than letting the receiver hang forever.
+    """
+    raise exc
+
+
 class RankContext:
     """One MPI rank's view of the job: identity, mailbox, and verbs."""
 
@@ -139,7 +150,7 @@ class RankContext:
                 self.endpoint, dst_ctx.endpoint, nbytes, payload=msg
             )
             delivery.event.add_callback(
-                lambda ev: dst_ctx._deliver(ev.value)
+                lambda ev: dst_ctx._deliver(ev.value) if ev.ok else _raise(ev.value)
             )
             # Eager: the library buffers the data; the send completes locally.
             send_done.succeed()
@@ -180,7 +191,9 @@ class RankContext:
         msg.on_match = on_match
         msg.payload = None  # envelope only; data moves in the CTS phase
         rts = self.fabric.transfer(src_ep, dst_ep, 0.0, payload=msg)
-        rts.event.add_callback(lambda ev: dst_ctx._deliver(ev.value))
+        rts.event.add_callback(
+            lambda ev: dst_ctx._deliver(ev.value) if ev.ok else _raise(ev.value)
+        )
 
     def _deliver(self, msg: Message) -> None:
         """Fabric callback: a message has arrived at this rank."""
@@ -298,6 +311,10 @@ class RankContext:
         if req.done:
             if self.costs.wait_per_req > 0:
                 yield self.sim.timeout(self.costs.wait_per_req)
+            if not req.event.ok:
+                # Fault injection: the operation failed before we waited;
+                # the loss surfaces here, at the synchronisation point.
+                raise req.event.value
             return req.event.value
         value = yield req.event
         wake = self.costs.sync_enter + self.costs.wait_per_req
@@ -314,7 +331,9 @@ class RankContext:
         """
         self.counter.syncs += 1
         self.counter.operations += 1
-        pending = [r.event for r in reqs if not r.done]
+        # Already-failed requests (fault injection) are folded back in so
+        # the AllOf fails and the loss surfaces at this synchronisation.
+        pending = [r.event for r in reqs if not r.done or not r.event.ok]
         blocked = bool(pending)
         if pending:
             yield self.sim.all_of(pending)

@@ -23,6 +23,8 @@ import numpy as np
 from repro.comm.base import OpCounter
 from repro.comm.context import RankContext
 from repro.comm.window import Window
+from repro.faults.inject import FaultInjector, current_plan, current_scope
+from repro.faults.plan import FaultPlan
 from repro.machines.base import MachineModel, Placement
 from repro.net.fabric import Fabric
 from repro.obs.session import current as _obs_current
@@ -65,6 +67,7 @@ class Job:
         placement: Placement = "block",
         seed: int = 0,
         trace: bool = False,
+        faults: FaultPlan | None = None,
     ):
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
@@ -99,8 +102,24 @@ class Job:
         self.spans: SpanTracker = (
             self.obs.spans if self.obs is not None else SpanTracker()
         )
+        # An explicit plan wins; otherwise the ambient faults.inject()
+        # scope applies (how experiment runners reach jobs built deep
+        # inside workloads).  A clean/absent plan keeps the fabric on its
+        # byte-identical fault-free path.
+        plan = faults if faults is not None else current_plan()
+        self.fault_plan = plan
+        self.fault_injector = None
+        if plan is not None and not plan.clean:
+            self.fault_injector = FaultInjector(plan, self.backend.fault_semantics)
+            scope = current_scope()
+            if scope is not None:
+                scope.attach(self.fault_injector)
         self.fabric = Fabric(
-            self.sim, machine.topology, self.tracer, metrics=self.metrics
+            self.sim,
+            machine.topology,
+            self.tracer,
+            metrics=self.metrics,
+            faults=self.fault_injector,
         )
         if self.metrics is not None:
             self.metrics.register_collector(self._collect_comm_metrics)

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.comm.base import CommError, Request
 from repro.comm.context import RankContext
-from repro.comm.window import Window
+from repro.comm.window import Window, _propagate_failure
 from repro.sim.event import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -88,6 +88,8 @@ class ShmemContext(RankContext):
         done = self.sim.event()
 
         def land(_ev: Event) -> None:
+            if _propagate_failure(_ev, done):
+                return
             # Data first, then the signal becomes observable: one atomic
             # step at the same simulated instant preserves the ordering
             # guarantee (no waiter can observe signal-without-data).
@@ -223,7 +225,11 @@ class ShmemContext(RankContext):
         self.counter.operations += 1
         if self.costs.flush > 0:
             yield self.sim.timeout(self.costs.flush)
-        pending = [ev for ev in self._outstanding_puts if not ev.triggered]
+        # Failed puts (fault injection) stay pending so the loss surfaces
+        # here, at the quiet — the NVSHMEM completion point.
+        pending = [
+            ev for ev in self._outstanding_puts if not ev.triggered or not ev.ok
+        ]
         if pending:
             yield self.sim.all_of(pending)
         self._outstanding_puts = [

@@ -35,6 +35,21 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Window", "WindowHandle"]
 
 
+def _propagate_failure(ev: Event, done: Event) -> bool:
+    """Forward a failed fabric delivery into an op's completion event.
+
+    One-sided semantics: the origin does not learn about the loss at the
+    Put — the failure is parked on ``done`` (defused, so it never raises
+    unhandled) and surfaces when a flush/wait/fence gathers it.  Returns
+    True when ``ev`` failed and the op must not apply its effects.
+    """
+    if ev.ok:
+        return False
+    done.fail(ev.value)
+    done.defuse()
+    return True
+
+
 class Window:
     """A symmetric RMA window: ``count`` elements of ``dtype`` on each rank."""
 
@@ -90,19 +105,21 @@ class Window:
         self._outstanding.setdefault((origin, target), []).append(ev)
 
     def _pending(self, origin: int, target: int | None) -> list[Event]:
+        # Failed ops (fault injection) stay pending: a flush must gather
+        # them so the loss surfaces at the synchronisation point.
         if target is None:
             pending = [
                 ev
                 for (o, _t), evs in self._outstanding.items()
                 if o == origin
                 for ev in evs
-                if not ev.triggered
+                if not ev.triggered or not ev.ok
             ]
         else:
             pending = [
                 ev
                 for ev in self._outstanding.get((origin, target), [])
-                if not ev.triggered
+                if not ev.triggered or not ev.ok
             ]
         return pending
 
@@ -207,6 +224,8 @@ class WindowHandle:
         target_ctx = ctx.job.contexts[target]
 
         def land(_ev: Event) -> None:
+            if _propagate_failure(_ev, done):
+                return
             # The target runtime's copy engine (if any) delays visibility.
             delay = target_ctx.charge_copy(nbytes)
 
@@ -249,9 +268,13 @@ class WindowHandle:
         done = ctx.sim.event()
 
         def at_target(_ev: Event) -> None:
+            if _propagate_failure(_ev, done):
+                return
             data = np.array(win.buffers[target][offset : offset + nelems], copy=True)
             response = ctx.fabric.transfer(target_ep, ctx.endpoint, nbytes)
-            response.event.add_callback(lambda _e: done.succeed(data))
+            response.event.add_callback(
+                lambda _e: None if _propagate_failure(_e, done) else done.succeed(data)
+            )
 
         request_leg.event.add_callback(at_target)
         win._track(self.rank, target, done)
@@ -335,6 +358,8 @@ class WindowHandle:
         done = ctx.sim.event()
 
         def land(_ev: Event) -> None:
+            if _propagate_failure(_ev, done):
+                return
             buf = win.buffers[target]
             view = buf[offset : offset + values.size]
             if op == "sum":
@@ -392,6 +417,8 @@ class WindowHandle:
         done = ctx.sim.event()
 
         def at_target(_ev: Event) -> None:
+            if _propagate_failure(_ev, done):
+                return
             # Atomics serialise at the target's atomic unit.
             now = ctx.sim.now
             start = max(now, win._atomic_next_free[target])
@@ -402,7 +429,11 @@ class WindowHandle:
                 old = apply_fn(win.buffers[target])
                 win._apply_write(target, offset, None)  # ring watchers
                 response = ctx.fabric.transfer(target_ep, ctx.endpoint, 8.0)
-                response.event.add_callback(lambda _r: done.succeed(old))
+                response.event.add_callback(
+                    lambda _r: None
+                    if _propagate_failure(_r, done)
+                    else done.succeed(old)
+                )
 
             ctx.sim.timeout(finish - now).add_callback(apply_and_respond)
 

@@ -7,6 +7,7 @@ booleans, and whose ``render()`` prints both — the benchmarks in
 ``benchmarks/`` are thin wrappers over these.
 """
 
+from repro.experiments.degradation import run_degradation
 from repro.experiments.fig01_overview import run_fig01
 from repro.experiments.fig02_topologies import run_fig02
 from repro.experiments.fig03_cpu_bandwidth import run_fig03
@@ -25,6 +26,7 @@ from repro.experiments.tables import run_table1, run_table2
 
 __all__ = [
     "ExperimentReport",
+    "run_degradation",
     "run_fig01",
     "run_fig02",
     "run_fig03",
@@ -58,4 +60,5 @@ ALL_EXPERIMENTS = {
     "future_frontier": run_future_frontier,
     "future_collectives": run_future_collectives,
     "internode": run_internode,
+    "degradation": run_degradation,
 }

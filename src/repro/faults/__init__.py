@@ -1,0 +1,42 @@
+"""repro.faults — deterministic fault injection for the simulated fabric.
+
+Public surface:
+
+* :class:`FaultPlan` / :class:`LinkFaults` / :class:`RetransmitPolicy` —
+  declarative description of link loss, jitter, outages and degradation.
+* :class:`FaultSemantics` — how a runtime reacts to loss (carried by each
+  :mod:`repro.transport` backend).
+* :func:`inject` / :func:`current_plan` / :func:`current_scope` — ambient
+  installation of a plan, mirroring :func:`repro.obs.observe`.
+* :class:`FaultError` — delivery failure after the retry budget.
+"""
+
+from repro.faults.plan import (
+    NO_FAULTS,
+    FaultError,
+    FaultPlan,
+    FaultSemantics,
+    LinkFaults,
+    RetransmitPolicy,
+)
+from repro.faults.inject import (
+    FaultInjector,
+    FaultScope,
+    current_plan,
+    current_scope,
+    inject,
+)
+
+__all__ = [
+    "NO_FAULTS",
+    "FaultError",
+    "FaultPlan",
+    "FaultSemantics",
+    "LinkFaults",
+    "RetransmitPolicy",
+    "FaultInjector",
+    "FaultScope",
+    "current_plan",
+    "current_scope",
+    "inject",
+]

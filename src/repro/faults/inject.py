@@ -1,0 +1,188 @@
+"""Deterministic fault sampling and the ambient injection scope.
+
+Experiment runners build :class:`~repro.comm.job.Job` objects internally,
+so — like :mod:`repro.obs` — a fault plan is installed ambiently::
+
+    from repro import faults
+
+    plan = faults.FaultPlan.uniform(loss=0.05, seed=7)
+    with faults.inject(plan) as scope:
+        result = run_flood(machine, "one_sided", 65536, 64)
+    print(scope.stats())   # drops / retransmits / exhausted / ...
+
+Every job constructed inside the block threads the plan into its fabric.
+Outside a scope (or with ``inject(None)``) nothing changes: the fabric
+takes its zero-overhead, byte-identical fault-free path.
+
+Determinism: every loss/jitter draw is a pure function of
+``(seed, link, direction, message id, attempt)`` via a keyed blake2b
+hash.  The message id is the fabric's transfer sequence number, so the
+draw a message sees does not depend on how many retries *other* messages
+needed — and a draw compared against a larger loss threshold can only
+flip from "delivered" to "dropped", which is why degradation curves are
+monotone in the loss rate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from collections.abc import Iterator
+
+from repro.faults.plan import FaultPlan, FaultSemantics
+
+__all__ = ["FaultInjector", "FaultScope", "inject", "current_plan", "current_scope"]
+
+_TWO_64 = float(2**64)
+
+
+class FaultInjector:
+    """Per-fabric fault state: the plan, the runtime semantics, counters.
+
+    One injector serves one :class:`~repro.net.fabric.Fabric` (hence one
+    job); scopes aggregate across injectors.  The optional ``attempts_hist``
+    hook (a :class:`repro.obs.metrics.Histogram`) receives the attempt
+    count of every delivered transfer when an obs session is active.
+    """
+
+    __slots__ = (
+        "plan",
+        "semantics",
+        "drops",
+        "retransmits",
+        "exhausted",
+        "delivered",
+        "delivered_with_retry",
+        "down_stall_seconds",
+        "drops_by_link",
+        "attempts_hist",
+        "_seed_bytes",
+    )
+
+    def __init__(self, plan: FaultPlan, semantics: FaultSemantics | None = None):
+        self.plan = plan
+        self.semantics = semantics if semantics is not None else FaultSemantics()
+        self.drops = 0
+        self.retransmits = 0
+        self.exhausted = 0
+        self.delivered = 0
+        self.delivered_with_retry = 0
+        self.down_stall_seconds = 0.0
+        self.drops_by_link: dict[str, int] = {}
+        self.attempts_hist = None
+        self._seed_bytes = str(plan.seed).encode()
+
+    # -- deterministic sampling ----------------------------------------
+
+    def unit(self, link: str, tid: int, attempt: int, purpose: str) -> float:
+        """A uniform draw in [0, 1): pure function of the arguments + seed."""
+        h = hashlib.blake2b(
+            f"{link}|{tid}|{attempt}|{purpose}".encode(),
+            digest_size=8,
+            key=self._seed_bytes,
+        ).digest()
+        return int.from_bytes(h, "little") / _TWO_64
+
+    def lost(self, lf, link: str, tid: int, attempt: int) -> bool:
+        """Does traversal ``attempt`` of transfer ``tid`` drop on ``link``?"""
+        return lf.loss > 0.0 and self.unit(link, tid, attempt, "loss") < lf.loss
+
+    def jitter(self, lf, link: str, tid: int, attempt: int) -> float:
+        """Extra latency for this traversal (0 when the link has no jitter)."""
+        if lf.jitter <= 0.0:
+            return 0.0
+        return lf.jitter * self.unit(link, tid, attempt, "jitter")
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def record_drop(self, link: str) -> None:
+        self.drops += 1
+        self.drops_by_link[link] = self.drops_by_link.get(link, 0) + 1
+
+    def record_retransmit(self) -> None:
+        self.retransmits += 1
+
+    def record_exhausted(self) -> None:
+        self.exhausted += 1
+
+    def record_delivery(self, attempts: int) -> None:
+        self.delivered += 1
+        if attempts > 1:
+            self.delivered_with_retry += 1
+        if self.attempts_hist is not None:
+            self.attempts_hist.observe(attempts)
+
+    def record_down_stall(self, seconds: float) -> None:
+        self.down_stall_seconds += seconds
+
+    def stats(self) -> dict[str, float]:
+        """Aggregate counters (the shape :class:`FaultScope` merges)."""
+        return {
+            "drops": float(self.drops),
+            "retransmits": float(self.retransmits),
+            "exhausted": float(self.exhausted),
+            "delivered": float(self.delivered),
+            "delivered_with_retry": float(self.delivered_with_retry),
+            "down_stall_seconds": self.down_stall_seconds,
+        }
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Snapshot-time collector payload for a MetricsRegistry."""
+        out = {f"faults.{k}": v for k, v in self.stats().items()}
+        for link, n in self.drops_by_link.items():
+            out[f"faults.link.{link}.drops"] = float(n)
+        return out
+
+
+class FaultScope:
+    """Aggregates fault statistics over every job run inside one
+    :func:`inject` block (``plan`` may be None for a no-op scope)."""
+
+    def __init__(self, plan: FaultPlan | None):
+        self.plan = plan
+        self.injectors: list[FaultInjector] = []
+
+    def attach(self, injector: FaultInjector) -> None:
+        self.injectors.append(injector)
+
+    def stats(self) -> dict[str, float]:
+        merged: dict[str, float] = {
+            "drops": 0.0,
+            "retransmits": 0.0,
+            "exhausted": 0.0,
+            "delivered": 0.0,
+            "delivered_with_retry": 0.0,
+            "down_stall_seconds": 0.0,
+        }
+        for inj in self.injectors:
+            for k, v in inj.stats().items():
+                merged[k] = merged.get(k, 0.0) + v
+        return merged
+
+
+_STACK: list[FaultScope] = []
+
+
+def current_plan() -> FaultPlan | None:
+    """The innermost active plan, or None (the fault-free default)."""
+    return _STACK[-1].plan if _STACK else None
+
+
+def current_scope() -> FaultScope | None:
+    """The innermost active scope, or None."""
+    return _STACK[-1] if _STACK else None
+
+
+@contextmanager
+def inject(plan: FaultPlan | None) -> Iterator[FaultScope]:
+    """Install ``plan`` as the ambient fault plan for the block.
+
+    ``inject(None)`` is a valid no-op scope — convenient for code that
+    builds the plan conditionally and always wants a scope to query.
+    """
+    scope = FaultScope(plan)
+    _STACK.append(scope)
+    try:
+        yield scope
+    finally:
+        _STACK.pop()

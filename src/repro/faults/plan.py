@@ -1,0 +1,211 @@
+"""Fault plans: a declarative description of fabric misbehaviour.
+
+The Message Roofline assumes a perfect fabric; a :class:`FaultPlan` states
+how a simulated fabric departs from that ideal, per link:
+
+* ``loss`` — probability that one traversal of the link drops the message
+  (the sender's retransmission machinery then recovers it, paying the full
+  LogGP cost of the retry — see :mod:`repro.net.fabric`);
+* ``jitter`` — extra per-traversal latency, uniform on ``[0, jitter)``;
+* ``degrade`` — a permanent slowdown factor on the link's per-byte time
+  (``2.0`` = the link runs at half bandwidth);
+* ``down`` — transient outage windows ``[start, end)`` in simulated
+  seconds during which the link accepts no new messages (heads stall at
+  the injection port until the window closes).
+
+Everything is deterministic: loss and jitter draws are pure functions of
+``(plan.seed, link, message id, attempt)`` — see
+:class:`~repro.faults.inject.FaultInjector` — so two runs with the same
+plan produce identical schedules, and raising ``loss`` can only delay a
+message, never reorder its draws (degradation curves are monotone).
+
+How a *runtime* reacts to loss is described separately by
+:class:`FaultSemantics`, a knob each :class:`repro.transport` backend
+carries: two-sided MPI retransmits inside the library off a sender-side
+ack timer, one-sided MPI only discovers a lost Put at the next
+flush/synchronisation (a larger effective detection timeout plus a
+re-sync round trip per retry), and NVSHMEM-style transports retry in NIC
+hardware.  This is what gives the runtimes genuinely different
+degradation shapes in ``repro run degradation``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FaultError",
+    "LinkFaults",
+    "RetransmitPolicy",
+    "FaultSemantics",
+    "FaultPlan",
+    "NO_FAULTS",
+]
+
+
+class FaultError(RuntimeError):
+    """A message could not be delivered within the retransmission budget.
+
+    For library-retransmit runtimes (two-sided MPI) this aborts the job at
+    the send, like an MPI communicator error; for one-sided runtimes the
+    failure is carried by the operation's completion event and surfaces at
+    the next ``flush``/``wait``/``quiet``.
+    """
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Fault parameters of one link (or the plan-wide default)."""
+
+    loss: float = 0.0  # per-traversal drop probability, [0, 1)
+    jitter: float = 0.0  # max extra per-traversal latency (seconds)
+    degrade: float = 1.0  # per-byte time multiplier (>= 1)
+    down: tuple[tuple[float, float], ...] = ()  # [start, end) outage windows
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1), got {self.loss}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if self.degrade < 1.0:
+            raise ValueError(f"degrade must be >= 1, got {self.degrade}")
+        windows = tuple(sorted((float(a), float(b)) for a, b in self.down))
+        for a, b in windows:
+            if not 0.0 <= a < b:
+                raise ValueError(f"down window [{a}, {b}) is not a valid interval")
+        object.__setattr__(self, "down", windows)
+
+    @property
+    def clean(self) -> bool:
+        """True when this link behaves perfectly (no sampling needed)."""
+        return (
+            self.loss == 0.0
+            and self.jitter == 0.0
+            and self.degrade == 1.0
+            and not self.down
+        )
+
+
+NO_FAULTS = LinkFaults()
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """How lost messages are recovered.
+
+    Attempt ``k`` (0-based) of a message that was dropped is detected
+    ``timeout * backoff**k`` after its injection started (scaled by the
+    runtime's :attr:`FaultSemantics.detect_scale`), and the next attempt
+    re-enters the fabric then — re-paying injection serialisation, link
+    occupancy and latency in full.  After ``max_retries`` failed retries
+    the transfer gives up and raises/fails with :class:`FaultError`.
+    """
+
+    timeout: float = 20e-6  # base detection timeout (seconds)
+    backoff: float = 2.0  # exponential backoff factor
+    max_retries: int = 8  # retries after the first attempt
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+
+@dataclass(frozen=True)
+class FaultSemantics:
+    """How one runtime experiences and recovers from message loss.
+
+    Attributes:
+        mode: ``"abort"`` — exhaustion of the retry budget raises
+            :class:`FaultError` at the send (library-internal recovery,
+            MPI-style job abort on catastrophic loss); ``"surface"`` —
+            the operation's completion event *fails* instead, and the
+            error reaches the program at the next flush/wait/quiet.
+        detect_scale: multiplies :attr:`RetransmitPolicy.timeout` — how
+            quickly this runtime notices a lost message.  A sender-side
+            ack timer (two-sided) detects at 1x; one-sided MPI discovers
+            loss only at the synchronisation point (4x); hardware NIC
+            retry (NVSHMEM) reacts fastest (0.5x).
+        resync_penalty: when True, every retry also pays one extra round
+            trip of route latency — the origin must re-synchronise its
+            window state before re-issuing (the one-sided flush dance).
+    """
+
+    mode: str = "abort"
+    detect_scale: float = 1.0
+    resync_penalty: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("abort", "surface"):
+            raise ValueError(f"mode must be 'abort' or 'surface', got {self.mode!r}")
+        if self.detect_scale <= 0:
+            raise ValueError(f"detect_scale must be > 0, got {self.detect_scale}")
+
+
+def _normalize_links(
+    links: Mapping[tuple[str, str], LinkFaults],
+) -> dict[frozenset[str], LinkFaults]:
+    out: dict[frozenset[str], LinkFaults] = {}
+    for pair, lf in links.items():
+        a, b = pair
+        key = frozenset((a, b))
+        if key in out:
+            raise ValueError(f"duplicate link override for {a!r}<->{b!r}")
+        out[key] = lf
+    return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed-reproducible description of every fault in one run.
+
+    ``default`` applies to every topology link; ``links`` overrides it for
+    specific unordered endpoint pairs (``{("cpu0", "cpu1"): LinkFaults(...)}``).
+    Loopback (``src == dst``) transfers never traverse a link and are
+    unaffected.  ``seed`` namespaces all loss/jitter draws.
+    """
+
+    seed: int = 0
+    default: LinkFaults = NO_FAULTS
+    links: Mapping[tuple[str, str], LinkFaults] = field(default_factory=dict)
+    retransmit: RetransmitPolicy = RetransmitPolicy()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int) or self.seed < 0:
+            raise ValueError(f"seed must be a non-negative int, got {self.seed!r}")
+        object.__setattr__(self, "links", _normalize_links(dict(self.links)))
+
+    @classmethod
+    def uniform(
+        cls,
+        *,
+        loss: float = 0.0,
+        jitter: float = 0.0,
+        degrade: float = 1.0,
+        down: tuple[tuple[float, float], ...] = (),
+        seed: int = 0,
+        timeout: float = 20e-6,
+        backoff: float = 2.0,
+        max_retries: int = 8,
+    ) -> "FaultPlan":
+        """The common case: the same faults on every link."""
+        return cls(
+            seed=seed,
+            default=LinkFaults(loss=loss, jitter=jitter, degrade=degrade, down=down),
+            retransmit=RetransmitPolicy(
+                timeout=timeout, backoff=backoff, max_retries=max_retries
+            ),
+        )
+
+    def for_link(self, a: str, b: str) -> LinkFaults:
+        """The fault parameters governing the (unordered) link ``a<->b``."""
+        return self.links.get(frozenset((a, b)), self.default)
+
+    @property
+    def clean(self) -> bool:
+        """True when no link in this plan can misbehave."""
+        return self.default.clean and all(lf.clean for lf in self.links.values())

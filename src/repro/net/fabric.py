@@ -17,12 +17,14 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.faults.plan import FaultError
 from repro.net.link import Channel, Link
 from repro.net.topology import Route, TopologySpec
 from repro.sim.event import Event
 from repro.sim.trace import NullTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.inject import FaultInjector
     from repro.obs.metrics import MetricsRegistry
     from repro.sim.engine import Simulator
 
@@ -33,21 +35,38 @@ __all__ = ["Fabric", "Delivery"]
 _WAIT_EDGES = (0.0, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2)
 # Bytes-over-time bin width (seconds) for the bandwidth timeline.
 _TIMELINE_BIN = 1e-4
+# Attempt-count histogram edges: bucket k counts transfers delivered on
+# attempt <= edge (1 = first try; the retry cap defaults to 8 retries).
+_ATTEMPT_EDGES = (1.0, 2.0, 3.0, 5.0, 9.0)
 
 
 class Delivery:
-    """Result of a transfer: arrival time plus the completion event."""
+    """Result of a transfer: arrival time plus the completion event.
 
-    __slots__ = ("event", "start", "arrival", "nbytes", "route")
+    ``attempts`` counts fabric traversals (1 = delivered first try);
+    ``dropped`` is True when the retry budget was exhausted — the event
+    then carries a :class:`repro.faults.FaultError` instead of a value.
+    """
+
+    __slots__ = ("event", "start", "arrival", "nbytes", "route", "attempts", "dropped")
 
     def __init__(
-        self, event: Event, start: float, arrival: float, nbytes: float, route: Route
+        self,
+        event: Event,
+        start: float,
+        arrival: float,
+        nbytes: float,
+        route: Route,
+        attempts: int = 1,
+        dropped: bool = False,
     ):
         self.event = event
         self.start = start
         self.arrival = arrival
         self.nbytes = nbytes
         self.route = route
+        self.attempts = attempts
+        self.dropped = dropped
 
 
 class Fabric:
@@ -60,6 +79,7 @@ class Fabric:
         tracer: Tracer | None = None,
         *,
         metrics: "MetricsRegistry | None" = None,
+        faults: "FaultInjector | None" = None,
     ):
         self.sim = sim
         self.topology = topology
@@ -74,9 +94,17 @@ class Fabric:
         self._loopback_next_free: dict[str, float] = {}
         self.total_messages = 0
         self.total_bytes = 0.0
+        self.faults = faults
+        if faults is not None:
+            self._install_faults(faults)
         self.metrics = metrics
         self._m_messages = self._m_bytes = self._m_timeline = None
         if metrics is not None:
+            if faults is not None:
+                faults.attempts_hist = metrics.histogram(
+                    "faults.attempts", _ATTEMPT_EDGES
+                )
+                metrics.register_collector(faults.metrics_snapshot)
             self._m_messages = metrics.counter("net.fabric.messages")
             self._m_bytes = metrics.counter("net.fabric.bytes")
             self._m_timeline = metrics.timeline("net.bytes_timeline", _TIMELINE_BIN)
@@ -98,6 +126,27 @@ class Fabric:
         if key not in self._links:
             raise KeyError(f"no link {a!r}<->{b!r} in fabric")
         return self._links[key]
+
+    def _install_faults(self, injector: "FaultInjector") -> None:
+        """Attach per-link fault parameters; links the plan leaves clean
+        keep ``faults=None`` and stay on the pristine reserve() path."""
+        plan = injector.plan
+        for link in self._links.values():
+            lf = plan.for_link(link.a, link.b)
+            if not lf.clean:
+                link.set_faults(lf, stall_recorder=injector.record_down_stall)
+                if self.tracer.enabled:
+                    for a, b in lf.down:
+                        # Rendered as a span on the fabric track by the
+                        # Chrome exporter.
+                        self.tracer.emit(
+                            self.sim.now,
+                            "net.link.down",
+                            -1,
+                            link=link.name,
+                            start=a,
+                            arrival=b,
+                        )
 
     def transfer(
         self,
@@ -129,11 +178,16 @@ class Fabric:
         route = self.topology.route(src, dst)
         if route.nhops == 0:
             # Loopback: serialised on the device's local copy engine.
+            # Never traverses a link, so fault plans do not apply.
             free = self._loopback_next_free.get(src, 0.0)
             start = max(now, free)
             occupancy = max(route.gap, nbytes * route.G)
             self._loopback_next_free[src] = start + occupancy
             arrival = start + route.latency + nbytes * route.G
+        elif self.faults is not None:
+            return self._transfer_faulty(
+                src, dst, nbytes, route, now, payload=payload, atomic=atomic
+            )
         else:
             t = now
             start = None
@@ -181,6 +235,188 @@ class Fabric:
                 nhops=route.nhops,
             )
         return Delivery(event, start, arrival, nbytes, route)
+
+    def _transfer_faulty(
+        self,
+        src: str,
+        dst: str,
+        nbytes: float,
+        route: Route,
+        now: float,
+        *,
+        payload: object,
+        atomic: bool,
+    ) -> Delivery:
+        """Multi-hop transfer under an active fault plan.
+
+        Each attempt reserves the injection port and every hop exactly like
+        the pristine path (re-paying the full LogGP cost of the retry).  A
+        hop whose link samples "lost" consumes upstream capacity but stops
+        the traversal; the sender detects the loss ``timeout * detect_scale
+        * backoff**attempt`` after that attempt started injecting and
+        re-enters the fabric then.  Exhausting the budget raises
+        :class:`FaultError` (``mode="abort"``: library-internal recovery,
+        MPI-style) or fails the completion event (``mode="surface"``: the
+        error reaches the program at flush/wait/quiet time).
+
+        Loss and jitter draws are keyed on ``(seed, link, transfer id,
+        attempt)``: two runs with the same plan replay identically, and a
+        higher loss rate can only turn deliveries into drops, never the
+        reverse — degradation curves are monotone by construction.
+        """
+        inj = self.faults
+        policy = inj.plan.retransmit
+        sem = inj.semantics
+        tid = self.total_messages  # stable per-transfer id for fault draws
+        max_attempts = policy.max_retries + 1
+        t_ready = now
+        first_start: float | None = None
+        attempt = 0
+        while True:
+            t = t_ready
+            start: float | None = None
+            inj_ch = self._injection.get(src)
+            if inj_ch is not None:
+                inj_start, inj_head_out = inj_ch.reserve(nbytes, t, atomic=atomic)
+                start = inj_start
+                t = inj_head_out
+            tail_G = route.G
+            lost_link: str | None = None
+            for u, v in route.hops:
+                link = self._links[frozenset((u, v))]
+                channel = link.channel(u, v)
+                hop_start, head_out = channel.reserve(nbytes, t, atomic=atomic)
+                if start is None:
+                    start = hop_start
+                lf = channel.faults
+                if lf is not None:
+                    head_out += inj.jitter(lf, link.name, tid, attempt)
+                    tail_G = max(tail_G, channel.effective_G)
+                    if inj.lost(lf, link.name, tid, attempt):
+                        # Dropped on this hop: upstream capacity was spent,
+                        # downstream hops never see the message.
+                        lost_link = link.name
+                        break
+                t = head_out
+            assert start is not None
+            if first_start is None:
+                first_start = start
+            if lost_link is None:
+                arrival = t + nbytes * tail_G
+                attempts = attempt + 1
+                inj.record_delivery(attempts)
+                return self._complete(
+                    src, dst, nbytes, route, first_start, arrival,
+                    payload=payload, attempts=attempts,
+                )
+            inj.record_drop(lost_link)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.sim.now,
+                    "net.fault.drop",
+                    -1,
+                    src=src,
+                    dst=dst,
+                    link=lost_link,
+                    attempt=attempt,
+                    nbytes=nbytes,
+                )
+            # Sender-side detection, measured from when this attempt began
+            # injecting; one-sided runtimes additionally re-synchronise
+            # their window state before re-issuing.
+            detect = start + policy.timeout * sem.detect_scale * policy.backoff**attempt
+            if attempt + 1 >= max_attempts:
+                inj.record_exhausted()
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self.sim.now,
+                        "net.fault.exhausted",
+                        -1,
+                        src=src,
+                        dst=dst,
+                        link=lost_link,
+                        attempts=attempt + 1,
+                        nbytes=nbytes,
+                    )
+                err = FaultError(
+                    f"transfer {src}->{dst} ({nbytes:g} B) lost on {lost_link} "
+                    f"after {attempt + 1} attempts"
+                )
+                if sem.mode == "abort":
+                    self._account(src, dst, nbytes, route, first_start, detect)
+                    raise err
+                delivery = self._complete(
+                    src, dst, nbytes, route, first_start, detect,
+                    payload=payload, attempts=attempt + 1, error=err,
+                )
+                return delivery
+            inj.record_retransmit()
+            t_ready = detect
+            if sem.resync_penalty:
+                t_ready += 2.0 * route.latency
+            attempt += 1
+
+    def _complete(
+        self,
+        src: str,
+        dst: str,
+        nbytes: float,
+        route: Route,
+        start: float,
+        arrival: float,
+        *,
+        payload: object,
+        attempts: int,
+        error: Exception | None = None,
+    ) -> Delivery:
+        """Build the completion event + bookkeeping for a faulty-path
+        transfer (the pristine path keeps its original inline code)."""
+        event = self.sim.event()
+        delay = arrival - self.sim.now
+        if delay < 0:
+            raise AssertionError(
+                f"fabric computed arrival in the past: {arrival} < {self.sim.now}"
+            )
+        if error is None:
+            event.succeed(payload, delay=delay)
+        else:
+            event.fail(error, delay=delay)
+        self._account(src, dst, nbytes, route, start, arrival, attempts=attempts)
+        return Delivery(
+            event, start, arrival, nbytes, route,
+            attempts=attempts, dropped=error is not None,
+        )
+
+    def _account(
+        self,
+        src: str,
+        dst: str,
+        nbytes: float,
+        route: Route,
+        start: float,
+        arrival: float,
+        *,
+        attempts: int = 1,
+    ) -> None:
+        self.total_messages += 1
+        self.total_bytes += nbytes
+        if self._m_bytes is not None:
+            self._m_messages.inc()
+            self._m_bytes.inc(nbytes)
+            self._m_timeline.observe(arrival, nbytes)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now,
+                "net.transfer",
+                -1,
+                src=src,
+                dst=dst,
+                nbytes=nbytes,
+                start=start,
+                arrival=arrival,
+                nhops=route.nhops,
+                attempts=attempts,
+            )
 
     def link_stats(self) -> dict[str, float]:
         """Traffic counters for every link direction (tests + reports)."""

@@ -40,6 +40,9 @@ class Channel:
         "bytes_carried",
         "messages_carried",
         "wait_hist",
+        "faults",
+        "down_stall_seconds",
+        "stall_recorder",
     )
 
     def __init__(self, sim: "Simulator", params: LinkParams):
@@ -52,6 +55,15 @@ class Channel:
         # set, every reservation records its queueing delay — the time the
         # head of the message waited for a sub-channel to free up.
         self.wait_hist = None
+        # Optional fault parameters (repro.faults.LinkFaults).  None — the
+        # overwhelmingly common case — keeps reserve() on the exact
+        # arithmetic it has always used; a fault plan only ever sets this
+        # for links whose parameters are not clean.
+        self.faults = None
+        self.down_stall_seconds: float = 0.0
+        # Callable fed each stall duration (the fault injector's
+        # record_down_stall), so scope/metrics totals see outage time.
+        self.stall_recorder = None
 
     def reserve(
         self, nbytes: float, earliest: float, *, atomic: bool = False
@@ -78,14 +90,34 @@ class Channel:
         # schedule is deterministic.
         idx = min(range(len(self._next_free)), key=self._next_free.__getitem__)
         start = max(earliest, self._next_free[idx])
+        per_byte = self.params.G
+        faults = self.faults
+        if faults is not None:
+            # Transient outages: the head stalls at the port until the
+            # window closes (windows are sorted, so one forward pass
+            # handles back-to-back outages).
+            for a, b in faults.down:
+                if a <= start < b:
+                    self.down_stall_seconds += b - start
+                    if self.stall_recorder is not None:
+                        self.stall_recorder(b - start)
+                    start = b
+            per_byte *= faults.degrade
         gap = self.params.effective_atomic_gap if atomic else self.params.gap
-        occupancy = max(gap, nbytes * self.params.G)
+        occupancy = max(gap, nbytes * per_byte)
         self._next_free[idx] = start + occupancy
         self.bytes_carried += nbytes
         self.messages_carried += 1
         if self.wait_hist is not None:
             self.wait_hist.observe(start - earliest)
         return start, start + self.params.latency
+
+    @property
+    def effective_G(self) -> float:
+        """Per-byte time including any permanent degradation factor."""
+        if self.faults is not None:
+            return self.params.G * self.faults.degrade
+        return self.params.G
 
     @property
     def utilization_until(self) -> float:
@@ -120,6 +152,20 @@ class Link:
         """Record both directions' reservation queueing delays into ``hist``."""
         self._fwd.wait_hist = hist
         self._rev.wait_hist = hist
+
+    def set_faults(self, faults, stall_recorder=None) -> None:
+        """Install :class:`repro.faults.LinkFaults` on both directions
+        (``None`` restores the pristine fast path)."""
+        self._fwd.faults = faults
+        self._rev.faults = faults
+        self._fwd.stall_recorder = stall_recorder
+        self._rev.stall_recorder = stall_recorder
+
+    @property
+    def name(self) -> str:
+        """Canonical (sorted) link name used in fault draws and metrics."""
+        lo, hi = sorted((self.a, self.b))
+        return f"{lo}<->{hi}"
 
     def stats(self) -> dict[str, float]:
         """Cumulative per-direction traffic counters."""

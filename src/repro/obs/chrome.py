@@ -5,6 +5,9 @@ consumed by ``chrome://tracing`` and https://ui.perfetto.dev):
 
 * every ``net.transfer`` record becomes a complete ("X") event on the
   fabric track, spanning injection start to tail arrival;
+* ``net.link.down`` records (fault-plan outage windows) become "X"
+  events spanning the outage on the fabric track; ``net.fault.*``
+  records (drops, exhausted retransmissions) become fabric instants;
 * every rank-level record (``send``, ``put``, ``put_signal``, ``cas``,
   ``arrive``, ...) becomes an instant ("i") event on that rank's track;
 * harness phase spans (wall clock) become complete events in their own
@@ -60,6 +63,35 @@ def _transfer_event(pid: int, rec: TraceRecord, scale: float) -> dict[str, Any]:
     }
 
 
+def _link_down_event(pid: int, rec: TraceRecord, scale: float) -> dict[str, Any]:
+    d = rec.detail
+    start = float(d.get("start", rec.t))
+    end = float(d.get("arrival", rec.t))
+    return {
+        "ph": "X",
+        "pid": pid,
+        "tid": _FABRIC_TID,
+        "ts": start * scale,
+        "dur": max(end - start, 0.0) * scale,
+        "name": f"DOWN {d.get('link', '?')}",
+        "cat": "fault",
+        "args": dict(d),
+    }
+
+
+def _fault_event(pid: int, rec: TraceRecord, scale: float) -> dict[str, Any]:
+    return {
+        "ph": "i",
+        "pid": pid,
+        "tid": _FABRIC_TID,
+        "ts": rec.t * scale,
+        "s": "t",
+        "name": rec.kind,
+        "cat": "fault",
+        "args": dict(rec.detail),
+    }
+
+
 def _instant_event(pid: int, rec: TraceRecord, scale: float) -> dict[str, Any]:
     return {
         "ph": "i",
@@ -112,6 +144,10 @@ def chrome_trace(
         for rec in trace:
             if rec.kind == "net.transfer":
                 events.append(_transfer_event(pid, rec, time_scale))
+            elif rec.kind == "net.link.down":
+                events.append(_link_down_event(pid, rec, time_scale))
+            elif rec.kind.startswith("net.fault."):
+                events.append(_fault_event(pid, rec, time_scale))
             elif rec.rank >= 0:
                 if rec.rank not in seen_ranks:
                     seen_ranks.add(rec.rank)

@@ -23,6 +23,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any
 
@@ -43,6 +44,8 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.write_errors = 0
+        self._warned_write = False
 
     def key_for(self, spec: SweepSpec, point: SweepPoint) -> str:
         payload = {
@@ -77,21 +80,58 @@ class ResultCache:
         return value
 
     def put(self, key: str, value: dict[str, Any]) -> None:
-        """Atomically store ``value`` (must be JSON-serialisable)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        """Atomically store ``value`` (must be JSON-serialisable).
+
+        Storage failures (read-only cache dir, full disk, ...) never
+        abort the sweep: the error is counted, surfaced once as a
+        ``RuntimeWarning`` (plus a ``sweep.cache.write_errors`` counter
+        on any ambient obs session), and execution continues uncached.
+        Serialisation bugs (``TypeError``) still raise — they are caller
+        errors, not environment faults.
+        """
         text = json.dumps(value, default=float)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        path = self._path(key)
+        tmp = None
         try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as f:
                 f.write(text)
             os.replace(tmp, path)
+        except OSError as exc:
+            self._note_write_error(exc, tmp)
         except BaseException:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            raise
+
+    def _note_write_error(self, exc: OSError, tmp: str | None) -> None:
+        if tmp is not None:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
-            raise
+        self.write_errors += 1
+        from repro import obs
+
+        session = obs.current()
+        if session is not None:
+            session.metrics.counter("sweep.cache.write_errors").inc()
+        if not self._warned_write:
+            self._warned_write = True
+            warnings.warn(
+                f"result cache write to {self.root} failed ({exc}); "
+                "continuing uncached",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "write_errors": self.write_errors,
+        }

@@ -70,6 +70,16 @@ class ExecutionConfig:
             )
         return self._pool
 
+    def reset_pool(self) -> None:
+        """Discard the pool (broken or not); ``pool()`` recreates it.
+
+        The executor calls this after a :class:`BrokenProcessPool` so the
+        next sweep in the same ``execution()`` block gets live workers.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)

@@ -6,24 +6,35 @@ never depend on worker completion order, and per-point seeds derive from
 point keys, so ``--jobs N`` output is identical to serial output.
 
 When an ambient :class:`repro.obs.Obs` session is active, each sweep
-feeds it: ``sweep.points.completed`` / ``sweep.cache.hits`` /
-``sweep.cache.misses`` counters, a ``sweep.point.seconds`` histogram,
-per-sweep wall-time and worker-utilization gauges, and a
-``sweep.<name>`` span.
+feeds it: ``sweep.points.completed`` / ``sweep.points.failed`` /
+``sweep.cache.hits`` / ``sweep.cache.misses`` counters, a
+``sweep.point.seconds`` histogram, per-sweep wall-time and
+worker-utilization gauges, and a ``sweep.<name>`` span.
+
+Failure handling is explicit: with ``on_error="raise"`` (the default)
+the first failing point aborts the sweep with :class:`SweepError`; with
+``on_error="keep"`` failing points are *recorded* — their
+:class:`SweepResult` carries ``error`` and an empty value — and the
+sweep runs to completion (partial-result reporting).  A worker process
+dying mid-point (segfault, ``os._exit``) breaks the whole process pool;
+the executor rebuilds it and resubmits the unfinished points a bounded
+number of times, then runs the stragglers one-per-pool so that only the
+point actually killing its worker is marked failed.
 """
 
 from __future__ import annotations
 
 import time
 from collections.abc import Callable, Mapping
-from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any
 
 from repro import obs
 from repro.sweep.cache import ResultCache
-from repro.sweep.config import current_execution
+from repro.sweep.config import _worker_init, current_execution
 from repro.sweep.spec import PointRunner, SweepPoint, SweepSpec
 
 __all__ = ["SweepError", "SweepResult", "SweepStats", "run_sweep"]
@@ -32,6 +43,12 @@ _UNSET = object()
 
 # Seconds buckets for the per-point duration histogram.
 _POINT_SECONDS_EDGES = (1e-3, 1e-2, 0.1, 1.0, 10.0)
+
+# Pool rebuilds tolerated per sweep before unfinished points are failed.
+_POOL_RETRIES = 2
+
+# Poll interval for per-point timeout enforcement (parallel mode).
+_TIMEOUT_TICK = 0.05
 
 
 class SweepError(RuntimeError):
@@ -46,6 +63,11 @@ class SweepResult:
     value: dict[str, Any]
     cached: bool
     duration: float  # seconds spent executing (0.0 for cache hits)
+    error: str | None = None  # set when the point failed (on_error="keep")
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     @property
     def params(self) -> dict[str, Any]:
@@ -62,6 +84,7 @@ class SweepStats:
     executed: int
     wall_seconds: float
     jobs: int
+    failed: int = 0
 
     @property
     def utilization(self) -> float:
@@ -74,8 +97,9 @@ class SweepStats:
 
     def line(self) -> str:
         cached = f", {self.cache_hits} cached" if self.cache_hits else ""
+        failed = f", {self.failed} FAILED" if self.failed else ""
         return (
-            f"[sweep] {self.sweep}: {self.npoints} points{cached}, "
+            f"[sweep] {self.sweep}: {self.npoints} points{cached}{failed}, "
             f"jobs={self.jobs}, {self.wall_seconds:.2f}s, "
             f"utilization {self.utilization:.0%}"
         )
@@ -96,12 +120,27 @@ def run_sweep(
     jobs: int | None = None,
     cache: ResultCache | None | object = _UNSET,
     progress: Callable[[str], None] | None | object = _UNSET,
+    on_error: str = "raise",
+    timeout: float | None = None,
 ) -> list[SweepResult]:
     """Execute every point of ``spec``; return results in grid order.
 
     ``jobs``/``cache``/``progress`` default to the ambient
     :func:`~repro.sweep.config.execution` config (serial, uncached, and
     silent outside any ``execution()`` block).
+
+    ``on_error="keep"`` records a failing point (``result.error`` set,
+    empty value, never cached) instead of aborting the sweep.  A broken
+    worker pool is rebuilt up to a bounded number of times either way;
+    with ``"raise"`` exhausting the retries raises, with ``"keep"`` the
+    still-unfinished points run isolated (one per single-worker pool) so
+    only the true crasher is failed.
+
+    ``timeout`` bounds each point's wall-clock seconds in parallel mode
+    (the result is marked/raised as timed out; the stuck worker keeps its
+    slot until it finishes, so the *next* points may start late).  Serial
+    execution cannot preempt a running point, so ``timeout`` is ignored
+    there.
     """
     cfg = current_execution()
     jobs = cfg.jobs if jobs is None else jobs
@@ -109,6 +148,10 @@ def run_sweep(
     progress = cfg.progress if progress is _UNSET else progress
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if on_error not in ("raise", "keep"):
+        raise ValueError(f'on_error must be "raise" or "keep", got {on_error!r}')
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
 
     points = spec.iter_points()
     session = obs.current()
@@ -137,13 +180,16 @@ def run_sweep(
             )
 
         if jobs > 1 and len(pending) > 1:
-            _run_parallel(spec, pending, results, cache, cfg, jobs)
+            _run_parallel(
+                spec, pending, results, cache, cfg, jobs, on_error, timeout
+            )
         else:
-            _run_serial(spec, pending, results, cache, session)
+            _run_serial(spec, pending, results, cache, session, on_error)
 
     wall = time.perf_counter() - t_start
     done = [r for r in results if r is not None]
     busy = sum(r.duration for r in done)
+    failed = sum(1 for r in done if r.error is not None)
     stats = SweepStats(
         sweep=spec.name,
         npoints=len(points),
@@ -151,18 +197,20 @@ def run_sweep(
         executed=len(pending),
         wall_seconds=wall,
         jobs=jobs,
+        failed=failed,
         _busy=busy,
     )
     if session:
         m = session.metrics
         m.counter("sweep.points.completed").inc(len(points))
+        m.counter("sweep.points.failed").inc(failed)
         m.counter("sweep.cache.hits").inc(hits)
         m.counter("sweep.cache.misses").inc(len(pending))
         m.gauge(f"sweep.{spec.name}.wall_seconds").set(wall)
         m.gauge(f"sweep.{spec.name}.utilization").set(stats.utilization)
         hist = m.histogram("sweep.point.seconds", _POINT_SECONDS_EDGES)
         for r in done:
-            if not r.cached:
+            if not r.cached and r.error is None:
                 hist.observe(r.duration)
     if progress and points:
         progress(stats.line())
@@ -183,57 +231,178 @@ def _store(
     results[i] = SweepResult(pt, value, cached=False, duration=duration)
 
 
-def _run_serial(spec, pending, results, cache, session) -> None:
+def _fail(
+    results: list[SweepResult | None],
+    i: int,
+    pt: SweepPoint,
+    message: str,
+    duration: float = 0.0,
+) -> None:
+    results[i] = SweepResult(pt, {}, cached=False, duration=duration, error=message)
+
+
+def _run_serial(spec, pending, results, cache, session, on_error) -> None:
     for i, pt, key in pending:
         span = (
             session.span(f"sweep.{spec.name}.point") if session else nullcontext()
         )
+        t0 = time.perf_counter()
         try:
             with span:
                 value, duration = _execute_point(pt.runner, pt.params_dict, pt.seed)
         except Exception as exc:
-            raise SweepError(f"sweep point {pt.label()} failed: {exc}") from exc
+            if on_error == "raise":
+                raise SweepError(f"sweep point {pt.label()} failed: {exc}") from exc
+            _fail(
+                results, i, pt,
+                f"{type(exc).__name__}: {exc}",
+                duration=time.perf_counter() - t0,
+            )
+            continue
         _store(results, cache, i, pt, key, value, duration)
 
 
-def _run_parallel(spec, pending, results, cache, cfg, jobs) -> None:
+def _run_parallel(
+    spec, pending, results, cache, cfg, jobs, on_error, timeout
+) -> None:
     # Use the ambient config's persistent pool when it matches the
     # requested width (so `repro run all --jobs N` reuses workers across
     # experiments); otherwise spin up a sweep-local pool.
     if cfg.jobs == jobs and current_execution() is cfg:
         pool, owned = cfg.pool(), False
     else:
-        from concurrent.futures import ProcessPoolExecutor
-
-        from repro.sweep.config import _worker_init
-
         pool, owned = (
             ProcessPoolExecutor(max_workers=jobs, initializer=_worker_init),
             True,
         )
+    queue = list(pending)
+    crashes = 0
+    abandoned = 0
     try:
-        futures = {
-            pool.submit(_execute_point, pt.runner, pt.params_dict, pt.seed): (
-                i,
-                pt,
-                key,
-            )
-            for i, pt, key in pending
-        }
-        not_done = set(futures)
-        while not_done:
-            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-            for fut in done:
-                i, pt, key = futures[fut]
-                try:
-                    value, duration = fut.result()
-                except Exception as exc:
+        while queue:
+            try:
+                abandoned += _drain_pool(
+                    pool, spec, queue, results, cache, on_error, timeout
+                )
+                break
+            except BrokenProcessPool as exc:
+                # A worker died mid-point, poisoning every in-flight
+                # future — the culprit is unidentifiable from here.
+                # Rebuild the pool and resubmit whatever has no result
+                # yet; once the retry budget is spent, fall back to
+                # running each straggler in its own single-worker pool so
+                # only the point that actually kills its worker fails.
+                crashes += 1
+                queue = [p for p in queue if results[p[0]] is None]
+                if owned:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(
+                        max_workers=jobs, initializer=_worker_init
+                    )
+                else:
+                    cfg.reset_pool()
+                    pool = cfg.pool()
+                if crashes > _POOL_RETRIES:
+                    if on_error == "raise":
+                        raise SweepError(
+                            f"sweep {spec.name}: worker pool crashed "
+                            f"{crashes} times; {len(queue)} point(s) unfinished"
+                        ) from exc
+                    _run_isolated(queue, results, cache)
+                    break
+    finally:
+        if owned:
+            # Abandoned (timed-out) futures still occupy workers; waiting
+            # on them would stall the caller indefinitely.
+            pool.shutdown(wait=abandoned == 0, cancel_futures=abandoned > 0)
+
+
+def _run_isolated(queue, results, cache) -> None:
+    """Last-resort pass after repeated pool crashes (``on_error="keep"``).
+
+    Each unfinished point gets a fresh single-worker pool: a point that
+    crashes its worker fails alone, and every innocent point that was
+    merely in flight when a neighbour died still completes.
+    """
+    for i, pt, key in queue:
+        solo = ProcessPoolExecutor(max_workers=1, initializer=_worker_init)
+        try:
+            fut = solo.submit(_execute_point, pt.runner, pt.params_dict, pt.seed)
+            try:
+                value, duration = fut.result()
+            except BrokenProcessPool:
+                _fail(
+                    results, i, pt,
+                    "worker process crashed (BrokenProcessPool) "
+                    "running this point in isolation",
+                )
+                continue
+            except Exception as exc:
+                _fail(results, i, pt, f"{type(exc).__name__}: {exc}")
+                continue
+            _store(results, cache, i, pt, key, value, duration)
+        finally:
+            solo.shutdown(wait=False, cancel_futures=True)
+
+
+def _drain_pool(
+    pool, spec, queue, results, cache, on_error, timeout
+) -> int:
+    """Submit ``queue`` and collect everything; returns #abandoned futures."""
+    futures = {
+        pool.submit(_execute_point, pt.runner, pt.params_dict, pt.seed): (
+            i,
+            pt,
+            key,
+        )
+        for i, pt, key in queue
+    }
+    not_done = set(futures)
+    started: dict[Any, float] = {}
+    abandoned = 0
+    while not_done:
+        tick = _TIMEOUT_TICK if timeout is not None else None
+        done, not_done = wait(not_done, timeout=tick, return_when=FIRST_COMPLETED)
+        for fut in done:
+            i, pt, key = futures[fut]
+            try:
+                value, duration = fut.result()
+            except BrokenProcessPool:
+                raise
+            except Exception as exc:
+                if on_error == "raise":
                     for f in not_done:
                         f.cancel()
                     raise SweepError(
                         f"sweep point {pt.label()} failed: {exc}"
                     ) from exc
-                _store(results, cache, i, pt, key, value, duration)
-    finally:
-        if owned:
-            pool.shutdown(wait=True)
+                _fail(results, i, pt, f"{type(exc).__name__}: {exc}")
+                continue
+            _store(results, cache, i, pt, key, value, duration)
+        if timeout is None:
+            continue
+        # ProcessPoolExecutor cannot interrupt a running worker, so a
+        # timeout abandons the future: the point is recorded as timed out
+        # and its (eventual) result is discarded.
+        now = time.perf_counter()
+        for fut in not_done:
+            if fut.running() and fut not in started:
+                started[fut] = now
+        expired = [
+            f for f in not_done if f in started and now - started[f] > timeout
+        ]
+        for fut in expired:
+            i, pt, _key = futures[fut]
+            not_done.discard(fut)
+            abandoned += 1
+            if on_error == "raise":
+                for f in not_done:
+                    f.cancel()
+                raise SweepError(
+                    f"sweep point {pt.label()} timed out after {timeout:g}s"
+                )
+            _fail(
+                results, i, pt,
+                f"timed out after {timeout:g}s", duration=timeout,
+            )
+    return abandoned

@@ -14,6 +14,7 @@ workload program knows it exists — which is the point of the seam.
 
 from __future__ import annotations
 
+from repro.faults.plan import FaultSemantics
 from repro.transport.api import BackendCaps
 from repro.transport.registry import ONE_SIDED_HW, register_backend
 from repro.transport.shmem import ShmemBackend
@@ -30,6 +31,10 @@ class HwPutSignalBackend(ShmemBackend):
         "hypothetical CrayMPI with hardware put-with-signal (DESIGN.md "
         "ablation #3); requires a machine with a 'one_sided_hw' cost profile"
     )
+    # NIC-assisted delivery notification detects loss faster than the
+    # 4-op software emulation and retries without a window re-sync, but
+    # keeps one-sided surface-at-flush error semantics.
+    fault_semantics = FaultSemantics(mode="surface", detect_scale=1.5, resync_penalty=True)
 
 
 register_backend(HwPutSignalBackend())

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.faults.plan import FaultSemantics
 from repro.transport.api import (
     AtomicDomainSpec,
     BackendCaps,
@@ -60,7 +61,10 @@ class TransportBackend:
       (defaults to ``name``);
     * ``sided`` — op-accounting family for the analytic rooflines
       (``"two"`` | ``"one"`` | ``"shmem"``);
-    * ``caps`` — :class:`BackendCaps` programs may branch on.
+    * ``caps`` — :class:`BackendCaps` programs may branch on;
+    * ``fault_semantics`` — how this runtime experiences message loss
+      under an active :class:`repro.faults.FaultPlan` (detection speed,
+      abort-at-send vs surface-at-flush, re-sync penalty per retry).
     """
 
     name: str = ""
@@ -68,6 +72,7 @@ class TransportBackend:
     sided: str = "two"
     caps: BackendCaps = BackendCaps()
     description: str = ""
+    fault_semantics: FaultSemantics = FaultSemantics()
 
     @property
     def context_cls(self):

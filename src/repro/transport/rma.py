@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.faults.plan import FaultSemantics
 from repro.transport.api import (
     AtomicDomainSpec,
     BackendCaps,
@@ -222,6 +223,11 @@ class RmaBackend(TransportBackend):
     sided = "one"
     caps = BackendCaps(remote_atomics=True, ops_per_message=4)
     description = "one-sided MPI RMA: 4-op put/flush/signal + Listing-1 polling"
+    # A lost Put has no receiver to notice it: loss is only discovered at
+    # the next synchronisation (slow detection), every retry re-syncs the
+    # window state (extra round trip), and the error surfaces at
+    # flush/wait rather than at the send.
+    fault_semantics = FaultSemantics(mode="surface", detect_scale=4.0, resync_penalty=True)
 
     def open_halo(self, job, spec: HaloSpec):
         return _HaloChannel(self, job, spec)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.faults.plan import FaultSemantics
 from repro.transport.api import (
     AtomicDomainSpec,
     BackendCaps,
@@ -232,6 +233,10 @@ class ShmemBackend(TransportBackend):
     sided = "shmem"
     caps = BackendCaps(remote_atomics=True, ops_per_message=1, gpu_initiated=True)
     description = "NVSHMEM: fused put_signal_nbi + hardware wait_until"
+    # NIC-hardware retry: loss is detected fastest of all runtimes and
+    # needs no window re-sync, but an unrecoverable message still only
+    # surfaces at quiet/wait time (one-sided completion model).
+    fault_semantics = FaultSemantics(mode="surface", detect_scale=0.5)
 
     @property
     def context_cls(self):

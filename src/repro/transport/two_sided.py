@@ -10,6 +10,7 @@ exposes owner-routed triplet messaging instead (``post_msg`` /
 
 from __future__ import annotations
 
+from repro.faults.plan import FaultSemantics
 from repro.transport.api import (
     AtomicDomainSpec,
     BackendCaps,
@@ -180,6 +181,10 @@ class TwoSidedBackend(TransportBackend):
     sided = "two"
     caps = BackendCaps(remote_atomics=False, ops_per_message=2)
     description = "two-sided MPI: Isend/Irecv/Recv with tag matching"
+    # Library-internal recovery off a sender-side ack timer: loss is
+    # detected at the base timeout, retransmitted transparently, and only
+    # budget exhaustion aborts (MPI communicator-error style).
+    fault_semantics = FaultSemantics(mode="abort", detect_scale=1.0)
 
     def open_halo(self, job, spec: HaloSpec):
         return _HaloChannel(self, job, spec)

@@ -1,0 +1,68 @@
+"""Property: a FaultPlan(seed=k) run replays bit-identically, and raising
+the loss rate can only slow a workload down (monotone coupling)."""
+
+import pytest
+
+from repro import faults, obs
+from repro.workloads.flood import run_flood
+
+_SIZE = 65536
+_MSGS = 32
+
+
+def _bandwidth(pm_cpu, loss, seed):
+    plan = faults.FaultPlan.uniform(loss=loss, seed=seed) if loss else None
+    with faults.inject(plan):
+        return run_flood(pm_cpu, "one_sided", _SIZE, _MSGS, iters=1).bandwidth
+
+
+def _schedule(pm_cpu, plan):
+    """Every net.transfer record of one faulty flood, as comparable tuples."""
+    with obs.observe(obs.Obs(trace=True)) as session, faults.inject(plan):
+        run_flood(pm_cpu, "two_sided", _SIZE, _MSGS, iters=1)
+    out = []
+    for _label, tracer in session.traces:
+        for rec in tracer.records:
+            if rec.kind == "net.transfer":
+                d = rec.detail
+                out.append(
+                    (d["src"], d["dst"], d["start"], d["arrival"], d["attempts"])
+                )
+    return out
+
+
+@pytest.mark.parametrize("seed", [0, 11, 97])
+def test_same_seed_identical_schedule(pm_cpu, seed):
+    plan = faults.FaultPlan.uniform(loss=0.1, jitter=2e-6, seed=seed)
+    assert _schedule(pm_cpu, plan) == _schedule(pm_cpu, plan)
+
+
+def test_different_seed_different_schedule(pm_cpu):
+    a = _schedule(pm_cpu, faults.FaultPlan.uniform(loss=0.1, seed=1))
+    b = _schedule(pm_cpu, faults.FaultPlan.uniform(loss=0.1, seed=2))
+    assert a != b
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_bandwidth_monotone_in_loss(pm_cpu, seed):
+    bws = [_bandwidth(pm_cpu, loss, seed) for loss in (0.0, 0.05, 0.15, 0.3)]
+    assert all(bws[i] >= bws[i + 1] for i in range(len(bws) - 1))
+
+
+def test_zero_fault_plan_matches_no_plan(pm_cpu):
+    """loss=0 under inject() must be byte-identical to no injection at all
+    (the acceptance criterion for the fault-free fast path)."""
+    baseline = run_flood(pm_cpu, "one_sided", _SIZE, _MSGS, iters=1).bandwidth
+    with faults.inject(faults.FaultPlan.uniform(loss=0.0)):
+        injected = run_flood(pm_cpu, "one_sided", _SIZE, _MSGS, iters=1).bandwidth
+    assert injected == baseline
+
+
+def test_scope_stats_reflect_run(pm_cpu):
+    plan = faults.FaultPlan.uniform(loss=0.15, seed=4)
+    with faults.inject(plan) as scope:
+        run_flood(pm_cpu, "two_sided", _SIZE, _MSGS, iters=1)
+    s = scope.stats()
+    assert s["delivered"] > 0
+    assert s["drops"] > 0
+    assert s["retransmits"] <= s["drops"]

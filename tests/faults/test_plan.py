@@ -1,0 +1,114 @@
+"""FaultPlan / LinkFaults / RetransmitPolicy / FaultSemantics validation."""
+
+import pytest
+
+from repro.faults import (
+    NO_FAULTS,
+    FaultPlan,
+    FaultSemantics,
+    LinkFaults,
+    RetransmitPolicy,
+)
+
+
+class TestLinkFaults:
+    def test_defaults_are_clean(self):
+        assert NO_FAULTS.clean
+        assert LinkFaults().clean
+
+    @pytest.mark.parametrize("loss", [-0.1, 1.0, 1.5])
+    def test_loss_range(self, loss):
+        with pytest.raises(ValueError, match="loss"):
+            LinkFaults(loss=loss)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError, match="jitter"):
+            LinkFaults(jitter=-1e-6)
+
+    def test_degrade_below_one_rejected(self):
+        with pytest.raises(ValueError, match="degrade"):
+            LinkFaults(degrade=0.5)
+
+    @pytest.mark.parametrize("window", [(5.0, 5.0), (5.0, 2.0), (-1.0, 2.0)])
+    def test_bad_down_window_rejected(self, window):
+        with pytest.raises(ValueError, match="down window"):
+            LinkFaults(down=(window,))
+
+    def test_down_windows_sorted(self):
+        lf = LinkFaults(down=((5e-6, 6e-6), (1e-6, 2e-6)))
+        assert lf.down == ((1e-6, 2e-6), (5e-6, 6e-6))
+
+    def test_any_fault_is_not_clean(self):
+        assert not LinkFaults(loss=0.1).clean
+        assert not LinkFaults(jitter=1e-6).clean
+        assert not LinkFaults(degrade=2.0).clean
+        assert not LinkFaults(down=((0.0, 1e-6),)).clean
+
+
+class TestRetransmitPolicy:
+    def test_defaults_valid(self):
+        p = RetransmitPolicy()
+        assert p.timeout > 0 and p.backoff >= 1.0 and p.max_retries >= 0
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            RetransmitPolicy(timeout=0.0)
+
+    def test_backoff_below_one_rejected(self):
+        with pytest.raises(ValueError, match="backoff"):
+            RetransmitPolicy(backoff=0.9)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetransmitPolicy(max_retries=-1)
+
+
+class TestFaultSemantics:
+    def test_modes(self):
+        assert FaultSemantics(mode="abort").mode == "abort"
+        assert FaultSemantics(mode="surface").mode == "surface"
+        with pytest.raises(ValueError, match="mode"):
+            FaultSemantics(mode="explode")
+
+    def test_detect_scale_positive(self):
+        with pytest.raises(ValueError, match="detect_scale"):
+            FaultSemantics(detect_scale=0.0)
+
+
+class TestFaultPlan:
+    def test_default_plan_is_clean(self):
+        assert FaultPlan().clean
+        assert FaultPlan.uniform().clean
+        assert FaultPlan.uniform(loss=0.0, jitter=0.0).clean
+
+    def test_uniform_sets_every_link(self):
+        plan = FaultPlan.uniform(loss=0.1, seed=3)
+        assert not plan.clean
+        assert plan.for_link("x", "y").loss == 0.1
+        assert plan.seed == 3
+
+    def test_for_link_is_unordered(self):
+        lf = LinkFaults(loss=0.2)
+        plan = FaultPlan(links={("a", "b"): lf})
+        assert plan.for_link("a", "b") is lf
+        assert plan.for_link("b", "a") is lf
+        assert plan.for_link("a", "c") is NO_FAULTS
+
+    def test_duplicate_link_override_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan(
+                links={
+                    ("a", "b"): LinkFaults(loss=0.1),
+                    ("b", "a"): LinkFaults(loss=0.2),
+                }
+            )
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            FaultPlan(seed=-1)
+
+    def test_clean_considers_overrides(self):
+        plan = FaultPlan(links={("a", "b"): LinkFaults(loss=0.1)})
+        assert not plan.clean
+        plan = FaultPlan(links={("a", "b"): LinkFaults()})
+        assert plan.clean

@@ -1,0 +1,77 @@
+"""Fabric.transfer edge cases: zero-byte messages, self-routes, and
+single-link topologies — with and without an active fault plan."""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.inject import FaultInjector
+from repro.net import Fabric, LinkParams, TopologySpec
+
+
+def _single_link(sim, plan=None):
+    topo = TopologySpec(name="one")
+    topo.add_link("a", "b", LinkParams(latency=1e-6, bandwidth=10e9))
+    inj = FaultInjector(plan) if plan is not None else None
+    return Fabric(sim, topo, faults=inj)
+
+
+class TestZeroByte:
+    def test_pays_latency_only(self, sim):
+        d = _single_link(sim).transfer("a", "b", 0)
+        assert d.arrival == pytest.approx(1e-6)
+
+    def test_can_still_be_lost(self, sim):
+        """A zero-byte control message has a header to drop: under heavy
+        loss it retransmits like any other transfer."""
+        f = _single_link(sim, FaultPlan.uniform(loss=0.5, seed=0, max_retries=20))
+        deliveries = [f.transfer("a", "b", 0) for _ in range(20)]
+        assert any(d.attempts > 1 for d in deliveries)
+        assert all(d.arrival >= 1e-6 for d in deliveries)
+
+    def test_jitter_applies(self, sim):
+        f = _single_link(sim, FaultPlan.uniform(jitter=4e-6, seed=1))
+        arrivals = [f.transfer("a", "b", 0).arrival for _ in range(20)]
+        assert all(1e-6 <= a < 5e-6 for a in arrivals)
+        assert len(set(arrivals)) > 1  # jitter actually varies per message
+
+
+class TestSelfRoute:
+    def test_loopback_below_wire_latency(self, sim):
+        d = _single_link(sim).transfer("a", "a", 1000)
+        assert d.arrival < 1e-6
+
+    def test_loopback_ignores_fault_plan(self, sim):
+        clean = _single_link(sim).transfer("a", "a", 1000)
+        f = _single_link(sim, FaultPlan.uniform(loss=0.9, jitter=1e-3, seed=0))
+        faulty = f.transfer("a", "a", 1000)
+        assert faulty.arrival == clean.arrival
+        assert faulty.attempts == 1 and not faulty.dropped
+
+    def test_zero_byte_loopback(self, sim):
+        d = _single_link(sim).transfer("a", "a", 0)
+        assert d.arrival >= 0.0
+        assert d.route.nhops == 0
+
+
+class TestSingleLink:
+    def test_route_has_one_hop(self, sim):
+        d = _single_link(sim).transfer("a", "b", 10000)
+        assert d.route.nhops == 1
+        assert d.arrival == pytest.approx(2e-6)
+
+    def test_unknown_endpoint_rejected(self, sim):
+        with pytest.raises(KeyError):
+            _single_link(sim).transfer("a", "z", 8)
+
+    def test_payload_round_trip(self, sim):
+        f = _single_link(sim)
+        d = f.transfer("a", "b", 8, payload={"k": 1})
+        assert sim.run(until=d.event) == {"k": 1}
+
+    def test_faulty_payload_survives_retransmit(self, sim):
+        f = _single_link(sim, FaultPlan.uniform(loss=0.5, seed=0, max_retries=20))
+        payloads = [
+            sim.run(until=f.transfer("a", "b", 8, payload=i).event)
+            for i in range(10)
+        ]
+        assert payloads == list(range(10))

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.sweep import ResultCache, SweepSpec
 from repro.sweep import cache as cache_mod
 
@@ -60,7 +62,7 @@ class TestStore:
         assert c.get(key) is None
         c.put(key, {"v": 1.5, "rows": [[1, 2]]})
         assert c.get(key) == {"v": 1.5, "rows": [[1, 2]]}
-        assert c.stats() == {"hits": 1, "misses": 1}
+        assert c.stats() == {"hits": 1, "misses": 1, "write_errors": 0}
 
     def test_two_level_fanout_layout(self, tmp_path):
         c = ResultCache(tmp_path)
@@ -89,3 +91,68 @@ class TestStore:
         key = _one_key(c, _spec())
         c.put(key, {"v": 1})
         assert not list(tmp_path.rglob("*.tmp"))
+
+
+class TestWriteResilience:
+    def test_oserror_counted_and_warned_once(self, tmp_path, monkeypatch):
+        import warnings
+
+        import repro.sweep.cache as cachemod
+
+        c = ResultCache(tmp_path)
+        key = _one_key(c, _spec())
+
+        def _boom(**kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cachemod.tempfile, "mkstemp", _boom)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            c.put(key, {"v": 1})
+            c.put(key, {"v": 2})
+        assert c.write_errors == 2
+        assert c.stats()["write_errors"] == 2
+        warned = [w for w in caught if "continuing uncached" in str(w.message)]
+        assert len(warned) == 1  # warned once, not per write
+
+    def test_oserror_feeds_obs_counter(self, tmp_path, monkeypatch):
+        import warnings
+
+        import repro.sweep.cache as cachemod
+        from repro import obs
+
+        c = ResultCache(tmp_path)
+        key = _one_key(c, _spec())
+        monkeypatch.setattr(
+            cachemod.tempfile,
+            "mkstemp",
+            lambda **kw: (_ for _ in ()).throw(OSError("nope")),
+        )
+        with obs.observe(obs.Obs()) as session:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                c.put(key, {"v": 1})
+        assert session.metrics.snapshot()["sweep.cache.write_errors"] == 1.0
+
+    def test_failed_write_still_reads_as_miss(self, tmp_path, monkeypatch):
+        import warnings
+
+        import repro.sweep.cache as cachemod
+
+        c = ResultCache(tmp_path)
+        key = _one_key(c, _spec())
+        monkeypatch.setattr(
+            cachemod.tempfile,
+            "mkstemp",
+            lambda **kw: (_ for _ in ()).throw(OSError("nope")),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            c.put(key, {"v": 1})
+        assert c.get(key) is None
+
+    def test_serialisation_bug_still_raises(self, tmp_path):
+        c = ResultCache(tmp_path)
+        key = _one_key(c, _spec())
+        with pytest.raises(TypeError):
+            c.put(key, {"v": object()})

@@ -88,7 +88,7 @@ class TestCaching:
         assert _values(cold) == _values(warm)
         assert all(not r.cached for r in cold)
         assert all(r.cached and r.duration == 0.0 for r in warm)
-        assert cache.stats() == {"hits": 4, "misses": 4}
+        assert cache.stats() == {"hits": 4, "misses": 4, "write_errors": 0}
 
     def test_parallel_run_fills_cache_serial_reads_it(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -126,3 +126,97 @@ class TestObs:
         assert len(lines) == 2
         assert "4 points" in lines[0]
         assert lines[1].startswith("[sweep] unit:")
+
+
+# -- resilience ---------------------------------------------------------
+
+
+def _crash_on_two(params, seed):
+    if params["x"] == 2:
+        import os
+
+        os._exit(42)  # simulates a segfaulting worker
+    return {"y": params["x"]}
+
+
+def _sleep_on_two(params, seed):
+    if params["x"] == 2:
+        import time
+
+        time.sleep(30)
+    return {"y": params["x"]}
+
+
+class TestErrorCapture:
+    def test_serial_keep_records_and_continues(self):
+        results = run_sweep(_spec(runner=_fail_on_two), on_error="keep")
+        assert [r.params["x"] for r in results] == [1, 2, 3, 4]
+        bad = results[1]
+        assert not bad.ok and "cursed" in bad.error and bad.value == {}
+        assert all(r.ok for r in results if r.params["x"] != 2)
+
+    def test_parallel_keep_records_and_continues(self):
+        results = run_sweep(_spec(runner=_fail_on_two), jobs=2, on_error="keep")
+        assert sum(not r.ok for r in results) == 1
+        assert sum(r.ok for r in results) == 3
+
+    def test_failed_point_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(_spec(runner=_fail_on_two), cache=cache, on_error="keep")
+        again = run_sweep(_spec(runner=_fail_on_two), cache=cache, on_error="keep")
+        assert [r.cached for r in again] == [True, False, True, True]
+
+    def test_failed_count_in_metrics_and_progress(self):
+        from repro import obs
+
+        lines = []
+        with obs.observe(obs.Obs()) as session:
+            run_sweep(
+                _spec(runner=_fail_on_two), on_error="keep", progress=lines.append
+            )
+        assert session.metrics.snapshot()["sweep.points.failed"] == 1.0
+        assert "1 FAILED" in lines[-1]
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            run_sweep(_spec(), on_error="ignore")
+
+
+class TestWorkerCrash:
+    def test_crash_keeps_other_points(self):
+        results = run_sweep(_spec(runner=_crash_on_two), jobs=2, on_error="keep")
+        by_x = {r.params["x"]: r for r in results}
+        assert not by_x[2].ok and "BrokenProcessPool" in by_x[2].error
+        assert all(by_x[x].ok and by_x[x].value == {"y": x} for x in (1, 3, 4))
+
+    def test_crash_raises_by_default(self):
+        with pytest.raises(SweepError, match="worker pool crashed"):
+            run_sweep(_spec(runner=_crash_on_two), jobs=2)
+
+    def test_shared_pool_recovers_for_next_sweep(self):
+        with execution(jobs=2):
+            run_sweep(_spec(runner=_crash_on_two), on_error="keep")
+            healthy = run_sweep(_spec())
+        assert [r.value["y"] for r in healthy] == [1, 4, 9, 16]
+
+
+class TestTimeout:
+    def test_timed_out_point_recorded(self):
+        import time
+
+        t0 = time.perf_counter()
+        results = run_sweep(
+            _spec(runner=_sleep_on_two), jobs=2, on_error="keep", timeout=1.0
+        )
+        assert time.perf_counter() - t0 < 10.0  # never waits out the sleep
+        by_x = {r.params["x"]: r for r in results}
+        assert "timed out" in by_x[2].error
+        assert all(by_x[x].ok for x in (1, 3, 4))
+
+    def test_timeout_raises_by_default(self):
+        with pytest.raises(SweepError, match="timed out"):
+            run_sweep(_spec(runner=_sleep_on_two), jobs=2, timeout=1.0)
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            run_sweep(_spec(), timeout=0.0)

@@ -254,3 +254,77 @@ class TestExport:
     def test_export_unknown_experiment(self, tmp_path, capsys):
         rc = main(["export", str(tmp_path), "--experiments", "fig99"])
         assert rc == 2
+
+
+class TestFaultCommand:
+    def test_fault_reports_degradation(self, capsys):
+        rc = main(
+            ["fault", "perlmutter-cpu", "one_sided", "--loss", "0.08",
+             "--msgs", "16", "--iters", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "faulty" in out
+        assert "% of clean" in out
+        assert "drops" in out and "retransmits" in out
+
+    def test_fault_zero_loss_matches_clean(self, capsys):
+        rc = main(
+            ["fault", "perlmutter-cpu", "two_sided", "--loss", "0",
+             "--msgs", "16", "--iters", "1"]
+        )
+        assert rc == 0
+        assert "(100.0% of clean)" in capsys.readouterr().out
+
+    def test_fault_down_window(self, capsys):
+        rc = main(
+            ["fault", "perlmutter-cpu", "two_sided", "--loss", "0",
+             "--down", "0:100", "--msgs", "16", "--iters", "1"]
+        )
+        assert rc == 0
+        assert "stalled" in capsys.readouterr().out
+
+    def test_fault_bad_down_spec(self, capsys):
+        rc = main(
+            ["fault", "perlmutter-cpu", "two_sided", "--down", "oops"]
+        )
+        assert rc == 2
+        assert "START:END" in capsys.readouterr().err
+
+    def test_fault_bad_loss(self, capsys):
+        rc = main(["fault", "perlmutter-cpu", "two_sided", "--loss", "1.5"])
+        assert rc == 2
+        assert "loss" in capsys.readouterr().err
+
+    def test_fault_unknown_machine(self, capsys):
+        assert main(["fault", "elcap", "two_sided"]) == 2
+
+
+class TestRunSurvivesCrash:
+    def _experiments_with_crash(self):
+        from repro.experiments.report import ExperimentReport
+
+        def good():
+            return ExperimentReport(
+                experiment="alpha", title="alpha", headers=["x"], rows=[[1]],
+                expectations={"claim": True},
+            )
+
+        def boom():
+            raise RuntimeError("experiment exploded")
+
+        return {"alpha": good, "boom": boom}
+
+    def test_crashing_experiment_marked_error_others_run(
+        self, monkeypatch, capsys
+    ):
+        import repro.experiments as experiments
+
+        monkeypatch.setattr(
+            experiments, "ALL_EXPERIMENTS", self._experiments_with_crash()
+        )
+        assert main(["run", "all", "--no-cache"]) == 1
+        err = capsys.readouterr().err
+        assert "experiment exploded" in err  # traceback surfaced
+        assert "alpha                PASS" in err
+        assert "boom                 ERROR" in err
