@@ -1,0 +1,141 @@
+"""Benchmark the vectorized bulk-transfer engine (:mod:`repro.perf`).
+
+Times the two hot-loop workloads scalar vs vectorized and writes
+``benchmarks/output/BENCH_core.json``:
+
+* **flood**: one 32768-msg/sync shmem flood round (the paper's deep
+  msg/sync axis) — every message is a fused ``put_signal_nbi`` on the
+  same route;
+* **hashtable epoch**: a 1e6-op remote CAS stream (the sender's-control
+  insert pattern of the paper's hashtable and Fig. 4 CAS flood), the
+  ISSUE's headline point — the vectorized engine must be **>= 5x**
+  faster than the scalar event chain.
+
+The scalar hashtable leg runs ``SCALAR_OPS`` ops and is extrapolated
+linearly to 1e6 (the scalar path is O(events) = O(ops); per-op cost is
+flat), keeping the bench under ~15 s; ``--full`` runs the scalar leg at
+the full 1e6 ops instead.  Phase wall-clock is recorded through the
+:mod:`repro.obs` span hooks and embedded in the JSON under ``"spans"``.
+
+Both workloads are also checked for result parity (vectorized output ==
+scalar output) at a reduced size, so the speedup numbers can never come
+from computing something cheaper.
+
+Run standalone (``python benchmarks/bench_core.py``) or via the
+benchmark suite (``pytest benchmarks/bench_core.py``).  CI compares the
+committed JSON against a fresh run and fails on a >20% vectorized
+hashtable throughput regression (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro import perf
+from repro.machines import get_machine
+from repro.obs import SpanTracker
+from repro.workloads.flood import run_cas_flood, run_flood
+
+OUTPUT = pathlib.Path(__file__).parent / "output" / "BENCH_core.json"
+
+FLOOD = {"machine": "perlmutter-gpu", "runtime": "shmem", "nbytes": 64,
+         "msgs_per_sync": 32768, "iters": 1}
+EPOCH_OPS = 1_000_000  # the 1e6-message hashtable epoch
+SCALAR_OPS = 100_000  # scalar leg sample size (extrapolated to EPOCH_OPS)
+CAS = {"machine": "perlmutter-cpu", "runtime": "one_sided"}
+
+
+def _flood(vectorized: bool):
+    with perf.vectorized(vectorized):
+        t0 = time.perf_counter()
+        r = run_flood(get_machine(FLOOD["machine"]), FLOOD["runtime"],
+                      FLOOD["nbytes"], FLOOD["msgs_per_sync"],
+                      iters=FLOOD["iters"])
+        return time.perf_counter() - t0, r
+
+
+def _epoch(vectorized: bool, n_ops: int):
+    with perf.vectorized(vectorized):
+        t0 = time.perf_counter()
+        r = run_cas_flood(get_machine(CAS["machine"]), CAS["runtime"],
+                          n_ops=n_ops)
+        return time.perf_counter() - t0, r
+
+
+def _parity() -> bool:
+    """Vectorized results must equal scalar results (reduced sizes)."""
+    with perf.vectorized(False):
+        fs = run_flood(get_machine(FLOOD["machine"]), FLOOD["runtime"], 64, 256)
+        cs = run_cas_flood(get_machine(CAS["machine"]), CAS["runtime"], n_ops=256)
+    with perf.vectorized(True):
+        fv = run_flood(get_machine(FLOOD["machine"]), FLOOD["runtime"], 64, 256)
+        cv = run_cas_flood(get_machine(CAS["machine"]), CAS["runtime"], n_ops=256)
+    return fs == fv and cs == cv
+
+
+def run_bench(full: bool = False) -> dict:
+    spans = SpanTracker()
+    scalar_ops = EPOCH_OPS if full else SCALAR_OPS
+
+    with spans.span("parity"):
+        parity_ok = _parity()
+    with spans.span("flood_scalar"):
+        flood_scalar_s, _ = _flood(False)
+    with spans.span("flood_vectorized"):
+        flood_vec_s, _ = _flood(True)
+    with spans.span("hashtable_scalar"):
+        epoch_scalar_sample_s, _ = _epoch(False, scalar_ops)
+    with spans.span("hashtable_vectorized"):
+        epoch_vec_s, _ = _epoch(True, EPOCH_OPS)
+
+    epoch_scalar_s = epoch_scalar_sample_s * (EPOCH_OPS / scalar_ops)
+    flood_speedup = flood_scalar_s / flood_vec_s
+    epoch_speedup = epoch_scalar_s / epoch_vec_s
+
+    result = {
+        "bench": "core",
+        "flood": {
+            **FLOOD,
+            "scalar_seconds": round(flood_scalar_s, 4),
+            "vectorized_seconds": round(flood_vec_s, 4),
+            "speedup": round(flood_speedup, 2),
+        },
+        "hashtable_epoch": {
+            **CAS,
+            "ops": EPOCH_OPS,
+            "scalar_sample_ops": scalar_ops,
+            "scalar_seconds_extrapolated": round(epoch_scalar_s, 4),
+            "vectorized_seconds": round(epoch_vec_s, 4),
+            "vectorized_ops_per_sec": round(EPOCH_OPS / epoch_vec_s, 1),
+            "speedup": round(epoch_speedup, 2),
+        },
+        "spans": {k: round(v, 4) for k, v in spans.totals().items()},
+        "checks": {
+            "vectorized_matches_scalar": parity_ok,
+            "flood_vectorized_at_least_2x": flood_speedup >= 2.0,
+            "hashtable_epoch_at_least_5x": epoch_speedup >= 5.0,
+        },
+    }
+    OUTPUT.parent.mkdir(exist_ok=True)
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def test_core_bench():
+    result = run_bench()
+    failed = [k for k, ok in result["checks"].items() if not ok]
+    assert not failed, f"core bench checks failed: {failed} in {result}"
+
+
+def main() -> int:
+    result = run_bench(full="--full" in sys.argv[1:])
+    print(json.dumps(result, indent=2))
+    print(f"wrote {OUTPUT}")
+    return 0 if all(result["checks"].values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,16 +3,16 @@
 
 Builds the Perlmutter CPU model, runs a two-rank ping-pong and a flood
 benchmark over the simulated Infinity Fabric, and places the measured
-bandwidth on the Message Roofline.
+bandwidth on the Message Roofline.  Uses the stable ``repro`` facade
+(``repro.Session``) — see ``docs/API.md`` for the full surface.
 
 Run:  python examples/quickstart.py
 """
 
+import repro
 from repro.comm import Job
-from repro.machines import perlmutter_cpu
 from repro.roofline import MessageRoofline
 from repro.util import fmt_bw, fmt_time
-from repro.workloads.flood import run_flood
 
 
 def pingpong(ctx):
@@ -29,7 +29,7 @@ def pingpong(ctx):
 
 
 def main() -> None:
-    machine = perlmutter_cpu()
+    machine = repro.get_machine("perlmutter-cpu")
     print(machine.describe())
     print()
 
@@ -41,10 +41,12 @@ def main() -> None:
     print()
 
     # 2. Flood: n messages per synchronization -> sustained bandwidth.
+    #    A Session pins the machine + backend once for every runner inside.
     print("flood bandwidth vs messages-per-sync (64 KiB messages):")
-    for n in (1, 16, 256):
-        r = run_flood(perlmutter_cpu(), "two_sided", 65536, n, iters=3)
-        print(f"  n={n:4d}  {fmt_bw(r.bandwidth)}")
+    with repro.Session(machine="perlmutter-cpu", backend=repro.TWO_SIDED) as s:
+        for n in (1, 16, 256):
+            r = s.run_flood(nbytes=65536, msgs_per_sync=n, iters=3)
+            print(f"  n={n:4d}  {fmt_bw(r.bandwidth)}")
     print()
 
     # 3. The analytic Message Roofline bound for the same operating points.

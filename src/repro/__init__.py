@@ -9,9 +9,42 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.comm` — two-sided MPI, one-sided RMA, GPU SHMEM;
 * :mod:`repro.roofline` — the Message Roofline model (the paper's core);
 * :mod:`repro.workloads` — Stencil, SpTRSV, Distributed HashTable;
-* :mod:`repro.experiments` — per-figure/table experiment runners.
+* :mod:`repro.experiments` — per-figure/table experiment runners;
+* :mod:`repro.api` — the stable :class:`Session` facade (re-exported
+  here; see ``docs/API.md`` for the stability policy).
 """
 
+from repro import faults, obs, perf, sweep
 from repro._version import __version__
+from repro.api import (
+    ONE_SIDED,
+    ONE_SIDED_HW,
+    SHMEM,
+    TWO_SIDED,
+    Session,
+    backend_names,
+    experiment_names,
+    get_machine,
+    machine_names,
+    run_experiment,
+)
+from repro.sweep import run_sweep
 
-__all__ = ["__version__"]
+__all__ = [
+    "__version__",
+    "Session",
+    "run_experiment",
+    "run_sweep",
+    "experiment_names",
+    "get_machine",
+    "machine_names",
+    "backend_names",
+    "TWO_SIDED",
+    "ONE_SIDED",
+    "SHMEM",
+    "ONE_SIDED_HW",
+    "faults",
+    "obs",
+    "perf",
+    "sweep",
+]

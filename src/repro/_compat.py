@@ -1,0 +1,73 @@
+"""Keyword-compatibility shims for renamed parameters.
+
+The public surface standardises on ``nbytes`` for message sizes and
+``msgs_per_sync`` for the paper's messages-per-synchronisation axis
+(historically spelled ``size``/``msg_bytes`` and ``n_msgs``/``count``/
+``nmsgs`` in various corners).  :func:`renamed_kwargs` keeps the old
+keywords working through one deprecation cycle: the legacy name is
+remapped and a :class:`DeprecationWarning` is emitted **once per call
+site** (keyed on the caller's file and line), so a hot loop does not
+flood stderr but every distinct offending line gets told exactly once.
+
+See ``docs/API.md`` for the deprecation policy and the migration table.
+"""
+
+from __future__ import annotations
+
+import functools
+import sys
+import warnings
+from collections.abc import Callable
+from typing import Any, TypeVar
+
+__all__ = ["renamed_kwargs"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+# Call sites already warned: (qualname, old keyword, caller file, line).
+_WARNED: set[tuple[str, str, str, int]] = set()
+
+
+def _reset_warned() -> None:
+    """Forget warned call sites (test helper)."""
+    _WARNED.clear()
+
+
+def renamed_kwargs(**old_to_new: str) -> Callable[[F], F]:
+    """Accept legacy keyword names, remapping them with a deprecation.
+
+    ``@renamed_kwargs(size="nbytes")`` makes ``f(size=64)`` behave as
+    ``f(nbytes=64)`` while warning once per call site.  Passing both the
+    old and the new spelling is an error (``TypeError``), not a silent
+    pick.
+    """
+
+    def decorate(func: F) -> F:
+        qualname = func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            for old, new in old_to_new.items():
+                if old not in kwargs:
+                    continue
+                if new in kwargs:
+                    raise TypeError(
+                        f"{qualname}() got both {old!r} (deprecated) and "
+                        f"its replacement {new!r}"
+                    )
+                kwargs[new] = kwargs.pop(old)
+                frame = sys._getframe(1)
+                site = (qualname, old, frame.f_code.co_filename, frame.f_lineno)
+                if site not in _WARNED:
+                    _WARNED.add(site)
+                    warnings.warn(
+                        f"{qualname}(): keyword {old!r} is deprecated, "
+                        f"use {new!r}",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+            return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

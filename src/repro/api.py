@@ -1,0 +1,207 @@
+"""repro.api — the stable, composed entry point.
+
+The library's power features are *ambient* context managers — an
+:func:`repro.obs.observe` session, a :func:`repro.faults.inject` scope, a
+:func:`repro.sweep.execution` config — because experiment runners keep
+zero-argument signatures.  Composing them by hand means three nested
+``with`` blocks in the right order.  :class:`Session` is that composition
+as one object::
+
+    import repro
+
+    plan = repro.faults.FaultPlan.uniform(loss=0.01, seed=7)
+    with repro.Session(machine="perlmutter-gpu", backend=repro.SHMEM,
+                       faults=plan, obs=True, jobs=4) as s:
+        report = s.run_experiment("fig09")
+        flood = s.run_flood(nbytes=4096, msgs_per_sync=64)
+    print(s.obs.snapshot())      # metrics + span timings
+    print(s.fault_stats())       # drops / retransmits / ...
+
+Everything here is re-exported from the top-level :mod:`repro` package:
+``Session``, :func:`run_experiment`, :func:`run_sweep`,
+:func:`get_machine` and the backend name constants.  See ``docs/API.md``
+for the stability and deprecation policy.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+from typing import Any
+
+from repro import faults as _faults
+from repro import obs as _obs
+from repro import sweep as _sweep
+from repro.experiments import ALL_EXPERIMENTS
+from repro.machines import MACHINES, PROJECTIONS, MachineModel, get_machine
+from repro.transport import ONE_SIDED, ONE_SIDED_HW, SHMEM, TWO_SIDED, backend_names
+
+__all__ = [
+    "Session",
+    "run_experiment",
+    "experiment_names",
+    "get_machine",
+    "machine_names",
+    "backend_names",
+    "TWO_SIDED",
+    "ONE_SIDED",
+    "SHMEM",
+    "ONE_SIDED_HW",
+]
+
+
+def experiment_names() -> tuple[str, ...]:
+    """Names accepted by :func:`run_experiment` (the paper's figures/tables)."""
+    return tuple(ALL_EXPERIMENTS)
+
+
+def machine_names() -> tuple[str, ...]:
+    """Names accepted by :func:`get_machine`: measured machines + projections."""
+    return tuple(MACHINES) + tuple(PROJECTIONS)
+
+
+def run_experiment(name: str, **kwargs: Any):
+    """Run one named experiment (``fig01``..``table2``...) and return its
+    :class:`~repro.experiments.report.ExperimentReport`.
+
+    Honours whatever ambient scopes are active — run it inside a
+    :class:`Session` to get observability, faults and parallelism.
+    """
+    try:
+        runner = ALL_EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; valid: {', '.join(ALL_EXPERIMENTS)}"
+        ) from None
+    return runner(**kwargs)
+
+
+class Session:
+    """One experiment session: machine + backend defaults, ambient scopes.
+
+    Args:
+        machine: machine model name (``"perlmutter-gpu"``, ...) or a
+            pre-built :class:`~repro.machines.base.MachineModel`; resolved
+            eagerly so typos fail at construction.
+        backend: default runtime backend for the convenience runners
+            (:data:`TWO_SIDED` / :data:`ONE_SIDED` / :data:`SHMEM` /
+            :data:`ONE_SIDED_HW`), validated eagerly.
+        faults: a :class:`~repro.faults.FaultPlan` installed via
+            :func:`repro.faults.inject` for the session's duration.
+        obs: ``True`` for a fresh metrics+spans session, or a pre-built
+            :class:`~repro.obs.Obs` (e.g. with tracing on).
+        jobs: sweep parallelism (installed via :func:`repro.sweep.execution`).
+        cache: a :class:`~repro.sweep.ResultCache` (or a path for one) for
+            sweep result caching.
+
+    The scopes nest obs -> faults -> execution, so worker processes and
+    fault draws happen *inside* the observed region, exactly as the three
+    hand-written ``with`` blocks would.
+    """
+
+    def __init__(
+        self,
+        *,
+        machine: str | MachineModel | None = None,
+        backend: str | None = None,
+        faults: "_faults.FaultPlan | None" = None,
+        obs: "bool | _obs.Obs" = False,
+        jobs: int = 1,
+        cache: "_sweep.ResultCache | str | None" = None,
+    ):
+        self.machine = get_machine(machine) if isinstance(machine, str) else machine
+        if backend is not None and backend not in backend_names():
+            raise ValueError(
+                f"unknown backend {backend!r}; valid: {', '.join(backend_names())}"
+            )
+        self.backend = backend
+        self.fault_plan = faults
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = _sweep.ResultCache(cache) if isinstance(cache, str) else cache
+        self.obs: _obs.Obs | None = (
+            obs if isinstance(obs, _obs.Obs) else (_obs.Obs() if obs else None)
+        )
+        self.fault_scope: _faults.FaultScope | None = None
+        self.execution: _sweep.ExecutionConfig | None = None
+        self._stack: ExitStack | None = None
+
+    # -- scope management ----------------------------------------------
+
+    def __enter__(self) -> "Session":
+        if self._stack is not None:
+            raise RuntimeError("Session is not re-entrant")
+        self._stack = ExitStack()
+        try:
+            if self.obs is not None:
+                self._stack.enter_context(_obs.observe(self.obs))
+            if self.fault_plan is not None:
+                self.fault_scope = self._stack.enter_context(
+                    _faults.inject(self.fault_plan)
+                )
+            self.execution = self._stack.enter_context(
+                _sweep.execution(jobs=self.jobs, cache=self.cache)
+            )
+        except BaseException:
+            self._stack.close()
+            self._stack = None
+            raise
+        return self
+
+    def __exit__(self, *exc) -> None:
+        stack, self._stack = self._stack, None
+        self.execution = None
+        if stack is not None:
+            stack.close()
+
+    def fault_stats(self) -> dict[str, int]:
+        """Aggregate fault counters (empty when no plan was injected)."""
+        return self.fault_scope.stats() if self.fault_scope is not None else {}
+
+    # -- conveniences ---------------------------------------------------
+
+    def _machine(self) -> MachineModel:
+        if self.machine is None:
+            raise ValueError("Session has no machine= configured")
+        return self.machine
+
+    def _backend(self) -> str:
+        if self.backend is None:
+            raise ValueError("Session has no backend= configured")
+        return self.backend
+
+    def run_experiment(self, name: str, **kwargs: Any):
+        """:func:`run_experiment` under this session's scopes."""
+        return run_experiment(name, **kwargs)
+
+    def run_sweep(self, spec, **kwargs):
+        """:func:`repro.sweep.run_sweep` under this session's scopes."""
+        return _sweep.run_sweep(spec, **kwargs)
+
+    def run_flood(self, *, nbytes: int, msgs_per_sync: int, **kwargs: Any):
+        """One flood point on the session's machine/backend."""
+        from repro.workloads.flood import run_flood
+
+        return run_flood(
+            self._machine(), self._backend(), nbytes, msgs_per_sync, **kwargs
+        )
+
+    def run_cas_flood(self, **kwargs: Any):
+        """One CAS-flood measurement on the session's machine/backend."""
+        from repro.workloads.flood import run_cas_flood
+
+        return run_cas_flood(self._machine(), self._backend(), **kwargs)
+
+    def __repr__(self) -> str:
+        bits = []
+        if self.machine is not None:
+            bits.append(f"machine={self.machine.name!r}")
+        if self.backend is not None:
+            bits.append(f"backend={self.backend!r}")
+        if self.fault_plan is not None:
+            bits.append("faults=...")
+        if self.obs is not None:
+            bits.append("obs=on")
+        bits.append(f"jobs={self.jobs}")
+        state = "active" if self._stack is not None else "idle"
+        return f"<Session {' '.join(bits)} [{state}]>"

@@ -8,8 +8,8 @@ Usage (also via ``python -m repro``):
     repro run fig03 --no-cache      # force re-execution of every point
     repro ablation polling          # run one ablation (or 'all')
     repro machines                  # platform inventory (Table I detail)
-    repro flood perlmutter-cpu two_sided --size 64KiB --msgs 256
-    repro roofline frontier-cpu one_sided --size 4KiB --msgs 100
+    repro flood perlmutter-cpu two_sided --nbytes 64KiB --msgs-per-sync 256
+    repro roofline frontier-cpu one_sided --nbytes 4KiB --msgs-per-sync 100
     repro run fig09 --metrics       # embed the obs metrics snapshot
     repro trace fig09 --out run.trace.json   # chrome://tracing export
 """
@@ -22,6 +22,41 @@ import sys
 from repro._version import __version__
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for ``--jobs``: a strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (got {value}); use 1 for serial execution"
+        )
+    return value
+
+
+def _cache_dir(text: str) -> str:
+    """argparse type for ``--cache-dir``: a usable directory path.
+
+    The directory itself need not exist (the cache creates it), but the
+    path must be non-empty and must not name an existing non-directory.
+    """
+    import os
+
+    if not text.strip():
+        raise argparse.ArgumentTypeError(
+            "cache directory must be a non-empty path "
+            "(or pass --no-cache to disable caching)"
+        )
+    if os.path.exists(text) and not os.path.isdir(text):
+        raise argparse.ArgumentTypeError(
+            f"{text!r} exists and is not a directory"
+        )
+    return text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,9 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     fp = sub.add_parser("flood", help="run a flood bandwidth point")
     fp.add_argument("machine")
     fp.add_argument("runtime", choices=backend_names())
-    fp.add_argument("--size", default="64KiB", help="message size (e.g. 4KiB)")
-    fp.add_argument("--msgs", type=int, default=64, help="messages per sync")
-    fp.add_argument("--iters", type=int, default=3)
+    _add_message_args(fp, iters=3)
 
     fap = sub.add_parser(
         "fault",
@@ -92,9 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fap.add_argument("machine")
     fap.add_argument("runtime", choices=backend_names())
-    fap.add_argument("--size", default="64KiB", help="message size (e.g. 4KiB)")
-    fap.add_argument("--msgs", type=int, default=64, help="messages per sync")
-    fap.add_argument("--iters", type=int, default=2)
+    _add_message_args(fap, iters=2)
     fap.add_argument(
         "--loss", type=float, default=0.05,
         help="per-traversal link loss probability in [0, 1) (default 0.05)",
@@ -139,9 +170,23 @@ def build_parser() -> argparse.ArgumentParser:
     rp = sub.add_parser("roofline", help="query the analytic bound")
     rp.add_argument("machine")
     rp.add_argument("runtime", choices=backend_names())
-    rp.add_argument("--size", default="64KiB")
-    rp.add_argument("--msgs", type=int, default=64)
+    _add_message_args(rp, iters=None)
     return p
+
+
+def _add_message_args(p: argparse.ArgumentParser, *, iters: int | None) -> None:
+    """The normalised message-shape flags (``--size``/``--msgs`` remain as
+    deprecated aliases of ``--nbytes``/``--msgs-per-sync``)."""
+    p.add_argument(
+        "--nbytes", "--size", dest="nbytes", default="64KiB",
+        help="message size (e.g. 4KiB)",
+    )
+    p.add_argument(
+        "--msgs-per-sync", "--msgs", dest="msgs_per_sync", type=int,
+        default=64, help="messages per sync",
+    )
+    if iters is not None:
+        p.add_argument("--iters", type=int, default=iters)
 
 
 def _add_execution_args(p: argparse.ArgumentParser) -> None:
@@ -149,7 +194,7 @@ def _add_execution_args(p: argparse.ArgumentParser) -> None:
     from repro.sweep import DEFAULT_CACHE_DIR
 
     p.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
+        "--jobs", type=_positive_int, default=1, metavar="N",
         help="worker processes for sweep points (default 1 = serial; "
         "results are identical to serial at any N)",
     )
@@ -158,7 +203,7 @@ def _add_execution_args(p: argparse.ArgumentParser) -> None:
         help="ignore and do not write the on-disk sweep result cache",
     )
     p.add_argument(
-        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        "--cache-dir", type=_cache_dir, default=DEFAULT_CACHE_DIR, metavar="DIR",
         help=f"sweep result cache directory (default {DEFAULT_CACHE_DIR!r})",
     )
 
@@ -170,9 +215,6 @@ def _execution_from_args(args: argparse.Namespace):
     """
     from repro.sweep import ResultCache, execution
 
-    if args.jobs < 1:
-        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
-        raise SystemExit(2)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     return execution(
         jobs=args.jobs,
@@ -418,10 +460,11 @@ def _cmd_flood(args: argparse.Namespace) -> int:
     if machine is None:
         return 2
     r = run_flood(
-        machine, args.runtime, parse_size(args.size), args.msgs, iters=args.iters
+        machine, args.runtime, parse_size(args.nbytes), args.msgs_per_sync,
+        iters=args.iters,
     )
     print(f"machine   : {r.machine} / {r.runtime}")
-    print(f"message   : {args.size} x {args.msgs}/sync x {args.iters} iters")
+    print(f"message   : {args.nbytes} x {args.msgs_per_sync}/sync x {args.iters} iters")
     print(f"bandwidth : {fmt_bw(r.bandwidth)}")
     print(f"latency   : {fmt_time(r.latency_per_message)} per message")
     return 0
@@ -457,12 +500,14 @@ def _cmd_fault(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
-    size = parse_size(args.size)
-    clean = run_flood(machine, args.runtime, size, args.msgs, iters=args.iters)
+    size = parse_size(args.nbytes)
+    clean = run_flood(
+        machine, args.runtime, size, args.msgs_per_sync, iters=args.iters
+    )
     try:
         with faults.inject(plan) as scope:
             faulty = run_flood(
-                machine, args.runtime, size, args.msgs, iters=args.iters
+                machine, args.runtime, size, args.msgs_per_sync, iters=args.iters
             )
     except faults.FaultError as exc:
         print(f"machine   : {machine.name} / {args.runtime}")
@@ -472,7 +517,7 @@ def _cmd_fault(args: argparse.Namespace) -> int:
         return 1
     s = scope.stats()
     print(f"machine   : {machine.name} / {args.runtime}")
-    print(f"message   : {args.size} x {args.msgs}/sync x {args.iters} iters")
+    print(f"message   : {args.nbytes} x {args.msgs_per_sync}/sync x {args.iters} iters")
     print(f"plan      : loss={args.loss} jitter={args.jitter_us}us "
           f"degrade={args.degrade} down={len(down)} window(s) seed={args.seed}")
     print(f"clean     : {fmt_bw(clean.bandwidth)}")
@@ -499,8 +544,8 @@ def _cmd_roofline(args: argparse.Namespace) -> int:
         sided=backend.sided,
     )
     roof = MessageRoofline(params)
-    B = parse_size(args.size)
-    bound = roof.bound(B, args.msgs)
+    B = parse_size(args.nbytes)
+    bound = roof.bound(B, args.msgs_per_sync)
     print(f"machine : {machine.name} / {args.runtime}")
     print(
         f"params  : L={params.L * 1e6:.2f} us, o={params.o * 1e6:.2f} us, "

@@ -115,6 +115,94 @@ class ShmemContext(RankContext):
             )
         return Request(done, "put_signal", nbytes)
 
+    def put_signal_batch(
+        self,
+        data_win: Window,
+        target: int,
+        n: int,
+        *,
+        nelems: int,
+        offset: int = 0,
+        signal_win: Window,
+        signal_idx: int,
+        signal_value: int = 1,
+        signal_op: str = SIGNAL_ADD,
+    ) -> Generator:
+        """``n`` back-to-back pure-timing ``put_signal_nbi`` of one size.
+
+        Bulk path: counters and per-message channel reservations are
+        replayed exactly (:mod:`repro.perf.engine`); the data write, the
+        signal update (``n`` accumulated adds, or the final set) and the
+        watcher ring are applied in one step at the *last* delivery time,
+        tracked as a single outstanding put so ``quiet`` drains the whole
+        batch.  A bulk receiver recovers the per-message signal timing
+        from the returned delivery schedule via the batch rendezvous — a
+        scalar ``wait_until_all`` on the same window would see the signals
+        land all-at-once, which is why both sides of a batch must take the
+        same path (guaranteed by :func:`repro.perf.bulk_enabled` being a
+        per-job predicate).
+
+        Returns the delivery-time schedule on the bulk path, None on the
+        scalar fallback.
+        """
+        from repro import perf
+        from repro.perf.engine import FabricPath
+
+        if n < 1:
+            raise CommError(f"put_signal_batch needs n >= 1, got {n}")
+        if not 0 <= target < self.size:
+            raise CommError(f"put_signal target {target} out of range")
+        if signal_op not in (SIGNAL_SET, SIGNAL_ADD):
+            raise CommError(f"unknown signal_op {signal_op!r}")
+        if not perf.bulk_enabled(self.job):
+            for _ in range(n):
+                yield from self.put_signal_nbi(
+                    data_win,
+                    target,
+                    nelems=nelems,
+                    offset=offset,
+                    signal_win=signal_win,
+                    signal_idx=signal_idx,
+                    signal_value=signal_value,
+                    signal_op=signal_op,
+                )
+            return None
+        nbytes = nelems * data_win.dtype.itemsize + signal_win.dtype.itemsize
+        c = self.counter
+        c.operations += n
+        c.messages += n
+        cost = self.costs.put_signal
+        bs = c.bytes_sent
+        t = self.sim.now
+        issue = [0.0] * n
+        for k in range(n):
+            bs += nbytes
+            t = t + cost
+            issue[k] = t
+        c.bytes_sent = bs
+        path = FabricPath(self.fabric, self.endpoint, self.job.endpoints[target])
+        deliver = path.transfer_times(nbytes, issue)
+        last = deliver[0]
+        for v in deliver:
+            if v > last:
+                last = v
+        done = self.sim.event()
+
+        def _complete(_ev: Event) -> None:
+            data_win._apply_write(target, offset, None)
+            sig = signal_win.buffers[target]
+            if signal_op == SIGNAL_SET:
+                sig[signal_idx] = signal_value
+            else:
+                sig[signal_idx] += signal_value * n
+            signal_win._apply_write(target, signal_idx, None)
+            done.succeed()
+
+        self.sim.at_time(last).add_callback(_complete)
+        self._outstanding_puts.append(done)
+        yield self.sim.at_time(t)
+        return deliver
+
     # ------------------------------------------------------------------
     # waiting on signals
     # ------------------------------------------------------------------

@@ -251,6 +251,63 @@ class WindowHandle:
             )
         return Request(done, "put", nbytes)
 
+    def put_batch(
+        self, target: int, n: int, *, nelems: int, offset: int = 0
+    ) -> Generator:
+        """``n`` back-to-back pure-timing puts of the same size (bulk path).
+
+        Timing- and state-identical to ``n`` sequential :meth:`put` calls
+        with ``nelems`` elements each — counters, channel reservations and
+        the target's copy-engine serialisation are replayed per message by
+        :mod:`repro.perf.engine` — but only two events touch the heap: the
+        sender's resume and one tracked completion at the last write's
+        visibility time, so a later flush/fence drains the whole batch as
+        one pending event.  Falls back to the scalar loop whenever
+        :func:`repro.perf.bulk_enabled` vetoes the job (faults, tracing,
+        engine disabled).
+
+        Returns the per-message delivery times on the bulk path (consumed
+        by the transport layer's batch rendezvous), None on the fallback.
+        """
+        from repro import perf
+        from repro.perf.engine import FabricPath, bulk_visible_last
+
+        ctx, win = self.ctx, self.window
+        if n < 1:
+            raise CommError(f"put_batch needs n >= 1, got {n}")
+        if not 0 <= target < ctx.size:
+            raise CommError(f"put target {target} out of range")
+        if not perf.bulk_enabled(ctx.job):
+            for _ in range(n):
+                yield from self.put(target, nelems=nelems, offset=offset)
+            return None
+        nbytes = nelems * win.dtype.itemsize
+        c = ctx.counter
+        c.operations += n
+        c.messages += n
+        put_cost = ctx.costs.put
+        bs = c.bytes_sent
+        t = ctx.sim.now
+        issue = [0.0] * n
+        for k in range(n):
+            bs += nbytes
+            t = t + put_cost
+            issue[k] = t
+        c.bytes_sent = bs
+        path = FabricPath(ctx.fabric, ctx.endpoint, ctx.job.endpoints[target])
+        deliver = path.transfer_times(nbytes, issue)
+        last = bulk_visible_last(ctx.job.contexts[target], nbytes, deliver)
+        done = ctx.sim.event()
+
+        def _complete(_ev: Event) -> None:
+            win._apply_write(target, offset, None)
+            done.succeed()
+
+        ctx.sim.at_time(last).add_callback(_complete)
+        win._track(self.rank, target, done)
+        yield ctx.sim.at_time(t)
+        return deliver
+
     def get(
         self, target: int, *, offset: int = 0, nelems: int = 1
     ) -> Generator:

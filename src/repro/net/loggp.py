@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro._compat import renamed_kwargs
 from repro.util.validation import check_non_negative, check_positive
 
 __all__ = ["LogGPParams", "LinkParams"]
@@ -95,9 +96,10 @@ class LogGPParams:
         check_non_negative("nbytes", nbytes)
         return self.o + self.L + nbytes * self.G
 
-    def time_pipelined(self, nbytes: float, nmsgs: int) -> float:
-        """Time for ``nmsgs`` back-to-back messages of ``nbytes`` each,
-        followed by one synchronization (the paper's msg/sync batch).
+    @renamed_kwargs(nmsgs="msgs_per_sync")
+    def time_pipelined(self, nbytes: float, msgs_per_sync: int) -> float:
+        """Time for ``msgs_per_sync`` back-to-back messages of ``nbytes``
+        each, followed by one synchronization (the paper's msg/sync batch).
 
         Consecutive messages are spaced by ``max(o, g, B*G)`` — the sender
         overhead, the injection gap, and the transmission time overlap with
@@ -109,22 +111,23 @@ class LogGPParams:
             T = o + (n-1)*max(o, g, B*G) + B*G + L + o_sync
         """
         check_non_negative("nbytes", nbytes)
-        if nmsgs < 1:
-            raise ValueError(f"nmsgs must be >= 1, got {nmsgs}")
+        if msgs_per_sync < 1:
+            raise ValueError(f"msgs_per_sync must be >= 1, got {msgs_per_sync}")
         spacing = max(self.o, self.g, nbytes * self.G)
         return (
             self.o
-            + (nmsgs - 1) * spacing
+            + (msgs_per_sync - 1) * spacing
             + nbytes * self.G
             + self.L
             + self.o_sync
         )
 
-    def bandwidth_pipelined(self, nbytes: float, nmsgs: int) -> float:
+    @renamed_kwargs(nmsgs="msgs_per_sync")
+    def bandwidth_pipelined(self, nbytes: float, msgs_per_sync: int) -> float:
         """Achieved bandwidth (bytes/s) of the msg/sync batch above."""
         if nbytes <= 0:
             raise ValueError(f"nbytes must be > 0, got {nbytes}")
-        return nbytes * nmsgs / self.time_pipelined(nbytes, nmsgs)
+        return nbytes * msgs_per_sync / self.time_pipelined(nbytes, msgs_per_sync)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,76 @@
+"""Global switch for the vectorized bulk-transfer engine.
+
+The bulk engine (:mod:`repro.perf.engine`) is on by default: it is exact
+by construction, so there is no accuracy trade-off in leaving it enabled.
+Two override mechanisms exist for benchmarking and debugging:
+
+* the ``REPRO_PERF`` environment variable (``0``/``off``/``false``/``no``
+  disables the engine process-wide);
+* the :func:`vectorized` context manager, which wins over the
+  environment for the duration of the block::
+
+      from repro import perf
+
+      with perf.vectorized(False):
+          scalar = run_flood(machine, "one_sided", 64, 1024)
+
+Independent of this switch, batches fall back to the scalar per-message
+path whenever exactness cannot be guaranteed for the whole job: an
+active fault plan (loss/jitter/outages need per-message draws) or an
+enabled tracer (per-message records must be emitted) — see
+:func:`bulk_enabled`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+__all__ = ["enabled", "vectorized", "bulk_enabled"]
+
+_ENV_VAR = "REPRO_PERF"
+_FALSY = frozenset({"0", "off", "false", "no"})
+
+# Innermost-wins override stack installed by vectorized().
+_STACK: list[bool] = []
+
+
+def enabled() -> bool:
+    """Is the bulk engine globally enabled right now?"""
+    if _STACK:
+        return _STACK[-1]
+    return os.environ.get(_ENV_VAR, "1").strip().lower() not in _FALSY
+
+
+@contextmanager
+def vectorized(on: bool = True) -> Iterator[None]:
+    """Force the bulk engine on (default) or off for the block."""
+    _STACK.append(bool(on))
+    try:
+        yield
+    finally:
+        _STACK.pop()
+
+
+def bulk_enabled(job) -> bool:
+    """May batches on ``job`` take the bulk path?
+
+    True only when the whole job is on the pristine, untraced fast path:
+
+    * the engine is globally enabled (:func:`enabled`);
+    * no fault injector is attached (fault draws, retransmissions and
+      outage stalls are inherently per-message);
+    * the job's tracer is disabled (per-message trace records cannot be
+      batch-evaluated).
+
+    Both sides of a batch rendezvous (sender ``commit``, receiver
+    ``wait_batch``) evaluate this on the *same* job, so they always
+    agree; flipping :func:`vectorized` from inside a running rank
+    program is unsupported.
+    """
+    return (
+        enabled()
+        and job.fault_injector is None
+        and not job.tracer.enabled
+    )

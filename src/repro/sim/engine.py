@@ -57,6 +57,21 @@ class Simulator:
         """An event that fires ``delay`` simulated seconds from now."""
         return Timeout(self, delay, value)
 
+    def at_time(self, when: float, value: Any = None) -> Event:
+        """An event that fires at the *absolute* simulated time ``when``.
+
+        Unlike ``timeout(when - now)``, the event is enqueued at exactly
+        ``when`` — ``now + (when - now)`` can differ from ``when`` by one
+        ulp, which matters to the bulk-transfer engine
+        (:mod:`repro.perf`): its batch completions must land on the very
+        float the scalar path's event chain would have produced.
+        """
+        ev = Event(self)
+        ev._ok = True
+        ev._value = value
+        self._schedule(ev, at=when)
+        return ev
+
     def all_of(self, events: list[Event]) -> AllOf:
         return AllOf(self, events)
 
@@ -69,10 +84,20 @@ class Simulator:
 
     # -- scheduling ------------------------------------------------------------
 
-    def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+    def _schedule(
+        self, event: Event, delay: float = 0.0, *, at: float | None = None
+    ) -> None:
+        if at is None:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule into the past (delay={delay})")
+            when = self._now + delay
+        else:
+            if at < self._now:
+                raise SimulationError(
+                    f"cannot schedule into the past (at={at} < now={self._now})"
+                )
+            when = at
+        heapq.heappush(self._heap, (when, self._seq, event))
         self._seq += 1
 
     # -- execution -------------------------------------------------------------

@@ -284,6 +284,23 @@ class Endpoint:
                    value: int):
         self._unsupported("native_cas")
 
+    def cas_stream(self, space: str, dst: int, offset: int,
+                   ops: Sequence[tuple[int, int]]):
+        """Back-to-back blocking CAS ops on one word (sender's-control
+        stream: the Fig. 4 CAS flood, a hashtable insert epoch).
+
+        Semantically identical to looping ``native_cas`` over the
+        ``(compare, value)`` pairs — that loop is the default — and
+        returns the list of old values.  Backends with a bulk path
+        (:mod:`repro.perf.atomics`) evaluate eligible streams in one
+        pass; the stream assumes a passive target for its duration.
+        """
+        out = []
+        for compare, value in ops:
+            old = yield from self.native_cas(space, dst, offset, compare, value)
+            out.append(old)
+        return out
+
     def post_msg(self, dst: int, *, nbytes: float, payload=None, tag: int = 0):
         self._unsupported("post_msg")
 

@@ -154,11 +154,23 @@ class _BatchEndpoint(Endpoint):
         self.sig_win = channel.sig_win
         self.h = channel.data_win.handle(ctx)
         self.h_sig = channel.sig_win.handle(ctx)
+        self._queued: dict[int, int] = {}
 
     def post(self, dst):
+        from repro import perf
+
+        if perf.bulk_enabled(self.ctx.job):
+            # Deferred: the batch pattern guarantees nothing runs between
+            # the posts and the commit, so issuing all n puts in one bulk
+            # pass at commit() reproduces the scalar issue times exactly.
+            self._queued[dst] = self._queued.get(dst, 0) + 1
+            return
         yield from self.h.put(dst, nelems=self.spec.nelems)
 
     def commit(self, dst, it):
+        n = self._queued.pop(dst, 0)
+        if n:
+            yield from self.h.put_batch(dst, n, nelems=self.spec.nelems)
         yield from self.h.flush(dst)
         yield from self.h_sig.put(
             dst, np.array([it + 1], dtype=np.int64), offset=0
@@ -216,6 +228,23 @@ class _AtomicEndpoint(Endpoint):
     def native_cas(self, space, dst, offset, compare, value):
         old = yield from self.h[space].cas_blocking(dst, offset, compare, value)
         return old
+
+    def cas_stream(self, space, dst, offset, ops):
+        from repro import perf
+        from repro.perf.atomics import bulk_cas_stream
+
+        win = self.channel.wins[space]
+        if perf.bulk_enabled(self.ctx.job) and not win._watchers[dst]:
+            # cas_blocking = CAS round trip + ctx.wait per op.
+            out = yield from bulk_cas_stream(
+                self.ctx, win, dst, offset, list(ops), count_wait=True
+            )
+            return out
+        out = []
+        for compare, value in ops:
+            old = yield from self.native_cas(space, dst, offset, compare, value)
+            out.append(old)
+        return out
 
 
 class RmaBackend(TransportBackend):

@@ -156,8 +156,17 @@ class _BatchEndpoint(Endpoint):
         super().__init__(channel, ctx)
         self.data_win = channel.data_win
         self.sig_win = channel.sig_win
+        self._queued: dict[int, int] = {}
 
     def post(self, dst):
+        from repro import perf
+
+        if perf.bulk_enabled(self.ctx.job):
+            # Deferred: nothing runs between the batch pattern's posts and
+            # its commit, so one bulk pass at commit() reproduces the
+            # scalar issue times exactly.
+            self._queued[dst] = self._queued.get(dst, 0) + 1
+            return
         yield from self.ctx.put_signal_nbi(
             self.data_win,
             dst,
@@ -169,10 +178,62 @@ class _BatchEndpoint(Endpoint):
         )
 
     def commit(self, dst, it):
+        from repro.perf.engine import rendezvous
+
+        n = self._queued.pop(dst, 0)
+        if n:
+            # Signal word before this batch lands: the bulk receiver
+            # reconstructs per-arrival signal values from this base.
+            base = int(self.sig_win.buffers[dst][0])
+            deliver = yield from self.ctx.put_signal_batch(
+                self.data_win,
+                dst,
+                n,
+                nelems=self.spec.nelems,
+                signal_win=self.sig_win,
+                signal_idx=0,
+                signal_value=1,
+                signal_op="add",
+            )
+            if deliver is not None:
+                rendezvous(self.channel).publish(
+                    (self.ctx.rank, dst, it), np.asarray(deliver), base
+                )
         yield from self.ctx.quiet()
 
     def wait_batch(self, src, it, n):
+        from repro import perf
+
+        if perf.bulk_enabled(self.ctx.job):
+            yield from self._wait_batch_bulk(src, it, n)
+            return
         yield from self.ctx.wait_until_all(self.sig_win, [0], value=(it + 1) * n)
+
+    def _wait_batch_bulk(self, src, it, n):
+        """Exact ``wait_until_all`` timing against the bulk sender's
+        published arrival schedule (the signals themselves land all at
+        once at the batch completion, so the scalar polling loop cannot
+        observe them one by one)."""
+        from repro.perf.engine import drain_wait_until_all, rendezvous
+
+        ctx = self.ctx
+        value = (it + 1) * n
+        ctx.counter.syncs += 1
+        ctx.counter.operations += 1
+        if self.sig_win.buffers[ctx.rank][0] >= value:
+            # Satisfied on entry (batch already applied): the scalar loop
+            # would return immediately without blocking or wakeup cost.
+            return
+        t_entry = ctx.sim.now
+        rv = rendezvous(self.channel)
+        key = (src, ctx.rank, it)
+        rec = rv.poll(key)
+        if rec is None:
+            yield rv.waiter(key, ctx.sim)
+            rec = rv.poll(key)
+        arrivals, base = rec
+        t_done = drain_wait_until_all(ctx, arrivals, base, value, t_entry)
+        yield ctx.sim.at_time(t_done)
 
 
 class _AtomicChannel(Channel):
@@ -226,6 +287,23 @@ class _AtomicEndpoint(Endpoint):
             self.channel.wins[space], dst, offset, compare, value
         )
         return old
+
+    def cas_stream(self, space, dst, offset, ops):
+        from repro import perf
+        from repro.perf.atomics import bulk_cas_stream
+
+        win = self.channel.wins[space]
+        if perf.bulk_enabled(self.ctx.job) and not win._watchers[dst]:
+            # Fused shmem CAS: resume on the response, no wait accounting.
+            out = yield from bulk_cas_stream(
+                self.ctx, win, dst, offset, list(ops), count_wait=False
+            )
+            return out
+        out = []
+        for compare, value in ops:
+            old = yield from self.native_cas(space, dst, offset, compare, value)
+            out.append(old)
+        return out
 
 
 class ShmemBackend(TransportBackend):

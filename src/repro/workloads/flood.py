@@ -25,6 +25,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro._compat import renamed_kwargs
 from repro.comm.job import Job
 from repro.machines.base import MachineModel
 from repro.roofline.fit import FloodSample
@@ -83,6 +84,7 @@ def _program_flood(ctx, chan, n: int, iters: int):
     return ctx.sim.now - t0
 
 
+@renamed_kwargs(size="nbytes", msg_bytes="nbytes", n_msgs="msgs_per_sync", count="msgs_per_sync")
 def run_flood(
     machine: MachineModel,
     runtime: str,
@@ -151,8 +153,7 @@ def _cas_flood(ctx, chan, n: int, target: int):
     yield from ctx.barrier()
     t0 = ctx.sim.now
     if ctx.rank == 0:
-        for i in range(n):
-            yield from ep.native_cas("ctr", target, 0, i, i + 1)
+        yield from ep.cas_stream("ctr", target, 0, [(i, i + 1) for i in range(n)])
         return ctx.sim.now - t0
     # Target rank is passive.
     return 0.0

@@ -1,0 +1,79 @@
+"""Vectorized-vs-scalar parity on workload goldens, all four backends.
+
+The bulk-transfer engine (:mod:`repro.perf`) must be *bit-identical* to
+the scalar event chain — not approximately equal.  Every comparison here
+is ``==`` on full result objects (times, counters, bandwidths, stored
+values), with the engine force-enabled vs force-disabled via
+:func:`repro.perf.vectorized`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.experiments.ablations import _with_hw_put_signal
+from repro.machines import get_machine
+from repro.workloads.flood import run_cas_flood, run_flood
+from repro.workloads.hashtable import HashTableConfig, run_hashtable
+from repro.workloads.stencil import ProcessGrid, StencilConfig, run_stencil
+
+# (backend, machine factory) — every registered transport backend.
+BACKENDS = [
+    ("two_sided", lambda: get_machine("perlmutter-cpu")),
+    ("one_sided", lambda: get_machine("perlmutter-cpu")),
+    ("shmem", lambda: get_machine("perlmutter-gpu")),
+    ("one_sided_hw", lambda: _with_hw_put_signal(get_machine("perlmutter-cpu"))),
+]
+IDS = [b for b, _ in BACKENDS]
+
+
+def _both(run):
+    """Run once scalar, once vectorized."""
+    with perf.vectorized(False):
+        scalar = run()
+    with perf.vectorized(True):
+        vector = run()
+    return scalar, vector
+
+
+@pytest.mark.parametrize("backend,machine_factory", BACKENDS, ids=IDS)
+class TestBulkParity:
+    def test_flood(self, backend, machine_factory):
+        for nbytes, n in [(64, 1), (4096, 64), (64, 512)]:
+            scalar, vector = _both(
+                lambda: run_flood(machine_factory(), backend, nbytes, n, iters=2)
+            )
+            assert scalar == vector
+
+    def test_cas_flood(self, backend, machine_factory):
+        for n_ops in (1, 200):
+            scalar, vector = _both(
+                lambda: run_cas_flood(machine_factory(), backend, n_ops=n_ops)
+            )
+            assert scalar == vector
+
+    def test_hashtable(self, backend, machine_factory):
+        cfg = HashTableConfig(total_inserts=600, seed=2)
+        scalar, vector = _both(
+            lambda: run_hashtable(machine_factory(), backend, cfg, 4)
+        )
+        assert scalar.time == vector.time
+        assert scalar.counters == vector.counters
+        for a, b in zip(scalar.per_rank, vector.per_rank):
+            assert a == b
+        assert np.array_equal(
+            np.sort(scalar.extras["values"]), np.sort(vector.extras["values"])
+        )
+
+    def test_stencil(self, backend, machine_factory):
+        cfg = StencilConfig(nx=24, ny=24, iters=4, mode="execute")
+        scalar, vector = _both(
+            lambda: run_stencil(
+                machine_factory(), backend, cfg, 4, grid=ProcessGrid(2, 2)
+            )
+        )
+        assert scalar.time == vector.time
+        assert scalar.counters == vector.counters
+        assert np.array_equal(scalar.extras["field"], vector.extras["field"])

@@ -1,0 +1,95 @@
+"""Renamed-parameter shims: legacy keywords keep working, warn once per
+call site, and never mix with their replacements."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import _compat
+from repro._compat import renamed_kwargs
+from repro.machines import perlmutter_cpu
+from repro.net.loggp import LogGPParams
+from repro.workloads.flood import run_flood
+
+
+@pytest.fixture(autouse=True)
+def fresh_warned_sites():
+    _compat._reset_warned()
+    yield
+    _compat._reset_warned()
+
+
+PARAMS = LogGPParams(L=1e-6, o=2e-7, g=1e-7, G=1e-11, o_sync=1e-6)
+
+
+class TestRenamedKwargs:
+    def test_old_name_maps_to_new(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("always")  # keep -W error lanes green
+            assert PARAMS.time_pipelined(64, nmsgs=5) == (
+                PARAMS.time_pipelined(64, 5)
+            )
+            assert PARAMS.bandwidth_pipelined(64, nmsgs=5) == (
+                PARAMS.bandwidth_pipelined(64, msgs_per_sync=5)
+            )
+
+    def test_warns_once_per_call_site(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(5):  # one site, many calls
+                PARAMS.time_pipelined(64, nmsgs=5)
+        dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1
+        assert "nmsgs" in str(dep[0].message)
+        assert "msgs_per_sync" in str(dep[0].message)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            PARAMS.time_pipelined(64, nmsgs=5)  # a second, distinct site
+        assert len(caught) == 1
+
+    def test_new_name_never_warns(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            PARAMS.time_pipelined(64, msgs_per_sync=5)
+            PARAMS.time_pipelined(64, 5)
+
+    def test_both_names_is_an_error(self):
+        with pytest.raises(TypeError, match="deprecated"):
+            PARAMS.time_pipelined(64, nmsgs=5, msgs_per_sync=5)
+
+    def test_decorator_on_plain_function(self):
+        @renamed_kwargs(count="n")
+        def f(n):
+            return n
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert f(count=3) == 3
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, DeprecationWarning)
+
+
+class TestFloodShims:
+    def test_size_and_n_msgs_keywords(self):
+        m = perlmutter_cpu()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = run_flood(m, "one_sided", size=4096, n_msgs=8, iters=1)
+        dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 2  # one per renamed keyword
+        current = run_flood(
+            perlmutter_cpu(), "one_sided", nbytes=4096, msgs_per_sync=8, iters=1
+        )
+        assert legacy == current
+
+    def test_msg_bytes_and_count_keywords(self):
+        m = perlmutter_cpu()
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            legacy = run_flood(m, "two_sided", msg_bytes=64, count=4, iters=1)
+        current = run_flood(
+            perlmutter_cpu(), "two_sided", nbytes=64, msgs_per_sync=4, iters=1
+        )
+        assert legacy == current

@@ -25,7 +25,14 @@ class TestParsing:
 
     def test_flood_defaults(self):
         args = build_parser().parse_args(["flood", "perlmutter-cpu", "two_sided"])
-        assert args.size == "64KiB" and args.msgs == 64
+        assert args.nbytes == "64KiB" and args.msgs_per_sync == 64
+
+    def test_flood_legacy_flag_aliases(self):
+        args = build_parser().parse_args(
+            ["flood", "perlmutter-cpu", "two_sided",
+             "--size", "4KiB", "--msgs", "8"]
+        )
+        assert args.nbytes == "4KiB" and args.msgs_per_sync == 8
 
 
 class TestCommands:
@@ -175,7 +182,30 @@ class TestSweepExecutionFlags:
         with pytest.raises(SystemExit) as exc:
             main(["run", "table1", "--jobs", "0"])
         assert exc.value.code == 2
-        assert "--jobs must be >= 1" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "argument --jobs: must be >= 1" in err
+        assert "use 1 for serial execution" in err
+
+    def test_jobs_must_be_an_integer(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "table1", "--jobs", "many"])
+        assert exc.value.code == 2
+        assert "expected a positive integer" in capsys.readouterr().err
+
+    def test_cache_dir_must_be_nonempty(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "table1", "--cache-dir", ""])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "non-empty path" in err and "--no-cache" in err
+
+    def test_cache_dir_must_not_be_a_file(self, tmp_path, capsys):
+        f = tmp_path / "not-a-dir"
+        f.write_text("x")
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "table1", "--cache-dir", str(f)])
+        assert exc.value.code == 2
+        assert "not a directory" in capsys.readouterr().err
 
     def test_second_run_hits_the_cache(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "c")
