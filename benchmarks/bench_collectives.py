@@ -1,0 +1,187 @@
+"""Benchmark the collectives subsystem (:mod:`repro.collectives`).
+
+Sweeps ring/recursive allreduce across message sizes on each machine's
+native transports and writes ``benchmarks/output/BENCH_collectives.json``
+with three kinds of content:
+
+* **sweep rows** — simulated time and NCCL-convention bus bandwidth per
+  (machine, runtime, algorithm, size) cell, the numbers the ML-traffic
+  experiments build on;
+* **checks** — correctness gates that make the numbers trustworthy:
+  cross-backend accounting parity (same schedule, identical
+  CollectiveStats), bulk-engine exactness (``perf.vectorized`` on/off
+  byte-identical where the exclusivity gate engages), execute-mode
+  numerics, and paper-shape orderings (GPU ring beats host MPI at
+  bandwidth sizes);
+* **throughput** — wall-clock simulated-collectives-per-second of the
+  hot configuration, the regression gate CI compares against the
+  committed baseline (>20% drop fails; see
+  ``.github/workflows/ci.yml``).
+
+Run standalone (``python benchmarks/bench_collectives.py``) or via
+pytest (``pytest benchmarks/bench_collectives.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro import perf
+from repro.collectives import explain_collective, run_collective
+from repro.machines import get_machine
+from repro.transport import ONE_SIDED, SHMEM, TWO_SIDED
+
+OUTPUT = pathlib.Path(__file__).parent / "output" / "BENCH_collectives.json"
+
+# (machine, runtime, stripes): each machine's native transports.
+PLATFORMS = [
+    ("perlmutter-gpu", SHMEM, 4),
+    ("perlmutter-gpu", TWO_SIDED, 1),
+    ("perlmutter-cpu", ONE_SIDED, 1),
+    ("perlmutter-cpu", TWO_SIDED, 1),
+]
+SIZES = [1 << 13, 1 << 17, 1 << 22]  # 8 KiB .. 4 MiB payload
+P = 4
+
+# The wall-clock throughput gate: the striped GPU ring, simulated
+# back-to-back.  Sized to run in a few seconds of wall time.
+HOT = {"machine": "perlmutter-gpu", "runtime": SHMEM, "nelems": 4096,
+       "stripes": 4, "iters": 1000}
+
+
+def _sweep():
+    rows = []
+    for machine_name, runtime, stripes in PLATFORMS:
+        for nbytes in SIZES:
+            for algorithm in ("ring", "recursive_doubling"):
+                r = run_collective(
+                    get_machine(machine_name), runtime, "allreduce",
+                    nranks=P, nbytes=nbytes, algorithm=algorithm,
+                    stripes=stripes if algorithm == "ring" else 1,
+                )
+                rows.append({
+                    "machine": machine_name,
+                    "runtime": runtime,
+                    "algorithm": algorithm,
+                    "nbytes": nbytes,
+                    "time_us": round(r.time * 1e6, 3),
+                    "bus_gbps": round(r.bus_bandwidth / 1e9, 3),
+                })
+    return rows
+
+
+def _check_accounting_parity() -> bool:
+    """Same plan, native transports, identical CollectiveStats."""
+    ok = True
+    for machine_name, runtimes in (
+        ("perlmutter-gpu", (SHMEM, TWO_SIDED)),
+        ("perlmutter-cpu", (ONE_SIDED, TWO_SIDED)),
+    ):
+        stats = [
+            run_collective(get_machine(machine_name), rt, "allreduce",
+                           nranks=P, nelems=1024,
+                           algorithm="ring").stats.as_dict()
+            for rt in runtimes
+        ]
+        ok = ok and all(s == stats[0] for s in stats)
+    return ok
+
+
+def _check_bulk_exact() -> bool:
+    """vectorized on/off identical where the exclusivity gate engages."""
+    kw = dict(coll="allreduce", nranks=P, nelems=8192, algorithm="ring",
+              stripes=4)
+    m = get_machine("perlmutter-gpu")
+    with perf.vectorized(False):
+        s = run_collective(m, SHMEM, **kw)
+    with perf.vectorized(True):
+        v = run_collective(m, SHMEM, **kw)
+    return s.time == v.time and s.stats.as_dict() == v.stats.as_dict()
+
+
+def _check_numerics() -> bool:
+    rng = np.random.default_rng(11)
+    vals = [rng.integers(-9, 9, size=16).astype(np.float64)
+            for _ in range(P)]
+    r = run_collective(get_machine("perlmutter-gpu"), SHMEM, "allreduce",
+                       nranks=P, nelems=16, algorithm="ring", stripes=4,
+                       values=vals)
+    want = np.sum(vals, axis=0)
+    return all(np.array_equal(out, want) for out in r.results)
+
+
+def _check_gpu_beats_host(rows) -> bool:
+    by = {(r["machine"], r["runtime"], r["algorithm"], r["nbytes"]): r
+          for r in rows}
+    big = SIZES[-1]
+    gpu = by[("perlmutter-gpu", SHMEM, "ring", big)]
+    host = by[("perlmutter-gpu", TWO_SIDED, "ring", big)]
+    return gpu["bus_gbps"] > host["bus_gbps"]
+
+
+def _check_selector_consistent() -> bool:
+    m = get_machine("perlmutter-gpu")
+    ok = True
+    for nbytes in (64, SIZES[-1]):
+        sel = explain_collective(m, SHMEM, "allreduce", nranks=P,
+                                 nbytes=nbytes)
+        r = run_collective(m, SHMEM, "allreduce", nranks=P, nbytes=nbytes)
+        ok = ok and r.algorithm == sel.algorithm
+    return ok
+
+
+def _throughput():
+    m = get_machine(HOT["machine"])
+    t0 = time.perf_counter()
+    r = run_collective(m, HOT["runtime"], "allreduce", nranks=P,
+                       nelems=HOT["nelems"], algorithm="ring",
+                       stripes=HOT["stripes"], iters=HOT["iters"])
+    wall = time.perf_counter() - t0
+    return {
+        **{k: v for k, v in HOT.items()},
+        "wall_seconds": round(wall, 4),
+        "collectives_per_sec": round(HOT["iters"] / wall, 1),
+        "simulated_us_per_collective": round(r.time * 1e6, 3),
+    }
+
+
+def run_bench() -> dict:
+    rows = _sweep()
+    result = {
+        "bench": "collectives",
+        "nranks": P,
+        "sweep": rows,
+        "throughput": _throughput(),
+        "checks": {
+            "accounting_parity_across_backends": _check_accounting_parity(),
+            "bulk_matches_scalar": _check_bulk_exact(),
+            "execute_mode_matches_numpy": _check_numerics(),
+            "gpu_ring_beats_host_mpi_at_4MiB": _check_gpu_beats_host(rows),
+            "selector_agrees_with_explain": _check_selector_consistent(),
+        },
+    }
+    OUTPUT.parent.mkdir(exist_ok=True)
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def test_collectives_bench():
+    result = run_bench()
+    failed = [k for k, ok in result["checks"].items() if not ok]
+    assert not failed, f"collectives bench checks failed: {failed}"
+
+
+def main() -> int:
+    result = run_bench()
+    print(json.dumps(result, indent=2))
+    print(f"wrote {OUTPUT}")
+    return 0 if all(result["checks"].values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

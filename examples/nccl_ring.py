@@ -3,15 +3,16 @@
 
 Compares host-initiated (CUDA-aware MPI) allreduce against the
 GPU-initiated put-with-signal ring, single-stream and striped over the
-A100's NVLink port group — and verifies the ring numerically.
+A100's NVLink port group — and verifies the ring numerically.  All four
+variants are one :func:`repro.collectives.run_collective` call each; the
+selector's ``explain()`` shows why the ring wins at size.
 
 Run:  python examples/nccl_ring.py
 """
 
 import numpy as np
 
-from repro.comm import Job, allreduce
-from repro.comm.gpu_collectives import run_ring_allreduce
+from repro.collectives import explain_collective, run_collective
 from repro.machines import perlmutter_gpu, summit_gpu
 from repro.util import Table
 
@@ -20,45 +21,37 @@ def verify() -> None:
     rng = np.random.default_rng(0)
     values = [rng.normal(size=64) for _ in range(4)]
     for stripes in (1, 4):
-        out = run_ring_allreduce(
-            perlmutter_gpu(), 4, 64, values=values, stripes=stripes
+        r = run_collective(
+            perlmutter_gpu(), "shmem", "allreduce",
+            nranks=4, nelems=64, algorithm="ring", stripes=stripes,
+            values=values,
         )
-        ok = all(
-            np.allclose(g, np.sum(values, axis=0)) for g in out["results"]
-        )
+        ok = all(np.allclose(g, np.sum(values, axis=0)) for g in r.results)
         print(f"  ring (stripes={stripes}): matches numpy sum = {ok}")
         assert ok
 
 
-def host_time(machine, nelems: int) -> float:
-    job = Job(machine, 4, "two_sided", placement="spread")
-
-    def program(ctx):
-        yield from ctx.barrier()
-        t0 = ctx.sim.now
-        yield from allreduce(ctx, np.zeros(nelems))
-        return ctx.sim.now - t0
-
-    return max(job.run(program).results)
-
-
 def sweep() -> None:
     table = Table(
-        ["machine", "variant", "elements", "time (us)", "algo GB/s"],
+        ["machine", "variant", "elements", "time (us)", "bus GB/s"],
         title="Allreduce on 4 GPUs",
+    )
+    variants = (
+        ("host-mpi", "two_sided", "recursive_doubling", 1),
+        ("gpu-ring", "shmem", "ring", 1),
+        ("gpu-ring-x4", "shmem", "ring", 4),
     )
     for mname, factory in (("perlmutter-gpu", perlmutter_gpu),
                            ("summit-gpu", summit_gpu)):
         for n in (4096, 262144, 4_194_304):
-            t = host_time(factory(), n)
-            bw = 2 * 3 / 4 * n * 8 / t
-            table.add_row(mname, "host-mpi", n, f"{t * 1e6:.1f}",
-                          f"{bw / 1e9:.2f}")
-            for label, stripes in (("gpu-ring", 1), ("gpu-ring-x4", 4)):
-                out = run_ring_allreduce(factory(), 4, n, stripes=stripes)
+            for label, runtime, algorithm, stripes in variants:
+                r = run_collective(
+                    factory(), runtime, "allreduce",
+                    nranks=4, nelems=n, algorithm=algorithm, stripes=stripes,
+                )
                 table.add_row(
-                    mname, label, n, f"{out['time'] * 1e6:.1f}",
-                    f"{out['algo_bandwidth'] / 1e9:.2f}",
+                    mname, label, n, f"{r.time * 1e6:.1f}",
+                    f"{r.bus_bandwidth / 1e9:.2f}",
                 )
     print(table.render())
     print(
@@ -69,11 +62,20 @@ def sweep() -> None:
     )
 
 
+def explain() -> None:
+    sel = explain_collective(
+        perlmutter_gpu(), "shmem", "allreduce", nranks=4, nbytes=4 << 20
+    )
+    print(sel.explain())
+
+
 def main() -> None:
     print("== correctness ==")
     verify()
     print("\n== bandwidth sweep ==")
     sweep()
+    print("\n== selector ==")
+    explain()
 
 
 if __name__ == "__main__":

@@ -8,13 +8,14 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.machines` — Perlmutter / Frontier / Summit models;
 * :mod:`repro.comm` — two-sided MPI, one-sided RMA, GPU SHMEM;
 * :mod:`repro.roofline` — the Message Roofline model (the paper's core);
-* :mod:`repro.workloads` — Stencil, SpTRSV, Distributed HashTable;
+* :mod:`repro.collectives` — collective algorithms on the transport verbs;
+* :mod:`repro.workloads` — Stencil, SpTRSV, HashTable, ML traffic;
 * :mod:`repro.experiments` — per-figure/table experiment runners;
 * :mod:`repro.api` — the stable :class:`Session` facade (re-exported
   here; see ``docs/API.md`` for the stability policy).
 """
 
-from repro import faults, obs, perf, sweep
+from repro import collectives, faults, obs, perf, sweep
 from repro._version import __version__
 from repro.api import (
     ONE_SIDED,
@@ -43,6 +44,7 @@ __all__ = [
     "ONE_SIDED",
     "SHMEM",
     "ONE_SIDED_HW",
+    "collectives",
     "faults",
     "obs",
     "perf",

@@ -20,7 +20,7 @@ import warnings
 from collections.abc import Callable
 from typing import Any, TypeVar
 
-__all__ = ["renamed_kwargs"]
+__all__ = ["deprecated", "renamed_kwargs"]
 
 F = TypeVar("F", bound=Callable[..., Any])
 
@@ -31,6 +31,36 @@ _WARNED: set[tuple[str, str, str, int]] = set()
 def _reset_warned() -> None:
     """Forget warned call sites (test helper)."""
     _WARNED.clear()
+
+
+def deprecated(replacement: str) -> Callable[[F], F]:
+    """Mark a whole entry point deprecated, warning once per call site.
+
+    ``@deprecated("repro.collectives.run_collective")`` keeps the old
+    function fully working while steering callers to ``replacement`` —
+    same once-per-call-site dedup as :func:`renamed_kwargs`, so loops
+    over a legacy entry point warn exactly once per offending line.
+    """
+
+    def decorate(func: F) -> F:
+        qualname = func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            frame = sys._getframe(1)
+            site = (qualname, "<call>", frame.f_code.co_filename, frame.f_lineno)
+            if site not in _WARNED:
+                _WARNED.add(site)
+                warnings.warn(
+                    f"{qualname}() is deprecated; use {replacement}",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
 
 
 def renamed_kwargs(**old_to_new: str) -> Callable[[F], F]:

@@ -192,6 +192,48 @@ class Session:
 
         return run_cas_flood(self._machine(), self._backend(), **kwargs)
 
+    def run_collective(self, coll: str, *, nranks: int, **kwargs: Any):
+        """One collective (:func:`repro.collectives.run_collective`) on
+        the session's machine/backend."""
+        from repro.collectives import run_collective
+
+        return run_collective(
+            self._machine(), self._backend(), coll, nranks=nranks, **kwargs
+        )
+
+    def explain_collective(self, coll: str, *, nranks: int, **kwargs: Any):
+        """The algorithm selector's verdict + cost table (model only)."""
+        from repro.collectives import explain_collective
+
+        return explain_collective(
+            self._machine(), self._backend(), coll, nranks=nranks, **kwargs
+        )
+
+    def run_training_step(self, *, nranks: int, grad_bytes: float, **kwargs: Any):
+        """A data-parallel training step (ML traffic; see repro.workloads.ml)."""
+        from repro.workloads.ml import run_training_step
+
+        return run_training_step(
+            self._machine(), self._backend(), nranks=nranks,
+            grad_bytes=grad_bytes, **kwargs,
+        )
+
+    def run_moe_dispatch(self, *, nranks: int, **kwargs: Any):
+        """An expert-parallel MoE layer (alltoall dispatch + combine)."""
+        from repro.workloads.ml import run_moe_dispatch
+
+        return run_moe_dispatch(
+            self._machine(), self._backend(), nranks=nranks, **kwargs
+        )
+
+    def run_kv_transfer(self, *, nranks: int, **kwargs: Any):
+        """A prefill -> KV-cache hand-off -> decode pipeline."""
+        from repro.workloads.ml import run_kv_transfer
+
+        return run_kv_transfer(
+            self._machine(), self._backend(), nranks=nranks, **kwargs
+        )
+
     def __repr__(self) -> str:
         bits = []
         if self.machine is not None:

@@ -171,6 +171,35 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("machine")
     rp.add_argument("runtime", choices=backend_names())
     _add_message_args(rp, iters=None)
+
+    from repro.collectives.plan import ALGORITHMS
+
+    cop = sub.add_parser(
+        "collective",
+        help="run one collective; print timing, accounting, and the "
+        "selector's reasoning",
+    )
+    cop.add_argument("machine")
+    cop.add_argument("runtime", choices=backend_names())
+    cop.add_argument("coll", choices=sorted(ALGORITHMS))
+    cop.add_argument("--nranks", type=_positive_int, default=4)
+    cop.add_argument(
+        "--nbytes", default="64KiB",
+        help="payload size (e.g. 4MiB); ignored for barrier",
+    )
+    cop.add_argument(
+        "--algorithm", default="auto",
+        help="a named algorithm, or 'auto' for the alpha-beta selector",
+    )
+    cop.add_argument(
+        "--stripes", type=_positive_int, default=1,
+        help="concurrent puts per hop on ring schedules (NCCL multi-ring)",
+    )
+    cop.add_argument("--iters", type=_positive_int, default=1)
+    cop.add_argument(
+        "--explain", action="store_true",
+        help="print the selector's full modeled cost table",
+    )
     return p
 
 
@@ -558,6 +587,48 @@ def _cmd_roofline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_collective(args: argparse.Namespace) -> int:
+    from repro.collectives import CollectiveError, explain_collective, run_collective
+    from repro.util import fmt_bw, fmt_time, parse_size
+
+    machine = _resolve_machine(args.machine)
+    if machine is None:
+        return 2
+    nbytes = None if args.coll == "barrier" else parse_size(args.nbytes)
+    try:
+        r = run_collective(
+            machine, args.runtime, args.coll,
+            nranks=args.nranks, nbytes=nbytes, algorithm=args.algorithm,
+            stripes=args.stripes, iters=args.iters,
+        )
+    except (CollectiveError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        # e.g. a machine without this runtime's calibration
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    print(f"machine   : {r.machine} / {r.runtime}")
+    print(f"collective: {r.coll} (P={r.nranks}, {r.nelems} words"
+          + (f", {args.stripes} stripes" if args.stripes > 1 else "") + ")")
+    print(f"algorithm : {r.algorithm}"
+          + (" (selected)" if args.algorithm == "auto" else ""))
+    print(f"time      : {fmt_time(r.time)} per op ({args.iters} iters)")
+    if r.nbytes:
+        print(f"alg bw    : {fmt_bw(r.alg_bandwidth)} (payload / time)")
+        print(f"bus bw    : {fmt_bw(r.bus_bandwidth)} (wire per rank / time)")
+    s = r.stats
+    print(f"schedule  : {s.rounds} rounds, {s.messages} messages, "
+          f"{s.bytes_moved:.0f} wire bytes (all ranks, all iters)")
+    if args.explain:
+        sel = r.selection or explain_collective(
+            machine, args.runtime, args.coll,
+            nranks=args.nranks, nbytes=nbytes,
+        )
+        print(sel.explain())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -578,6 +649,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_fault(args)
     if args.command == "roofline":
         return _cmd_roofline(args)
+    if args.command == "collective":
+        return _cmd_collective(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,0 +1,59 @@
+"""repro.collectives — collective algorithms on the transport verbs.
+
+Every algorithm (ring, recursive doubling/halving, binomial trees,
+dissemination) is a pure schedule over the round-slotted mailbox verbs
+(``send_round`` / ``recv_round``), so it runs on all registered runtime
+backends — two-sided MPI, one-sided MPI, NVSHMEM, and the hardware
+put-with-signal projection — with the paper-calibrated op accounting of
+each.  See docs/COLLECTIVES.md.
+
+Quick start::
+
+    from repro import get_machine
+    from repro.collectives import run_collective
+
+    r = run_collective(get_machine("perlmutter-gpu"), "shmem",
+                       "allreduce", nranks=4, nbytes=4 << 20)
+    print(r.algorithm, r.bus_bandwidth / 1e9, "GB/s")
+    print(r.selection.explain())
+"""
+
+from repro.collectives.api import (
+    CollectiveResult,
+    explain_collective,
+    run_collective,
+)
+from repro.collectives.core import (
+    REDUCE_OPS,
+    CollectiveComm,
+    CollectiveEndpoint,
+    CollectiveStats,
+)
+from repro.collectives.plan import (
+    ALGORITHMS,
+    COLLECTIVES,
+    STRIPEABLE,
+    CollectiveError,
+    CollectivePlan,
+    plan_collective,
+)
+from repro.collectives.selector import Selection, model_time, select
+
+__all__ = [
+    "ALGORITHMS",
+    "COLLECTIVES",
+    "STRIPEABLE",
+    "CollectiveComm",
+    "CollectiveEndpoint",
+    "CollectiveError",
+    "CollectivePlan",
+    "CollectiveResult",
+    "CollectiveStats",
+    "REDUCE_OPS",
+    "Selection",
+    "explain_collective",
+    "model_time",
+    "plan_collective",
+    "run_collective",
+    "select",
+]

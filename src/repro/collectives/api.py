@@ -1,0 +1,191 @@
+"""Run-one-collective entry point: plan, select, simulate, report.
+
+:func:`run_collective` is the collectives analogue of
+:func:`repro.workloads.flood.run_flood` — one call builds the job on a
+machine/runtime pair, resolves the algorithm (``"auto"`` goes through the
+LogGP selector), runs ``iters`` back-to-back collectives, and returns a
+:class:`CollectiveResult` with NCCL-convention bandwidths:
+
+* ``alg_bandwidth`` — payload bytes / time (what the caller feels);
+* ``bus_bandwidth`` — per-rank wire bytes / time (what the fabric
+  carries; for ring allreduce this is ``2(P-1)/P * nbytes / t``, the
+  number comparable against a port's peak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.collectives.core import CollectiveComm, CollectiveStats
+from repro.collectives.plan import CollectiveError, CollectivePlan, plan_collective
+from repro.collectives.selector import Selection
+from repro.comm.job import Job
+from repro.machines.base import MachineModel
+
+__all__ = ["CollectiveResult", "run_collective", "explain_collective"]
+
+
+@dataclass(frozen=True)
+class CollectiveResult:
+    """One collective measurement (simulated timing + accounting)."""
+
+    machine: str
+    runtime: str
+    coll: str
+    algorithm: str
+    nranks: int
+    nelems: int
+    nbytes: float  # payload bytes (the plan-module size convention)
+    stripes: int
+    iters: int
+    time: float  # seconds per collective (barrier-corrected)
+    time_total: float  # whole measured window
+    alg_bandwidth: float  # payload bytes / time
+    bus_bandwidth: float  # per-rank wire bytes / time (NCCL busbw)
+    stats: CollectiveStats  # schedule accounting, totals over iters
+    selection: Selection | None = None  # set when algorithm was "auto"
+    results: list = field(default_factory=list)  # per-rank arrays (execute)
+
+    @property
+    def executed(self) -> bool:
+        return bool(self.results)
+
+
+def _program(ctx, comm, iters, values, op, root):
+    ep = comm.endpoint(ctx)
+    local = None if values is None else values.resolve(ctx.rank)
+    yield from ctx.barrier()
+    t0 = ctx.sim.now
+    out = None
+    for _ in range(iters):
+        out = yield from ep.run(local, op=op, root=root)
+    return ctx.sim.now - t0, out
+
+
+def _rank_values(values, rank):
+    if values is None:
+        return None
+    if callable(values):
+        return values(rank)
+    return values[rank]
+
+
+def run_collective(
+    machine: MachineModel,
+    runtime: str,
+    coll: str,
+    *,
+    nranks: int,
+    nelems: int | None = None,
+    nbytes: int | None = None,
+    algorithm: str = "auto",
+    stripes: int = 1,
+    iters: int = 1,
+    values=None,
+    op: str = "sum",
+    root: int = 0,
+    placement: str = "spread",
+    word_bytes: float = 8.0,
+) -> CollectiveResult:
+    """Simulate ``iters`` runs of one collective and measure it.
+
+    Size is given as ``nelems`` (words) or ``nbytes`` (rounded up to
+    whole words); see :mod:`repro.collectives.plan` for what the size
+    means per collective.  ``values`` switches on execute mode: a
+    per-rank mapping (``values[rank]`` or a callable) of local inputs,
+    returned reduced/gathered in ``result.results``.
+    """
+    if (nelems is None) == (nbytes is None) and coll != "barrier":
+        raise CollectiveError(f"{coll} needs exactly one of nelems=/nbytes=")
+    if nelems is None:
+        nelems = 0 if nbytes is None else max(int(-(-nbytes // word_bytes)), 1)
+    if coll == "barrier":
+        nelems = 0
+    if iters < 1:
+        raise CollectiveError(f"iters must be >= 1, got {iters}")
+    plan, selection = plan_collective(
+        coll,
+        nranks=nranks,
+        nelems=nelems,
+        algorithm=algorithm,
+        stripes=stripes,
+        machine=machine,
+        runtime=runtime,
+        word_bytes=word_bytes,
+    )
+    job = Job(machine, nranks, runtime, placement=placement)
+    execute = values is not None
+    comm = CollectiveComm(job, [plan] * iters, execute=execute)
+    span_name = f"collective:{coll}:{plan.algorithm}"
+    with job.spans.span(span_name):
+        res = job.run(
+            _program,
+            comm,
+            iters,
+            # Per-rank inputs resolve inside the program via ctx.rank —
+            # but job.run passes the same args to every rank, so wrap.
+            None if values is None else _PerRank(values),
+            op,
+            root,
+        )
+    elapsed = max(r[0] for r in res.results)
+    net = max(elapsed - job._barrier_delay, 1e-12)
+    per_iter = net / iters
+    payload = plan.nbytes
+    wire_per_rank = comm.stats.bytes_moved / iters / nranks
+    if job.metrics is not None:
+        job.metrics.counter(f"collectives.{coll}.runs").inc(iters)
+        job.metrics.counter(f"collectives.{coll}.bytes").inc(
+            comm.stats.bytes_moved
+        )
+    return CollectiveResult(
+        machine=machine.name,
+        runtime=job.runtime_name,
+        coll=coll,
+        algorithm=plan.algorithm,
+        nranks=nranks,
+        nelems=nelems,
+        nbytes=payload,
+        stripes=stripes,
+        iters=iters,
+        time=per_iter,
+        time_total=elapsed,
+        alg_bandwidth=payload / per_iter if payload else 0.0,
+        bus_bandwidth=wire_per_rank / per_iter if wire_per_rank else 0.0,
+        stats=comm.stats,
+        selection=selection,
+        results=[r[1] for r in res.results] if execute else [],
+    )
+
+
+class _PerRank:
+    """Late-bound per-rank values: the program hands ``ctx.rank`` in."""
+
+    def __init__(self, values):
+        self.values = values
+
+    def resolve(self, rank):
+        return _rank_values(self.values, rank)
+
+
+def explain_collective(
+    machine: MachineModel,
+    runtime: str,
+    coll: str,
+    *,
+    nranks: int,
+    nelems: int | None = None,
+    nbytes: int | None = None,
+    word_bytes: float = 8.0,
+) -> Selection:
+    """Model-only: which algorithm the selector picks and why."""
+    from repro.collectives.selector import select
+
+    if nelems is not None:
+        nbytes = nelems * word_bytes
+    elif nbytes is None:
+        nbytes = 0
+    return select(coll, nranks=nranks, nbytes=nbytes, machine=machine,
+                  runtime=runtime)

@@ -1,142 +1,34 @@
-"""Device-initiated collectives (the NCCL-style future work of paper §V).
+"""Deprecated shim: GPU-initiated ring allreduce (paper §V future work).
 
-The paper closes by naming AI collectives (NCCL/RCCL/HCCL) as the next
-communication pattern to model.  This module implements the core NCCL
-algorithm — the **ring allreduce** — twice over the same fabric:
+This module used to carry a hand-rolled put-with-signal ring allreduce.
+That one-off is superseded by :mod:`repro.collectives`, where the same
+ring (plus recursive doubling, trees, and the rest of the family) is a
+pure schedule over the transport verbs and runs on every registered
+backend.  :func:`run_ring_allreduce` survives one deprecation cycle as a
+thin shim: the legacy validations and result-dict shape are preserved,
+the work is done by :func:`repro.collectives.run_collective` on the
+``shmem`` (GPU-initiated) runtime.
 
-* :func:`ring_allreduce_shmem` — GPU-initiated: every step is a
-  ``put_signal_nbi`` into the neighbor's staging buffer plus a
-  ``wait_until`` on the incoming signal, all inside the persistent kernel
-  (no host round trips), double-buffered like the stencil;
-* host-initiated — just run :func:`repro.comm.collectives.allreduce` under
-  the GPU machine's ``two_sided`` (CUDA-aware MPI) runtime; every step then
-  pays the device-sync + host-MPI cost.
+Migrate::
 
-The ring moves ``2 * (P-1) / P`` of the buffer per rank — bandwidth-optimal
-— in ``2 * (P-1)`` latency steps: reduce-scatter then allgather.
+    from repro.collectives import run_collective
+    r = run_collective(machine, "shmem", "allreduce",
+                       nranks=4, nelems=n, algorithm="ring", stripes=4)
+    r.time, r.bus_bandwidth        # was out["time"], out["algo_bandwidth"]
 """
 
 from __future__ import annotations
 
-from collections.abc import Generator
-
 import numpy as np
 
+from repro._compat import deprecated
 from repro.comm.base import CommError
-from repro.comm.job import Job
-from repro.comm.shmem import ShmemContext
-from repro.comm.window import Window
 from repro.transport import SHMEM
 
-__all__ = ["ring_allreduce_shmem", "run_ring_allreduce"]
+__all__ = ["run_ring_allreduce"]
 
 
-def ring_allreduce_shmem(
-    ctx: ShmemContext,
-    values: np.ndarray | None,
-    data_win: Window,
-    sig_win: Window,
-    *,
-    nelems: int | None = None,
-    stripes: int = 1,
-) -> Generator:
-    """Bandwidth-optimal ring allreduce, GPU-initiated.
-
-    ``data_win`` must hold at least ``2 * ceil(n / P)`` elements per rank
-    (double-buffered staging for one chunk); ``sig_win`` needs
-    ``2 * (P - 1) * stripes`` signal slots.  In execute mode pass ``values``
-    (length divisible by P for simplicity); in simulate mode pass
-    ``nelems``.  Returns the reduced array (or None in simulate mode).
-
-    ``stripes`` splits every hop's chunk into that many concurrent puts —
-    NCCL's multi-ring trick.  On a multi-channel link (A100 NVLink port
-    groups) one stream only reaches a single port's bandwidth; striping
-    engages the whole group.
-    """
-    P = ctx.size
-    me = ctx.rank
-    execute = values is not None
-    if execute:
-        buf = np.asarray(values, dtype=np.float64).ravel().copy()
-        n = buf.size
-    else:
-        if nelems is None:
-            raise CommError("ring_allreduce_shmem needs values or nelems")
-        n = int(nelems)
-        buf = None
-    if n % P:
-        raise CommError(
-            f"ring allreduce requires len(values) divisible by P ({n} % {P})"
-        )
-    chunk = n // P
-    if P == 1:
-        return buf
-    if stripes < 1 or stripes > max(chunk, 1):
-        raise CommError(f"stripes must be in [1, chunk], got {stripes}")
-    if data_win.count < 2 * chunk:
-        raise CommError("data window too small: need 2 * (n / P) elements")
-    if sig_win.count < 2 * (P - 1) * stripes:
-        raise CommError("signal window too small: need 2*(P-1)*stripes slots")
-    right = (me + 1) % P
-
-    def _stripe_bounds(s: int) -> tuple[int, int]:
-        base, rem = divmod(chunk, stripes)
-        lo = s * base + min(s, rem)
-        return lo, lo + base + (1 if s < rem else 0)
-
-    def send_chunk(step: int, idx: int) -> Generator:
-        parity = step % 2
-        for s in range(stripes):
-            lo, hi = _stripe_bounds(s)
-            if execute:
-                payload = buf[idx * chunk + lo : idx * chunk + hi]
-            else:
-                payload = None
-            yield from ctx.put_signal_nbi(
-                data_win,
-                right,
-                values=payload,
-                nelems=hi - lo,
-                offset=parity * chunk + lo,
-                signal_win=sig_win,
-                signal_idx=step * stripes + s,
-                signal_value=1,
-            )
-
-    def recv_chunk(step: int) -> Generator:
-        slots = [step * stripes + s for s in range(stripes)]
-        yield from ctx.wait_until_all(sig_win, slots, value=1)
-        parity = step % 2
-        if execute:
-            return np.array(
-                data_win.local(me)[parity * chunk : (parity + 1) * chunk],
-                copy=True,
-            )
-        return None
-
-    # Phase 1: reduce-scatter.  After P-1 steps rank i owns the fully
-    # reduced chunk (i + 1) % P.
-    for step in range(P - 1):
-        send_idx = (me - step) % P
-        yield from send_chunk(step, send_idx)
-        incoming = yield from recv_chunk(step)
-        recv_idx = (me - step - 1) % P
-        if execute:
-            buf[recv_idx * chunk : (recv_idx + 1) * chunk] += incoming
-
-    # Phase 2: allgather — circulate the reduced chunks.
-    for step in range(P - 1, 2 * (P - 1)):
-        k = step - (P - 1)
-        send_idx = (me - k + 1) % P
-        yield from send_chunk(step, send_idx)
-        incoming = yield from recv_chunk(step)
-        recv_idx = (me - k) % P
-        if execute:
-            buf[recv_idx * chunk : (recv_idx + 1) * chunk] = incoming
-    yield from ctx.quiet()
-    return buf
-
-
+@deprecated("repro.collectives.run_collective(..., algorithm='ring')")
 def run_ring_allreduce(
     machine,
     nranks: int,
@@ -147,36 +39,39 @@ def run_ring_allreduce(
 ) -> dict:
     """Run the GPU-initiated ring allreduce; returns timing (+ results).
 
-    ``values`` (one array per rank) switches on execute mode; results are
-    in the returned dict under ``"results"``.  ``stripes`` engages link
-    sub-channels (see :func:`ring_allreduce_shmem`).
+    .. deprecated::
+        Use :func:`repro.collectives.run_collective` with
+        ``runtime="shmem"``, ``algorithm="ring"``.  This shim keeps the
+        legacy dict shape (``time`` / ``results`` / ``algo_bandwidth`` /
+        ``nelems`` / ``nranks``) and the legacy argument checks.
     """
+    from repro.collectives import run_collective
+
+    # Legacy contract: the old ring required an even split and capped
+    # stripes at the chunk size; keep both checks (and CommError, not
+    # CollectiveError) so existing callers see identical failures.
     if nelems % max(nranks, 1):
         raise CommError("nelems must be divisible by nranks")
-    job = Job(machine, nranks, SHMEM, placement="spread")
     chunk = max(nelems // max(nranks, 1), 1)
-    data_win = job.window(2 * chunk, dtype=np.float64)
-    sig_win = job.window(
-        max(2 * (nranks - 1) * stripes, 1), dtype=np.uint64
+    if stripes < 1 or stripes > max(chunk, 1):
+        raise CommError(f"stripes must be in [1, chunk], got {stripes}")
+
+    r = run_collective(
+        machine,
+        SHMEM,
+        "allreduce",
+        nranks=nranks,
+        nelems=nelems,
+        algorithm="ring",
+        stripes=stripes,
+        values=values,
     )
-
-    def program(ctx):
-        mine = values[ctx.rank] if values is not None else None
-        yield from ctx.barrier()
-        t0 = ctx.sim.now
-        out = yield from ring_allreduce_shmem(
-            ctx, mine, data_win, sig_win, nelems=nelems, stripes=stripes
-        )
-        return ctx.sim.now - t0, out
-
-    res = job.run(program)
-    times = [r[0] for r in res.results]
-    bytes_moved = 2 * (nranks - 1) / max(nranks, 1) * nelems * 8
-    t = max(times)
     return {
-        "time": t,
-        "results": [r[1] for r in res.results],
-        "algo_bandwidth": bytes_moved / t if t > 0 else float("inf"),
+        "time": r.time,
+        "results": r.results if r.executed else [None] * nranks,
+        # Old metric: 2(P-1)/P * bytes / t — exactly the NCCL bus
+        # bandwidth the new API reports for a ring allreduce.
+        "algo_bandwidth": r.bus_bandwidth,
         "nelems": nelems,
         "nranks": nranks,
     }

@@ -21,6 +21,11 @@ from repro.experiments.fig10_split import run_fig10
 from repro.experiments.future import run_future_frontier
 from repro.experiments.future_collectives import run_future_collectives
 from repro.experiments.internode import run_internode
+from repro.experiments.ml_traffic import (
+    run_ml_inference,
+    run_ml_moe,
+    run_ml_training,
+)
 from repro.experiments.report import ExperimentReport
 from repro.experiments.tables import run_table1, run_table2
 
@@ -40,6 +45,9 @@ __all__ = [
     "run_future_frontier",
     "run_future_collectives",
     "run_internode",
+    "run_ml_inference",
+    "run_ml_moe",
+    "run_ml_training",
     "run_table1",
     "run_table2",
 ]
@@ -61,4 +69,7 @@ ALL_EXPERIMENTS = {
     "future_collectives": run_future_collectives,
     "internode": run_internode,
     "degradation": run_degradation,
+    "ml_training": run_ml_training,
+    "ml_moe": run_ml_moe,
+    "ml_inference": run_ml_inference,
 }

@@ -11,6 +11,8 @@ pattern / spec          verbs (on the rank Endpoint)    used by
 :class:`HaloSpec`       ``begin / put / finish``        stencil (BSP halos)
 :class:`MailboxSpec`    ``expect / send / recv /        SpTRSV (notified
                         drain``                         point-to-point)
+                        ``send_round / recv_round``     collectives (round-
+                                                        slotted messages)
 :class:`BatchSpec`      ``post / commit / wait_batch``  flood (bandwidth)
 :class:`AtomicDomainSpec`  ``cas / faa / swap /         hashtable, CAS flood
                         publish / native_cas``
@@ -52,7 +54,28 @@ __all__ = [
     "AtomicDomainSpec",
     "Channel",
     "Endpoint",
+    "part_bounds",
 ]
+
+
+def part_bounds(words: int, parts: int) -> list[tuple[int, int]]:
+    """Balanced split of a ``words``-long payload into ``parts`` ranges.
+
+    The canonical stripe partition shared by both sides of a round message
+    (collective stripes map to NCCL's multi-ring): part ``s`` gets
+    ``words // parts`` elements plus one of the first ``words % parts``
+    remainders.  Parts may be empty when ``words < parts``.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    base, rem = divmod(words, parts)
+    out = []
+    lo = 0
+    for s in range(parts):
+        hi = lo + base + (1 if s < rem else 0)
+        out.append((lo, hi))
+        lo = hi
+    return out
 
 
 class TransportError(RuntimeError):
@@ -253,6 +276,32 @@ class Endpoint:
 
     def drain(self):
         self._unsupported("drain")
+
+    def send_round(self, dst: int, slot: int, *, words: int, parts: int = 1,
+                   values=None):
+        """Send one *round message* into the receiver's ``slot``.
+
+        The round-slotted mailbox verbs carry collective algorithms: every
+        round of a collective schedule is one logical message per
+        (receiver, round), addressed by a globally agreed slot index, so
+        concurrent in-flight rounds can never be mismatched (the plain
+        ``recv`` verb matches ANY_SOURCE / scans all expected slots and is
+        only safe for one-at-a-time patterns like SpTRSV).
+
+        ``parts`` splits the payload into that many concurrent
+        sub-messages over :func:`part_bounds` (collective striping, NCCL's
+        multi-ring); the receiver's matching :meth:`recv_round` must pass
+        the same ``words``/``parts``.  A ``words=0`` message is legal and
+        carries only the notification (signal / zero-byte send) — how the
+        collectives keep their round structure when chunks are empty.
+        """
+        self._unsupported("send_round")
+
+    def recv_round(self, src: int, slot: int, *, words: int, parts: int = 1):
+        """Block until the round message in ``slot`` (from ``src``) landed;
+        returns the payload array when the spec has ``read_data``, else
+        None.  Epoch-style wait (one synchronisation per round)."""
+        self._unsupported("recv_round")
 
     # -- batch ---------------------------------------------------------
     def post(self, dst: int):

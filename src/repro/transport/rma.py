@@ -21,6 +21,7 @@ from repro.transport.api import (
     Endpoint,
     HaloSpec,
     MailboxSpec,
+    part_bounds,
 )
 from repro.transport.registry import ONE_SIDED, TransportBackend, register_backend
 
@@ -128,6 +129,45 @@ class _MailboxEndpoint(Endpoint):
         off = self.spec.offsets[self.ctx.rank][m.slot]
         return np.array(
             self.data_win.local(self.ctx.rank)[off : off + m.words], copy=True
+        )
+
+    def send_round(self, dst, slot, *, words, parts=1, values=None):
+        # Always the scalar put loop — no put_batch here.  Unlike the
+        # BSP batch pattern (where nothing runs between posts and
+        # commit), collective rounds have *concurrent* senders, and
+        # put_batch reserves all stripes' fabric slots atomically at
+        # issue time; on a shared channel that reordering diverges from
+        # the scalar interleaving once >= 3 ranks contend.  The shmem
+        # backend keeps its bulk path, but gated on path exclusivity
+        # (see _MailboxChannel.paths_exclusive): only topologies where
+        # no other sender can touch a hop mid-batch, which is where
+        # batch reservation order provably equals scalar order.
+        offset = self.spec.offsets[dst][slot]
+        for lo, hi in part_bounds(words, parts):
+            if hi == lo:
+                continue
+            if values is not None and self.spec.read_data:
+                # Copy: the sender may overwrite its buffer before the
+                # put's delivery applies it at the target.
+                stripe = np.asarray(values).ravel()[lo:hi].copy()
+                yield from self.h_data.put(dst, stripe, offset=offset + lo)
+            else:
+                yield from self.h_data.put(
+                    dst, nelems=hi - lo, offset=offset + lo
+                )
+        # Amortised completion: one flush covers every stripe, then the
+        # 4-op emulation's put/flush signal pair notifies the round.
+        yield from self.h_data.flush(dst)
+        yield from self.h_sig.put(dst, self._one, offset=slot)
+        yield from self.h_sig.flush(dst)
+
+    def recv_round(self, src, slot, *, words, parts=1):
+        yield from self.ctx.poll_wait_signals(self.sig_win, [slot], 1)
+        if not self.spec.read_data:
+            return None
+        off = self.spec.offsets[self.ctx.rank][slot]
+        return np.array(
+            self.data_win.local(self.ctx.rank)[off : off + words], copy=True
         )
 
     def drain(self):

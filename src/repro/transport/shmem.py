@@ -21,6 +21,7 @@ from repro.transport.api import (
     Endpoint,
     HaloSpec,
     MailboxSpec,
+    part_bounds,
 )
 from repro.transport.registry import SHMEM, TransportBackend, register_backend
 
@@ -91,6 +92,34 @@ class _MailboxChannel(Channel):
         super().__init__(backend, job, spec)
         self.data_win = job.window(max(spec.data_words, 1), dtype=spec.dtype)
         self.sig_win = job.window(max(spec.nslots, 1), dtype=spec.signal_dtype)
+        self._round_bulk_ok: bool | None = None
+
+    def paths_exclusive(self, fabric) -> bool:
+        """May striped rounds take the bulk path on this job's topology?
+
+        The bulk engine reserves a whole batch's fabric slots at issue
+        time; that equals the scalar interleaving only when no *other*
+        sender can touch any hop of the path mid-batch.  Sufficient (and
+        checkable) condition: every rank has its own endpoint and every
+        endpoint pair routes over a single direct hop — then each
+        directional link belongs to exactly one sender (the mailbox
+        invariant: one message per receiver per round) and nothing
+        transits it.  NVLink all-to-all qualifies; fat-trees and the
+        Summit dumbbell (shared X-links) do not and stay scalar.
+        """
+        if self._round_bulk_ok is None:
+            eps = self.job.endpoints
+            ok = len(set(eps)) == len(eps)
+            if ok:
+                topo = fabric.topology
+                ok = all(
+                    len(topo.route(a, b).hops) == 1
+                    for a in eps
+                    for b in eps
+                    if a != b
+                )
+            self._round_bulk_ok = ok
+        return self._round_bulk_ok
 
     def endpoint(self, ctx):
         return _MailboxEndpoint(self, ctx)
@@ -134,6 +163,95 @@ class _MailboxEndpoint(Endpoint):
         else:
             data = None
         return m.meta, data
+
+    def _bulk_round(self, words, parts):
+        from repro import perf
+
+        return (
+            parts >= 2
+            and words
+            and words % parts == 0
+            and not self.spec.read_data
+            and perf.bulk_enabled(self.ctx.job)
+            and self.channel.paths_exclusive(self.ctx.fabric)
+        )
+
+    def send_round(self, dst, slot, *, words, parts=1, values=None):
+        from repro.perf.engine import rendezvous
+
+        offset = self.spec.offsets[dst][slot]
+        if self._bulk_round(words, parts):
+            # Signal word before this round lands: the bulk receiver
+            # reconstructs per-stripe signal values from this base.
+            base = int(self.sig_win.buffers[dst][slot])
+            deliver = yield from self.ctx.put_signal_batch(
+                self.data_win,
+                dst,
+                parts,
+                nelems=words // parts,
+                offset=offset,
+                signal_win=self.sig_win,
+                signal_idx=slot,
+                signal_value=1,
+                signal_op="add",
+            )
+            if deliver is not None:
+                rendezvous(self.channel).publish(
+                    ("round", self.ctx.rank, dst, slot), np.asarray(deliver), base
+                )
+            return
+        for lo, hi in part_bounds(words, parts):
+            stripe = None
+            if values is not None and self.spec.read_data:
+                # Copy: the sender may overwrite its buffer before the
+                # put's delivery applies it at the target.
+                stripe = np.asarray(values).ravel()[lo:hi].copy()
+            # An empty part still carries its signal (zero-word message)
+            # so the receiver's wait target stays ``parts``.
+            yield from self.ctx.put_signal_nbi(
+                self.data_win,
+                dst,
+                values=stripe,
+                nelems=hi - lo,
+                offset=offset + lo,
+                signal_win=self.sig_win,
+                signal_idx=slot,
+                signal_value=1,
+                signal_op="add",
+            )
+
+    def recv_round(self, src, slot, *, words, parts=1):
+        if self._bulk_round(words, parts):
+            yield from self._recv_round_bulk(src, slot, parts)
+        else:
+            yield from self.ctx.wait_until_all(self.sig_win, [slot], value=parts)
+        if not self.spec.read_data:
+            return None
+        off = self.spec.offsets[self.ctx.rank][slot]
+        return np.array(
+            self.data_win.local(self.ctx.rank)[off : off + words], copy=True
+        )
+
+    def _recv_round_bulk(self, src, slot, parts):
+        """Exact ``wait_until_all`` timing against the bulk sender's
+        published stripe-arrival schedule (mirrors the batch pattern)."""
+        from repro.perf.engine import drain_wait_until_all, rendezvous
+
+        ctx = self.ctx
+        ctx.counter.syncs += 1
+        ctx.counter.operations += 1
+        if self.sig_win.buffers[ctx.rank][slot] >= parts:
+            return
+        t_entry = ctx.sim.now
+        rv = rendezvous(self.channel)
+        key = ("round", src, ctx.rank, slot)
+        rec = rv.poll(key)
+        if rec is None:
+            yield rv.waiter(key, ctx.sim)
+            rec = rv.poll(key)
+        arrivals, base = rec
+        t_done = drain_wait_until_all(ctx, arrivals, base, parts, t_entry)
+        yield ctx.sim.at_time(t_done)
 
     def drain(self):
         yield from self.ctx.quiet()

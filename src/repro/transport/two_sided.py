@@ -10,6 +10,8 @@ exposes owner-routed triplet messaging instead (``post_msg`` /
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.faults.plan import FaultSemantics
 from repro.transport.api import (
     AtomicDomainSpec,
@@ -19,6 +21,7 @@ from repro.transport.api import (
     Endpoint,
     HaloSpec,
     MailboxSpec,
+    part_bounds,
 )
 from repro.transport.registry import TWO_SIDED, TransportBackend, register_backend
 
@@ -92,6 +95,35 @@ class _MailboxEndpoint(Endpoint):
         (payload, _status) = yield from self.ctx.recv()
         meta, data = payload
         return meta, data
+
+    def send_round(self, dst, slot, *, words, parts=1, values=None):
+        # One Isend per part, tagged by the round slot so concurrent
+        # in-flight rounds from the same peer can never cross-match.
+        for lo, hi in part_bounds(words, parts):
+            payload = None
+            if values is not None and self.spec.read_data:
+                payload = np.asarray(values).ravel()[lo:hi].copy()
+            r = yield from self.ctx.isend(
+                dst,
+                nbytes=(hi - lo) * self.spec.word_bytes,
+                tag=slot,
+                payload=payload,
+            )
+            self._send_reqs.append(r)
+
+    def recv_round(self, src, slot, *, words, parts=1):
+        reqs = []
+        for _ in range(parts):
+            r = yield from self.ctx.irecv(source=src, tag=slot)
+            reqs.append(r)
+        values = yield from self.ctx.waitall(reqs)
+        if not self.spec.read_data:
+            return None
+        # Same-(src, tag) messages match posted receives in send order.
+        chunks = [p for (p, _status) in values if p is not None]
+        if not chunks:
+            return np.zeros(0, dtype=self.spec.dtype)
+        return np.concatenate([np.asarray(c).ravel() for c in chunks])
 
     def drain(self):
         if self._send_reqs:

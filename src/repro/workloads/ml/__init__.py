@@ -1,0 +1,33 @@
+"""ML traffic scenarios on the collective schedules (paper §V).
+
+The paper closes by naming AI workloads as the next traffic pattern to
+bring under the Message Roofline.  This package models the three
+dominant ones as simulated programs — compute charged through the
+machine's roofline model (:meth:`RankContext.compute`), communication
+through :mod:`repro.collectives` schedules on the transport verbs, both
+on one timeline so overlap and serialisation are what the simulator
+says, not an analytic guess:
+
+* :func:`run_training_step` — data-parallel training: fwd/bwd compute
+  plus a (bucketed) gradient allreduce;
+* :func:`run_moe_dispatch` — expert-parallel MoE: alltoall token
+  dispatch, expert FFN compute, alltoall combine;
+* :func:`run_kv_transfer` — multi-tenant inference: prefill compute,
+  KV-cache broadcast to decode replicas, per-token decode.
+
+Each runner works on every registered runtime backend, so the paper's
+one-sided-vs-two-sided question can be asked of ML traffic directly.
+"""
+
+from repro.workloads.ml.inference import KvTransferResult, run_kv_transfer
+from repro.workloads.ml.moe import MoeDispatchResult, run_moe_dispatch
+from repro.workloads.ml.training import TrainingStepResult, run_training_step
+
+__all__ = [
+    "KvTransferResult",
+    "MoeDispatchResult",
+    "TrainingStepResult",
+    "run_kv_transfer",
+    "run_moe_dispatch",
+    "run_training_step",
+]

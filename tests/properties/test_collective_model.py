@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) on the collective cost model.
+
+The selector's :func:`~repro.collectives.selector.model_time` promises
+(documented in its module): non-negative, zero at P=1, monotone in the
+message size for every algorithm, and monotone in the rank count within
+an algorithm family — for the linear (ring/tree/pairwise) families over
+*all* rank counts, for the log-based recursive families across
+power-of-two rank counts only (the MPICH fold makes 2^k + 1 ranks
+genuinely costlier than 2^(k+1), so all-P monotonicity is not claimed
+and not tested).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.plan import ALGORITHMS
+from repro.collectives.selector import model_time, select
+from repro.machines import perlmutter_cpu, perlmutter_gpu
+from repro.transport import SHMEM, TWO_SIDED
+
+ALL_PAIRS = [(c, a) for c, algs in sorted(ALGORITHMS.items()) for a in algs]
+
+# Linear-round families: cost has the closed form rounds(P) * (alpha +
+# c(P) * m * beta) with rounds and c nondecreasing in P.
+LINEAR_PAIRS = [
+    ("allreduce", "ring"),
+    ("allgather", "ring"),
+    ("reduce_scatter", "ring"),
+    ("alltoall", "ring"),
+    ("alltoall", "pairwise"),
+    ("broadcast", "ring"),
+    ("broadcast", "tree"),
+    ("barrier", "dissemination"),
+    ("barrier", "tree"),
+]
+
+LOG_PAIRS = [p for p in ALL_PAIRS if p not in LINEAR_PAIRS]
+
+alphas = st.floats(1e-9, 1e-3)
+betas = st.floats(1e-13, 1e-7)
+sizes = st.floats(0.0, 2.0**28)
+ranks = st.integers(1, 96)
+log_ranks = st.integers(0, 7).map(lambda k: 1 << k)
+
+
+@given(alpha=alphas, beta=betas, m=sizes, P=ranks)
+@settings(max_examples=60)
+@pytest.mark.parametrize(("coll", "algorithm"), ALL_PAIRS)
+def test_nonnegative_and_zero_at_one_rank(coll, algorithm, alpha, beta, m, P):
+    t = model_time(coll, algorithm, P, m, alpha, beta)
+    assert t >= 0.0
+    assert model_time(coll, algorithm, 1, m, alpha, beta) == 0.0
+
+
+@given(alpha=alphas, beta=betas, P=ranks,
+       ms=st.tuples(sizes, sizes).map(sorted))
+@settings(max_examples=60)
+@pytest.mark.parametrize(("coll", "algorithm"), ALL_PAIRS)
+def test_monotone_in_message_size(coll, algorithm, alpha, beta, P, ms):
+    m1, m2 = ms
+    t1 = model_time(coll, algorithm, P, m1, alpha, beta)
+    t2 = model_time(coll, algorithm, P, m2, alpha, beta)
+    assert t1 <= t2
+
+
+@given(alpha=alphas, beta=betas, m=sizes,
+       Ps=st.tuples(ranks, ranks).map(sorted))
+@settings(max_examples=60)
+@pytest.mark.parametrize(("coll", "algorithm"), LINEAR_PAIRS)
+def test_linear_families_monotone_in_all_ranks(coll, algorithm, alpha, beta,
+                                               m, Ps):
+    P1, P2 = Ps
+    t1 = model_time(coll, algorithm, P1, m, alpha, beta)
+    t2 = model_time(coll, algorithm, P2, m, alpha, beta)
+    assert t1 <= t2 * (1 + 1e-12)
+
+
+@given(alpha=alphas, beta=betas, m=sizes,
+       Ps=st.tuples(log_ranks, log_ranks).map(sorted))
+@settings(max_examples=60)
+@pytest.mark.parametrize(("coll", "algorithm"), LOG_PAIRS)
+def test_log_families_monotone_across_pow2_ranks(coll, algorithm, alpha,
+                                                 beta, m, Ps):
+    P1, P2 = Ps
+    t1 = model_time(coll, algorithm, P1, m, alpha, beta)
+    t2 = model_time(coll, algorithm, P2, m, alpha, beta)
+    assert t1 <= t2 * (1 + 1e-12)
+
+
+def test_fold_really_breaks_all_p_monotonicity():
+    """Document *why* the log families only claim pow2 monotonicity:
+    5 ranks (fold) genuinely cost more than 8 (no fold) at small m."""
+    alpha, beta = 1e-6, 1e-10
+    t5 = model_time("allreduce", "recursive_doubling", 5, 64, alpha, beta)
+    t8 = model_time("allreduce", "recursive_doubling", 8, 64, alpha, beta)
+    assert t5 > t8
+
+
+@given(m=sizes, P=st.integers(2, 32))
+@settings(max_examples=40, deadline=None)
+@pytest.mark.parametrize(
+    ("machine_factory", "runtime"),
+    [(perlmutter_cpu, TWO_SIDED), (perlmutter_gpu, SHMEM)],
+    ids=["cpu-mpi", "gpu-shmem"],
+)
+@pytest.mark.parametrize("coll", sorted(ALGORITHMS))
+def test_selector_always_returns_argmin(coll, machine_factory, runtime, m, P):
+    sel = select(coll, nranks=P, nbytes=m, machine=machine_factory(),
+                 runtime=runtime)
+    table = dict(sel.costs)
+    assert sel.algorithm in table
+    assert table[sel.algorithm] == min(table.values())
+    assert sel.alpha > 0.0 and sel.beta > 0.0
