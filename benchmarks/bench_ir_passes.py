@@ -1,0 +1,149 @@
+"""Benchmark the IR pass pipeline: modeled win and execute-mode safety.
+
+Applies ``coalesce`` + ``overlap`` to the flood and hashtable programs on
+Perlmutter (CPU) and compares the cost model's pre-/post-pipeline totals;
+writes ``benchmarks/output/BENCH_ir.json``.  Gates:
+
+* coalesce + overlap deliver at least a 1.2x modeled speedup over the
+  passes-off program for both workloads (the flood win is the paper's
+  message-aggregation argument; the hashtable win folds owner-routed
+  triplet batches);
+* the pipeline changes *zero* execute-mode results — the stencil field
+  and the hashtable value set are identical with passes on and off.
+
+Run standalone (``python benchmarks/bench_ir_passes.py``) or via the
+benchmark suite (``pytest benchmarks/bench_ir_passes.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import numpy as np
+
+from repro import ir
+from repro.ir import build_pipeline, program_cost
+from repro.machines.registry import get_machine
+from repro.workloads.flood import build_flood_program, run_flood
+from repro.workloads.hashtable.runner import (
+    HashTableConfig,
+    _plan_rounds,
+    build_hashtable_program,
+    generate_keys,
+    run_hashtable,
+)
+from repro.workloads.hashtable.table import TableGeometry
+from repro.workloads.stencil.runner import StencilConfig, run_stencil
+
+OUTPUT = pathlib.Path(__file__).parent / "output" / "BENCH_ir.json"
+
+MACHINE = "perlmutter-cpu"
+PASSES = ("coalesce", "overlap")
+
+# Flood: the paper's Fig. 3 sweet spot — small puts, many per sync.
+_FLOOD = {"runtime": "one_sided", "nbytes": 4096, "msgs_per_sync": 64,
+          "iters": 3}
+# Hashtable: owner-routed triplets with a wide-enough window for the
+# coalescer to find same-owner groups per round.
+_HT = HashTableConfig(total_inserts=2000, sync_window=16)
+_HT_NRANKS = 4
+
+
+def _flood_ratio(machine) -> tuple[float, float, float]:
+    program = build_flood_program(
+        _FLOOD["runtime"], _FLOOD["nbytes"], _FLOOD["msgs_per_sync"],
+        iters=_FLOOD["iters"],
+    )
+    pipe = build_pipeline(PASSES)
+    before = program_cost(program, machine)
+    rewritten, _ = pipe.run(program, machine)
+    after = program_cost(rewritten, machine)
+    return before, after, before / after
+
+
+def _hashtable_ratio(machine) -> tuple[float, float, float]:
+    geom = TableGeometry.for_inserts(
+        _HT_NRANKS, _HT.total_inserts, load_factor=_HT.load_factor
+    )
+    keys = generate_keys(_HT, _HT_NRANKS)
+    incoming = _plan_rounds(geom, keys, _HT_NRANKS, _HT.sync_window)
+    program = build_hashtable_program(
+        "two_sided", geom, keys, incoming, _HT.sync_window, _HT_NRANKS
+    )
+    pipe = build_pipeline(PASSES)
+    before = program_cost(program, machine)
+    rewritten, _ = pipe.run(program, machine)
+    after = program_cost(rewritten, machine)
+    return before, after, before / after
+
+
+def _execute_mode_unchanged(machine) -> dict[str, bool]:
+    cfg = StencilConfig(nx=32, ny=32, iters=3, mode="execute")
+    base_field = run_stencil(machine, "one_sided", cfg, 4).extras["field"]
+    ht_cfg = HashTableConfig(total_inserts=256, sync_window=16)
+    base_values = run_hashtable(machine, "two_sided", ht_cfg, 4).extras["values"]
+    base_flood = run_flood(machine, "one_sided", 4096, 64, iters=2)
+    with ir.passes(list(PASSES)):
+        on_field = run_stencil(machine, "one_sided", cfg, 4).extras["field"]
+        on_values = run_hashtable(machine, "two_sided", ht_cfg, 4).extras["values"]
+        on_flood = run_flood(machine, "one_sided", 4096, 64, iters=2)
+    return {
+        "stencil_field_identical": bool(np.array_equal(on_field, base_field)),
+        "hashtable_values_identical": sorted(on_values) == sorted(base_values),
+        "flood_modeled_time_improved": on_flood.time_total < base_flood.time_total,
+    }
+
+
+def run_bench() -> dict:
+    machine = get_machine(MACHINE)
+    f_before, f_after, f_ratio = _flood_ratio(machine)
+    h_before, h_after, h_ratio = _hashtable_ratio(machine)
+    accuracy = _execute_mode_unchanged(machine)
+
+    result = {
+        "bench": "ir_passes",
+        "machine": MACHINE,
+        "passes": list(PASSES),
+        "flood": {
+            **{k: v for k, v in _FLOOD.items()},
+            "modeled_before_s": f_before,
+            "modeled_after_s": f_after,
+            "modeled_speedup": round(f_ratio, 2),
+        },
+        "hashtable": {
+            "runtime": "two_sided",
+            "total_inserts": _HT.total_inserts,
+            "sync_window": _HT.sync_window,
+            "nranks": _HT_NRANKS,
+            "modeled_before_s": h_before,
+            "modeled_after_s": h_after,
+            "modeled_speedup": round(h_ratio, 2),
+        },
+        "checks": {
+            "flood_coalesce_overlap_at_least_1_2x": f_ratio >= 1.2,
+            "hashtable_coalesce_overlap_at_least_1_2x": h_ratio >= 1.2,
+            **accuracy,
+        },
+    }
+    OUTPUT.parent.mkdir(exist_ok=True)
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def test_ir_passes_bench():
+    result = run_bench()
+    failed = [k for k, ok in result["checks"].items() if not ok]
+    assert not failed, f"ir bench checks failed: {failed} in {result}"
+
+
+def main() -> int:
+    result = run_bench()
+    print(json.dumps(result, indent=2))
+    print(f"wrote {OUTPUT}")
+    return 0 if all(result["checks"].values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

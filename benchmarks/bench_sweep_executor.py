@@ -9,7 +9,12 @@ headline checks:
   demanded strictly when more than one core is available, relaxed to
   "pool overhead stays under 15%" on single-core machines where no wall
   time can be recovered;
-* a cache-warm rerun is at least 5x faster than the cache-cold run.
+* a cache-warm rerun is at least 5x faster than the cache-cold run;
+* chunked dispatch recovers real parallelism: a synthetic sweep of
+  blocking points (sleeps, so the check is honest on single-core
+  runners) must come out at least 2x faster with ``jobs=4`` than serial
+  — this pins the fix for the per-point-future overhead that used to
+  make parallel sweeps *slower* than serial (speedup 0.97).
 
 Run standalone (``python benchmarks/bench_sweep_executor.py``) or via the
 benchmark suite (``pytest benchmarks/bench_sweep_executor.py``).
@@ -25,11 +30,38 @@ import tempfile
 import time
 
 from repro.experiments import run_fig09
-from repro.sweep import ResultCache, execution
+from repro.sweep import ResultCache, SweepSpec, execution, run_sweep
 
 OUTPUT = pathlib.Path(__file__).parent / "output" / "BENCH_sweep.json"
 
 _KWARGS = {"total_inserts": 8000, "seed": 5}  # run_fig09 defaults, pinned
+
+# Synthetic chunked-dispatch sweep: each point blocks (releases the CPU)
+# for a fixed interval, so overlap across pool workers is measurable even
+# on a single-core runner.
+_SLEEP_POINTS = 16
+_SLEEP_SECONDS = 0.05
+_SLEEP_JOBS = 4
+
+
+def _sleep_point(params, seed):
+    time.sleep(_SLEEP_SECONDS)
+    return {"x": params["x"], "seed": seed}
+
+
+def _sleep_spec() -> SweepSpec:
+    return SweepSpec(
+        name="bench-chunked",
+        runner=_sleep_point,
+        axes={"x": tuple(range(_SLEEP_POINTS))},
+    )
+
+
+def _timed_chunked(jobs: int) -> float:
+    t0 = time.perf_counter()
+    results = run_sweep(_sleep_spec(), jobs=jobs, cache=None)
+    assert len(results) == _SLEEP_POINTS and all(r.ok for r in results)
+    return time.perf_counter() - t0
 
 
 def _timed(jobs: int, cache: ResultCache | None) -> tuple[float, int]:
@@ -52,6 +84,10 @@ def run_bench(jobs: int | None = None) -> dict:
         warm_s, _ = _timed(jobs=1, cache=cache)
         assert cache.stats()["hits"] == npoints, "warm run missed the cache"
 
+    chunked_serial_s = _timed_chunked(jobs=1)
+    chunked_parallel_s = _timed_chunked(jobs=_SLEEP_JOBS)
+    chunked_speedup = chunked_serial_s / chunked_parallel_s
+
     result = {
         "bench": "sweep_executor",
         "experiment": "fig09",
@@ -64,6 +100,11 @@ def run_bench(jobs: int | None = None) -> dict:
         "cache_cold_seconds": round(cold_s, 4),
         "cache_warm_seconds": round(warm_s, 4),
         "warm_speedup": round(cold_s / warm_s, 1),
+        "chunked_points": _SLEEP_POINTS,
+        "chunked_jobs": _SLEEP_JOBS,
+        "chunked_serial_seconds": round(chunked_serial_s, 4),
+        "chunked_parallel_seconds": round(chunked_parallel_s, 4),
+        "chunked_parallel_speedup": round(chunked_speedup, 2),
         "checks": {
             "parallel_beats_serial": (
                 parallel_s < serial_s
@@ -71,6 +112,7 @@ def run_bench(jobs: int | None = None) -> dict:
                 else parallel_s < serial_s * 1.15
             ),
             "warm_at_least_5x_faster_than_cold": cold_s >= 5 * warm_s,
+            "chunked_parallel_speedup_at_least_2x": chunked_speedup >= 2.0,
         },
     }
     OUTPUT.parent.mkdir(exist_ok=True)

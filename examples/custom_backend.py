@@ -13,14 +13,19 @@ put-with-signal.  This example builds that NIC as a *user* backend:
 3. run the unchanged flood workload under the new name.
 
 Every workload in the repo (stencil, SpTRSV, hashtable, flood) would
-accept ``FUSED`` as its ``runtime`` argument — the programs are written
-against the transport verbs and never see the backend.
+accept ``FUSED`` as its ``runtime`` argument — the runners emit
+:class:`repro.ir.IRProgram` values lowered through
+:func:`repro.ir.run_program` and never see the backend.  Because the
+flood below is IR, the pass pipeline works on the new backend with zero
+extra code: the last section turns passes on and prints the rewrite
+report (docs/IR.md).
 
 Run:  python examples/custom_backend.py
 """
 
 import dataclasses
 
+from repro import ir
 from repro.machines import perlmutter_cpu
 from repro.transport import ONE_SIDED, TWO_SIDED, BackendCaps, register_backend
 from repro.transport.shmem import ShmemBackend
@@ -87,6 +92,15 @@ def main() -> None:
     print(f"crossover vs two-sided: 4-op emulation at n={crossover[ONE_SIDED]}, "
           f"fused hardware op at n={crossover[FUSED]} — hardware support "
           "moves the paper's §V crossover to the smallest batches.")
+
+    # The flood program is IR, so the pass pipeline applies to the user
+    # backend unchanged: coalesce merges the 256 small posts per sync
+    # into one bulk post, with a modeled-cost proof per rewrite.
+    print()
+    print("IR passes on the custom backend (repro ir explain, in-process):")
+    with ir.passes(True), ir.collect() as reports:
+        run_flood(fused_machine(), FUSED, nbytes, 256, iters=3)
+    print(ir.explain_all(reports))
 
 
 if __name__ == "__main__":

@@ -29,6 +29,7 @@ from contextlib import ExitStack
 from typing import Any
 
 from repro import faults as _faults
+from repro import ir as _ir
 from repro import obs as _obs
 from repro import sweep as _sweep
 from repro.experiments import ALL_EXPERIMENTS
@@ -92,10 +93,18 @@ class Session:
         jobs: sweep parallelism (installed via :func:`repro.sweep.execution`).
         cache: a :class:`~repro.sweep.ResultCache` (or a path for one) for
             sweep result caching.
+        passes: IR pass pipeline for every program lowered in the session
+            (installed via :func:`repro.ir.passes`).  ``True`` enables the
+            default pipeline (coalesce, overlap, sync-elide); a sequence of
+            pass names or a :class:`~repro.ir.PassPipeline` selects
+            explicitly; ``False`` (the default) leaves every pass off —
+            lowering is then byte-identical to the pre-IR runners.
+            Reports for programs lowered under the session are collected
+            in :attr:`ir_reports`; see :meth:`explain_ir`.
 
-    The scopes nest obs -> faults -> execution, so worker processes and
-    fault draws happen *inside* the observed region, exactly as the three
-    hand-written ``with`` blocks would.
+    The scopes nest obs -> faults -> passes -> execution, so worker
+    processes and fault draws happen *inside* the observed region, exactly
+    as the hand-written ``with`` blocks would.
     """
 
     def __init__(
@@ -107,6 +116,7 @@ class Session:
         obs: "bool | _obs.Obs" = False,
         jobs: int = 1,
         cache: "_sweep.ResultCache | str | None" = None,
+        passes=False,
     ):
         self.machine = get_machine(machine) if isinstance(machine, str) else machine
         if backend is not None and backend not in backend_names():
@@ -122,6 +132,9 @@ class Session:
         self.obs: _obs.Obs | None = (
             obs if isinstance(obs, _obs.Obs) else (_obs.Obs() if obs else None)
         )
+        # Validate eagerly (unknown pass names fail at construction).
+        self.passes = _ir.build_pipeline(passes)
+        self.ir_reports: list[_ir.IRReport] = []
         self.fault_scope: _faults.FaultScope | None = None
         self.execution: _sweep.ExecutionConfig | None = None
         self._stack: ExitStack | None = None
@@ -139,6 +152,9 @@ class Session:
                 self.fault_scope = self._stack.enter_context(
                     _faults.inject(self.fault_plan)
                 )
+            if self.passes.enabled:
+                self._stack.enter_context(_ir.passes(self.passes))
+            self.ir_reports = self._stack.enter_context(_ir.collect())
             self.execution = self._stack.enter_context(
                 _sweep.execution(jobs=self.jobs, cache=self.cache)
             )
@@ -157,6 +173,14 @@ class Session:
     def fault_stats(self) -> dict[str, int]:
         """Aggregate fault counters (empty when no plan was injected)."""
         return self.fault_scope.stats() if self.fault_scope is not None else {}
+
+    def explain_ir(self) -> str:
+        """Pass reports for every IR program lowered under this session —
+        one deduplicated block per distinct (program, target, rewrites)
+        shape; see :func:`repro.ir.explain_all`."""
+        if not self.ir_reports:
+            return "(no IR programs lowered in this session)"
+        return _ir.explain_all(self.ir_reports)
 
     # -- conveniences ---------------------------------------------------
 
@@ -244,6 +268,8 @@ class Session:
             bits.append("faults=...")
         if self.obs is not None:
             bits.append("obs=on")
+        if self.passes.enabled:
+            bits.append(f"passes={','.join(self.passes.names())}")
         bits.append(f"jobs={self.jobs}")
         state = "active" if self._stack is not None else "idle"
         return f"<Session {' '.join(bits)} [{state}]>"

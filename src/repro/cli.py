@@ -200,6 +200,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true",
         help="print the selector's full modeled cost table",
     )
+
+    irp = sub.add_parser(
+        "ir",
+        help="inspect the communication-pattern IR: run an experiment "
+        "under the pass pipeline and report every fired rewrite",
+    )
+    irp.add_argument("action", choices=["explain"])
+    irp.add_argument("experiment", help="e.g. fig03, fig05, or 'all'")
+    irp.add_argument(
+        "--passes", default=None,
+        help="comma-separated pass names (coalesce, overlap, sync-elide, "
+        "auto-backend); default: the standard pipeline",
+    )
     return p
 
 
@@ -629,6 +642,52 @@ def _cmd_collective(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ir(args: argparse.Namespace) -> int:
+    from repro import ir
+    from repro.experiments import ALL_EXPERIMENTS
+
+    name = args.experiment
+    if name == "all":
+        names = sorted(ALL_EXPERIMENTS)
+    elif name in ALL_EXPERIMENTS:
+        names = [name]
+    else:
+        print(
+            f"unknown experiment {name!r}; available: "
+            f"{', '.join(sorted(ALL_EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    spec = True if args.passes is None else [
+        s.strip() for s in args.passes.split(",") if s.strip()
+    ]
+    try:
+        pipeline = ir.build_pipeline(spec)
+    except (KeyError, TypeError, ValueError) as e:
+        print(f"bad --passes: {e}", file=sys.stderr)
+        return 2
+    print(f"[ir] passes: {', '.join(pipeline.names()) or '(none)'}",
+          file=sys.stderr)
+    status = 0
+    for n in names:
+        with ir.passes(pipeline), ir.collect() as reports:
+            try:
+                ALL_EXPERIMENTS[n]()
+            except Exception:
+                import traceback
+
+                traceback.print_exc()
+                status = 1
+                continue
+        print(f"== {n} ==")
+        if reports:
+            print(ir.explain_all(reports))
+        else:
+            print("  (no IR programs lowered)")
+        print()
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -651,6 +710,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_roofline(args)
     if args.command == "collective":
         return _cmd_collective(args)
+    if args.command == "ir":
+        return _cmd_ir(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.collectives.algorithms import ALGORITHM_TABLE
 from repro.collectives.plan import CollectiveError, CollectivePlan
+from repro.ir.lower import Emitter
 from repro.transport.api import MailboxSpec
 
 __all__ = ["REDUCE_OPS", "CollectiveStats", "CollectiveComm", "CollectiveEndpoint"]
@@ -82,6 +83,9 @@ class CollectiveComm:
                 )
         self.job = job
         self.execute = execute
+        # Per-op-kind IR lowering counts (RoundSend/RoundRecv/MsgDrain),
+        # merged across all ranks' Emitters.
+        self.ir_counts: dict[str, int] = {}
         self.stats = CollectiveStats()
         self.op_stats = [CollectiveStats() for _ in self.plans]
         self.bases: list[int] = []
@@ -125,6 +129,11 @@ class CollectiveEndpoint:
         self.comm = comm
         self.ctx = ctx
         self.ep = comm.channel.endpoint(ctx)
+        # Round schedules are data-dependent (algorithm choice, rank
+        # geometry), so collectives lower through the dynamic-IR Emitter:
+        # each verb becomes a RoundSend/RoundRecv/MsgDrain op interpreted
+        # by repro.ir.lower._exec onto this endpoint.
+        self.em = Emitter(self.ep, ctx, counts=comm.ir_counts)
         self._op = 0
 
     def run(self, values=None, *, op: str = "sum", root: int = 0):
@@ -155,10 +164,10 @@ class CollectiveEndpoint:
                 st.ops += 1
                 st.rounds += plan.rounds
         v = self._prepare(plan, values, root)
-        ex = _RoundExec(comm, self.ep, self.ctx, plan, comm.bases[idx], idx,
+        ex = _RoundExec(comm, self.em, self.ctx, plan, comm.bases[idx], idx,
                         REDUCE_OPS[op], root, v)
         result = yield from ALGORITHM_TABLE[(plan.coll, plan.algorithm)](ex)
-        yield from self.ep.drain()
+        yield from self.em.drain()
         return result
 
     def _prepare(self, plan: CollectivePlan, values, root: int):
@@ -182,14 +191,18 @@ class CollectiveEndpoint:
 
 class _RoundExec:
     """What an algorithm schedule sees: rank geometry, the working buffer,
-    and round-addressed send/recv with uniform stats accounting."""
+    and round-addressed send/recv with uniform stats accounting.
 
-    __slots__ = ("comm", "ep", "ctx", "plan", "base", "idx", "reduce",
+    Verbs lower through the IR :class:`~repro.ir.lower.Emitter` rather
+    than calling the endpoint directly, so every round of every schedule
+    is an IR op with per-kind counts."""
+
+    __slots__ = ("comm", "em", "ctx", "plan", "base", "idx", "reduce",
                  "root", "v", "P", "rank", "nelems", "stripes", "execute")
 
-    def __init__(self, comm, ep, ctx, plan, base, idx, reduce, root, v):
+    def __init__(self, comm, em, ctx, plan, base, idx, reduce, root, v):
         self.comm = comm
-        self.ep = ep
+        self.em = em
         self.ctx = ctx
         self.plan = plan
         self.base = base
@@ -208,12 +221,12 @@ class _RoundExec:
         for st in (self.comm.stats, self.comm.op_stats[self.idx]):
             st.messages += parts
             st.bytes_moved += words * wb
-        yield from self.ep.send_round(
+        yield from self.em.send_round(
             dst, self.base + rnd, words=words, parts=parts, values=values
         )
 
     def recv(self, src, rnd, words, parts=1):
-        got = yield from self.ep.recv_round(
+        got = yield from self.em.recv_round(
             src, self.base + rnd, words=words, parts=parts
         )
         return got

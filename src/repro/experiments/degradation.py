@@ -23,6 +23,15 @@ What the fault model predicts — and the expectations check:
 Loss/jitter draws are pure functions of ``(seed, link, message,
 attempt)``, so rows are bit-identical across runs — CI diffs two
 back-to-back executions.
+
+Every point flows through the IR lowering path (the runners emit
+:class:`repro.ir.IRProgram` values into :func:`repro.ir.run_program`),
+but the non-clean fault plan forces the empty scalar/no-elide pipeline
+regardless of any ambient :func:`repro.ir.passes` scope: loss/jitter
+draws are per-message, so a rewrite that changes message counts would
+change the fault stream — the exact reason ``repro.perf.bulk_enabled``
+falls back to the scalar engine under faults.  The forced fallback is
+noted in each program's :class:`repro.ir.IRReport`.
 """
 
 from __future__ import annotations

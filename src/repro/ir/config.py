@@ -1,0 +1,69 @@
+"""Ambient pass-pipeline scope and report collection.
+
+Mirrors :mod:`repro.perf.config`: an innermost-wins stack installed by
+the :func:`passes` context manager, consulted by
+:func:`repro.ir.lower.run_program` at the moment a program is lowered.
+The default (no scope active) is the empty pipeline — all passes off —
+so every existing entry point stays byte-identical to the pre-IR
+runners unless a caller opts in (``Session(passes=...)``, the
+``repro ir explain`` CLI, or an explicit ``ir.passes(...)`` block).
+
+:func:`collect` installs a report collector so callers can retrieve the
+:class:`repro.ir.explain.IRReport` of every program lowered inside the
+block — the CLI's ``repro ir explain <exp>`` is just an experiment run
+inside ``passes(...)`` + ``collect()``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+__all__ = ["passes", "current_pipeline", "collect", "record_report"]
+
+_PIPELINES: list = []
+_COLLECTORS: list[list] = []
+
+
+def current_pipeline():
+    """The innermost active pipeline (empty pipeline when no scope)."""
+    from repro.ir.pipeline import PassPipeline
+
+    if _PIPELINES:
+        return _PIPELINES[-1]
+    return PassPipeline(())
+
+
+@contextmanager
+def passes(pipeline=True) -> Iterator[None]:
+    """Install a pass pipeline for the duration of the block.
+
+    ``pipeline`` may be a :class:`repro.ir.pipeline.PassPipeline`, ``True``
+    (the default pipeline: coalesce, overlap, sync-elide), ``False`` /
+    ``None`` (explicitly all-off), or a sequence of pass names —
+    see :func:`repro.ir.pipeline.build_pipeline`.
+    """
+    from repro.ir.pipeline import build_pipeline
+
+    _PIPELINES.append(build_pipeline(pipeline))
+    try:
+        yield
+    finally:
+        _PIPELINES.pop()
+
+
+@contextmanager
+def collect() -> Iterator[list]:
+    """Collect the IRReport of every program lowered inside the block."""
+    reports: list = []
+    _COLLECTORS.append(reports)
+    try:
+        yield reports
+    finally:
+        _COLLECTORS.pop()
+
+
+def record_report(report) -> None:
+    """Hand a freshly built report to every active collector."""
+    for sink in _COLLECTORS:
+        sink.append(report)

@@ -1,0 +1,324 @@
+"""Lowering: interpret IR ops onto the transport Channel/Endpoint verbs.
+
+:func:`run_program` is the single entry point the refactored runners
+call — it applies the ambient pass pipeline (unless faults force the
+scalar/no-elide path, mirroring ``repro.perf.bulk_enabled``), opens the
+program's channel on a fresh :class:`repro.comm.job.Job`, and lowers
+each rank's ops through :func:`_exec`, which maps every op onto exactly
+the endpoint calls the hand-written runners used to make.  With the
+empty pipeline the lowering of a builder-produced program is
+byte-identical to the pre-IR runner — the golden-parity lane pins this
+across all four backends.
+
+Dynamic programs drive an :class:`Emitter` instead: each emitter verb
+constructs the op and immediately lowers it through the same ``_exec``
+dispatch, so data-dependent control flow (SpTRSV wavefronts, CAS
+collision handling, collective round schedules) still targets the IR
+vocabulary and is counted per op kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.comm.job import Job
+from repro.ir import ops as O
+from repro.ir.config import current_pipeline, record_report
+from repro.ir.explain import IRReport
+from repro.ir.program import IRProgram
+
+__all__ = ["Emitter", "IRRun", "run_program", "lower_rank"]
+
+
+def _resolve(value, state):
+    return value(state) if callable(value) else value
+
+
+def _exec(op: O.Op, ep, ctx, state: dict):
+    """Lower one op; returns the verb's value (generator)."""
+    if isinstance(op, O.Barrier):
+        yield from ctx.barrier()
+    elif isinstance(op, O.Compute):
+        if op.fn is not None:
+            op.fn(state)
+        if op.seconds is not None:
+            yield from ctx.compute(seconds=op.seconds)
+        else:
+            yield from ctx.compute(nbytes=op.nbytes, flops=op.flops)
+    elif isinstance(op, O.BatchPost):
+        yield from ep.post(op.dst)
+    elif isinstance(op, O.BatchCommit):
+        yield from ep.commit(op.dst, op.it)
+    elif isinstance(op, O.BatchWait):
+        yield from ep.wait_batch(op.src, op.it, op.n)
+    elif isinstance(op, O.HaloBegin):
+        yield from ep.begin(op.it)
+    elif isinstance(op, O.HaloPut):
+        yield from ep.put(op.seg, op.dst, values=_resolve(op.values, state))
+    elif isinstance(op, O.HaloFinish):
+        received = yield from ep.finish(op.it)
+        if op.on_done is not None:
+            op.on_done(state, received)
+        return received
+    elif isinstance(op, O.TripletSend):
+        yield from ep.post_msg(
+            op.dst, nbytes=op.nbytes, tag=op.tag, payload=op.payload
+        )
+    elif isinstance(op, O.TripletSendAgg):
+        yield from ep.post_msg(
+            op.dst, nbytes=op.nbytes, tag=op.tag, payload=op.payloads
+        )
+    elif isinstance(op, O.TripletRecv):
+        payload = yield from ep.recv_msg_poll(tag=op.tag)
+        if op.on_payload is not None:
+            op.on_payload(state, payload)
+        return payload
+    elif isinstance(op, O.TripletRecvAgg):
+        payloads = yield from ep.recv_msg_poll(tag=op.tag)
+        if op.on_payload is not None:
+            for payload in payloads:
+                op.on_payload(state, payload)
+        return payloads
+    elif isinstance(op, O.MsgDrain):
+        yield from ep.drain()
+    elif isinstance(op, O.MailboxExpect):
+        ep.expect(op.msgs)
+    elif isinstance(op, O.MailboxSend):
+        yield from ep.send(
+            op.dst, op.slot, words=op.words, values=op.values,
+            meta=op.meta, tag=op.tag,
+        )
+    elif isinstance(op, O.MailboxRecv):
+        got = yield from ep.recv()
+        return got
+    elif isinstance(op, O.RoundSend):
+        yield from ep.send_round(
+            op.dst, op.rnd, words=op.words, parts=op.parts, values=op.values
+        )
+    elif isinstance(op, O.RoundRecv):
+        got = yield from ep.recv_round(
+            op.src, op.rnd, words=op.words, parts=op.parts
+        )
+        return got
+    elif isinstance(op, O.AtomicCas):
+        old = yield from ep.cas(op.space, op.dst, op.offset, op.compare, op.value)
+        return old
+    elif isinstance(op, O.AtomicFaa):
+        old = yield from ep.faa(op.space, op.dst, op.offset, op.value)
+        return old
+    elif isinstance(op, O.AtomicSwap):
+        old = yield from ep.swap(op.space, op.dst, op.offset, op.value)
+        return old
+    elif isinstance(op, O.AtomicPublish):
+        yield from ep.publish(op.space, op.dst, op.values, offset=op.offset)
+    elif isinstance(op, O.AtomicStream):
+        out = yield from ep.cas_stream(op.space, op.dst, op.offset, list(op.ops))
+        if op.out is not None:
+            state[op.out] = out
+        return out
+    elif isinstance(op, O.AllreduceSum):
+        got = yield from ctx.allreduce_sum(_resolve(op.value, state))
+        return got
+    else:  # pragma: no cover - vocabulary and dispatch move together
+        raise TypeError(f"no lowering for op {type(op).__name__}")
+
+
+class Emitter:
+    """Verb-shaped facade for dynamic programs: build op, lower it, count it.
+
+    Every method constructs the matching IR op and immediately lowers it
+    through :func:`_exec`, so dynamic bodies target the same vocabulary
+    and dispatch as static programs — ``counts`` records how many ops of
+    each kind the body emitted (surfaced through obs as
+    ``ir.ops.<Kind>``).
+    """
+
+    def __init__(self, ep, ctx, state: dict | None = None,
+                 counts: dict | None = None):
+        self.ep = ep
+        self.ctx = ctx
+        self.state = state if state is not None else {}
+        self.counts = counts if counts is not None else {}
+
+    def emit(self, op: O.Op):
+        kind = type(op).__name__
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        result = yield from _exec(op, self.ep, self.ctx, self.state)
+        return result
+
+    # -- job-wide ------------------------------------------------------
+    def barrier(self):
+        return self.emit(O.Barrier())
+
+    def compute(self, nbytes: float = 0.0, flops: float = 0.0,
+                seconds: float | None = None, fn=None):
+        return self.emit(
+            O.Compute(nbytes=nbytes, flops=flops, seconds=seconds, fn=fn)
+        )
+
+    def allreduce_sum(self, value):
+        return self.emit(O.AllreduceSum(value=value))
+
+    # -- mailbox -------------------------------------------------------
+    def expect(self, msgs):
+        return self.emit(O.MailboxExpect(n=len(msgs), msgs=msgs))
+
+    def send(self, dst, slot, *, words, values=None, meta=None, tag=0):
+        return self.emit(O.MailboxSend(
+            dst=dst, slot=slot, words=words, tag=tag, values=values, meta=meta
+        ))
+
+    def recv(self):
+        return self.emit(O.MailboxRecv())
+
+    def drain(self):
+        return self.emit(O.MsgDrain())
+
+    # -- collective rounds ----------------------------------------------
+    def send_round(self, dst, rnd, *, words, parts=1, values=None):
+        return self.emit(O.RoundSend(
+            dst=dst, rnd=rnd, words=words, parts=parts, values=values
+        ))
+
+    def recv_round(self, src, rnd, *, words, parts=1):
+        return self.emit(O.RoundRecv(src=src, rnd=rnd, words=words, parts=parts))
+
+    # -- atomics ---------------------------------------------------------
+    def cas(self, space, dst, offset, compare, value):
+        return self.emit(O.AtomicCas(
+            space=space, dst=dst, offset=offset, compare=compare, value=value
+        ))
+
+    def faa(self, space, dst, offset, value):
+        return self.emit(O.AtomicFaa(space=space, dst=dst, offset=offset, value=value))
+
+    def swap(self, space, dst, offset, value):
+        return self.emit(O.AtomicSwap(space=space, dst=dst, offset=offset, value=value))
+
+    def publish(self, space, dst, values, *, offset=0):
+        return self.emit(O.AtomicPublish(
+            space=space, dst=dst, offset=offset, values=values
+        ))
+
+    def cas_stream(self, space, dst, offset, ops):
+        ops = tuple(ops)
+        return self.emit(O.AtomicStream(
+            space=space, dst=dst, offset=offset, n=len(ops), ops=ops
+        ))
+
+
+def lower_rank(ctx, chan, program: IRProgram, counts: dict):
+    """The per-rank generator handed to ``job.run``."""
+    ep = chan.endpoint(ctx)
+    state: dict = {"ctx": ctx}
+    if program.setup is not None:
+        program.setup(ctx, chan, ep, state)
+    if program.dynamic:
+        em = Emitter(ep, ctx, state, counts)
+        result = yield from program.body(ctx, em, state)
+        return result
+    def run_op(op):
+        kind = type(op).__name__
+        counts[kind] = counts.get(kind, 0) + 1
+        yield from _exec(op, ep, ctx, state)
+
+    for op in program.prologue[ctx.rank]:
+        yield from run_op(op)
+    t0 = ctx.sim.now
+    for region in program.regions:
+        for op in region.body[ctx.rank]:
+            yield from run_op(op)
+    elapsed = ctx.sim.now - t0
+    for op in program.epilogue[ctx.rank]:
+        yield from run_op(op)
+    if program.finalize is not None:
+        return program.finalize(ctx, state, elapsed)
+    return elapsed
+
+
+@dataclass
+class IRRun:
+    """Everything a runner needs back: the job, channel, rank results,
+    the (possibly rewritten) program, and the explain report."""
+
+    program: IRProgram
+    job: Job
+    chan: Any
+    result: Any  # repro.comm.job.JobResult
+    report: IRReport
+
+
+def run_program(machine, program: IRProgram, *, placement: str = "spread",
+                pipeline=None) -> IRRun:
+    """Optimise (ambient pipeline), lower, and run ``program``.
+
+    ``pipeline`` overrides the ambient :func:`repro.ir.passes` scope.
+    Two conditions force the empty pipeline regardless (each noted in
+    the report): a non-clean ambient fault plan — loss/jitter draws are
+    per-message, so rewrites that change message counts would change
+    the fault stream (the same reason ``repro.perf.bulk_enabled`` falls
+    back to the scalar path) — and dynamic programs, whose op stream
+    only exists at run time.
+    """
+    from repro import obs
+    from repro.faults.inject import current_plan
+    from repro.ir.cost import program_cost
+
+    pipe = pipeline if pipeline is not None else current_pipeline()
+    from repro.ir.pipeline import build_pipeline
+
+    pipe = build_pipeline(pipe)
+    notes: list[str] = []
+    plan = current_plan()
+    if pipe.enabled and plan is not None and not plan.clean:
+        notes.append("faults active: scalar/no-elide pipeline forced")
+        pipe = build_pipeline(False)
+    if pipe.enabled and program.dynamic:
+        notes.append("dynamic program: passes skipped")
+        pipe = build_pipeline(False)
+
+    session = obs.current()
+    original_runtime = program.runtime
+    rewrites = ()
+    before = after = None
+    if pipe.enabled:
+        span = session.span(f"ir.pipeline.{program.name}") if session else None
+        if span is not None:
+            with span:
+                before = program_cost(program, machine)
+                program, rewrites = pipe.run(program, machine)
+                after = program_cost(program, machine)
+        else:
+            before = program_cost(program, machine)
+            program, rewrites = pipe.run(program, machine)
+            after = program_cost(program, machine)
+
+    job = Job(machine, program.nranks, program.runtime, placement=placement)
+    chan = job.channel(program.spec)
+    counts: dict = {}
+    result = job.run(lower_rank, chan, program, counts)
+
+    report = IRReport(
+        program=program.name,
+        machine=machine.name,
+        runtime=job.runtime_name,
+        original_runtime=original_runtime,
+        nranks=program.nranks,
+        passes=pipe.names(),
+        rewrites=tuple(rewrites),
+        before=before,
+        after=after,
+        notes=tuple(notes),
+    )
+    record_report(report)
+    if session is not None:
+        m = session.metrics
+        m.counter("ir.programs.lowered").inc()
+        m.counter("ir.ops.lowered").inc(sum(counts.values()))
+        for kind, n in counts.items():
+            m.counter(f"ir.ops.{kind}").inc(n)
+        for rw in rewrites:
+            m.counter(f"ir.pass.{rw.pass_name}.{rw.kind}.rewrites").inc(rw.count)
+    return IRRun(program=program, job=job, chan=chan, result=result,
+                 report=report)

@@ -1,0 +1,319 @@
+"""The communication-pattern op vocabulary (ROADMAP item 4).
+
+Every op is a frozen dataclass naming one transport verb (or one unit of
+local work) over the existing spec vocabulary — :class:`HaloSpec`,
+:class:`MailboxSpec`, :class:`BatchSpec`, :class:`AtomicDomainSpec`.
+Programs (:mod:`repro.ir.program`) group ops into per-iteration regions;
+the interpreter (:mod:`repro.ir.lower`) maps each op onto exactly the
+endpoint-verb calls the hand-written runners used to make, so a lowering
+with no passes applied is byte-identical to the pre-IR runners.
+
+Value/callback fields are ``compare=False``: two ops are equal when they
+describe the same *pattern*, regardless of which closures carry the
+payload.  Callables in ``values``/``payload`` positions are resolved at
+lowering time against the per-rank ``state`` dict, which is how
+execute-mode programs read arrays that only exist once the job runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "Op",
+    "HaloBegin",
+    "HaloPut",
+    "HaloFinish",
+    "BatchPost",
+    "BatchCommit",
+    "BatchWait",
+    "TripletSend",
+    "TripletSendAgg",
+    "TripletRecv",
+    "TripletRecvAgg",
+    "MsgDrain",
+    "MailboxExpect",
+    "MailboxSend",
+    "MailboxRecv",
+    "RoundSend",
+    "RoundRecv",
+    "AtomicCas",
+    "AtomicFaa",
+    "AtomicSwap",
+    "AtomicPublish",
+    "AtomicStream",
+    "Compute",
+    "Barrier",
+    "AllreduceSum",
+]
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class: every IR op is immutable and hashable-by-pattern."""
+
+
+# ---------------------------------------------------------------------------
+# halo exchange (HaloSpec channels): BSP epochs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HaloBegin(Op):
+    """Open the exchange epoch for iteration ``it`` (fence / irecv posts)."""
+
+    it: int
+
+
+@dataclass(frozen=True)
+class HaloPut(Op):
+    """Put one edge strip to neighbour ``dst``.
+
+    ``values`` is ``None`` (simulate mode) or a callable
+    ``state -> ndarray`` resolved at lowering time (execute mode reads
+    the *current* local block, which passes must not capture early).
+    """
+
+    seg: str
+    dst: int
+    values: Callable[[dict], Any] | None = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class HaloFinish(Op):
+    """Close the epoch; ``on_done(state, received)`` consumes the halos."""
+
+    it: int
+    on_done: Callable[[dict, dict], None] | None = field(
+        default=None, compare=False
+    )
+
+
+# ---------------------------------------------------------------------------
+# batch flood (BatchSpec channels)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchPost(Op):
+    """Post one ``spec.nbytes`` message of the current batch to ``dst``."""
+
+    dst: int
+
+
+@dataclass(frozen=True)
+class BatchCommit(Op):
+    """Commit the posted batch for iteration ``it`` (flush + signal)."""
+
+    dst: int
+    it: int
+
+
+@dataclass(frozen=True)
+class BatchWait(Op):
+    """Receiver side: wait for the ``n``-message batch of iteration ``it``."""
+
+    src: int
+    it: int
+    n: int
+
+
+# ---------------------------------------------------------------------------
+# tagged small messages (AtomicDomainSpec post_msg/recv_msg_poll)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TripletSend(Op):
+    """One tagged ``post_msg`` carrying a small tuple payload."""
+
+    dst: int
+    nbytes: float
+    tag: int
+    payload: Any = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class TripletSendAgg(Op):
+    """Coalesced form: ``count`` triplets to ``dst`` in one message.
+
+    ``payloads`` is a tuple of the original payload tuples; the receiver's
+    :class:`TripletRecvAgg` hands them to the handler one at a time, so
+    per-payload semantics are unchanged — only the message count drops.
+    """
+
+    dst: int
+    nbytes: float
+    tag: int
+    count: int
+    payloads: tuple = field(default=(), compare=False)
+
+
+@dataclass(frozen=True)
+class TripletRecv(Op):
+    """Poll-receive one tagged message; ``on_payload(state, payload)``."""
+
+    tag: int
+    on_payload: Callable[[dict, Any], None] | None = field(
+        default=None, compare=False
+    )
+
+
+@dataclass(frozen=True)
+class TripletRecvAgg(Op):
+    """Receive one coalesced message and unpack every inner payload."""
+
+    tag: int
+    on_payload: Callable[[dict, Any], None] | None = field(
+        default=None, compare=False
+    )
+
+
+@dataclass(frozen=True)
+class MsgDrain(Op):
+    """Complete all outstanding sends on the endpoint (``ep.drain``)."""
+
+
+# ---------------------------------------------------------------------------
+# mailbox (MailboxSpec) and collective rounds — dynamic-program verbs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MailboxExpect(Op):
+    """Arm the receiver for this epoch's slot -> message map."""
+
+    n: int
+    msgs: Any = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class MailboxSend(Op):
+    """One notified mailbox send (``ep.send``)."""
+
+    dst: int
+    slot: int
+    words: int
+    tag: int = 0
+    values: Any = field(default=None, compare=False)
+    meta: Any = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class MailboxRecv(Op):
+    """Receive the next expected message; returns ``(meta, data)``."""
+
+
+@dataclass(frozen=True)
+class RoundSend(Op):
+    """One collective-round send (``ep.send_round``)."""
+
+    dst: int
+    rnd: int
+    words: int
+    parts: int = 1
+    values: Any = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class RoundRecv(Op):
+    """One collective-round receive (``ep.recv_round``); returns data."""
+
+    src: int
+    rnd: int
+    words: int
+    parts: int = 1
+
+
+# ---------------------------------------------------------------------------
+# atomics (AtomicDomainSpec)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AtomicCas(Op):
+    """One remote compare-and-swap; returns the old value."""
+
+    space: str
+    dst: int
+    offset: int
+    compare: Any = field(default=None, compare=False)
+    value: Any = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class AtomicFaa(Op):
+    """One remote fetch-and-add; returns the old value."""
+
+    space: str
+    dst: int
+    offset: int
+    value: Any = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class AtomicSwap(Op):
+    """One remote atomic swap; returns the old value."""
+
+    space: str
+    dst: int
+    offset: int
+    value: Any = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class AtomicPublish(Op):
+    """Ordered element publish into a remote space (``ep.publish``)."""
+
+    space: str
+    dst: int
+    offset: int = 0
+    values: Any = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class AtomicStream(Op):
+    """Back-to-back CAS stream on one remote location (``ep.cas_stream``)."""
+
+    space: str
+    dst: int
+    offset: int
+    n: int
+    ops: tuple = field(default=(), compare=False)
+    out: str | None = None  # state key for the returned old-value list
+
+
+# ---------------------------------------------------------------------------
+# local work and job-wide sync
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Compute(Op):
+    """Advance the rank clock by modelled (nbytes/flops) or explicit time.
+
+    ``fn(state)`` runs *before* the clock advance, exactly where the
+    hand-written runners did their real numpy work.  ``interior_frac``
+    marks a sweep whose leading fraction is independent of the in-flight
+    halos — the hint the overlap pass consumes (and clears, so the pass
+    is idempotent).
+    """
+
+    nbytes: float = 0.0
+    flops: float = 0.0
+    seconds: float | None = None
+    fn: Callable[[dict], None] | None = field(default=None, compare=False)
+    interior_frac: float | None = None
+
+
+@dataclass(frozen=True)
+class Barrier(Op):
+    """Job-wide barrier (``ctx.barrier()``)."""
+
+
+@dataclass(frozen=True)
+class AllreduceSum(Op):
+    """Job-wide sum; ``value(state) -> float`` resolved at lowering time."""
+
+    value: Callable[[dict], float] | None = field(default=None, compare=False)

@@ -1,0 +1,486 @@
+"""The pass catalog: coalesce, overlap, sync-elide, auto-backend.
+
+Every pass maps a *static* :class:`IRProgram` to a rewritten program
+plus :class:`Rewrite` records (kind, how many sites merged/moved/
+elided, and the modeled before/after cost around the application).
+Passes fire only when the rewrite is provably semantics-preserving for
+the lowering in :mod:`repro.ir.lower` — the conditions are documented
+per pass and pinned by the property suite (cost never increases;
+running a pipeline twice equals running it once).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.ir import ops as O
+from repro.ir.cost import program_cost
+from repro.ir.program import IRProgram, Region
+from repro.transport.api import BatchSpec
+
+__all__ = [
+    "Rewrite",
+    "Pass",
+    "CoalescePass",
+    "OverlapPass",
+    "SyncElidePass",
+    "AutoBackendPass",
+    "PassPipeline",
+    "DEFAULT_PASSES",
+    "build_pipeline",
+]
+
+# Coalesced batches above this stop being "small messages" — the bulk
+# engine's win flattens out and pinning the cap keeps the rewrite inside
+# the span of the paper's bandwidth plots.
+_COALESCE_BYTE_CAP = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Rewrite:
+    """One fired rewrite: what, how many sites, and the modeled win."""
+
+    pass_name: str
+    kind: str
+    count: int
+    detail: str
+    before: float
+    after: float
+
+    @property
+    def win(self) -> float:
+        return self.before - self.after
+
+
+class Pass:
+    """Base: ``run`` returns ``(program, rewrites)``; no-op by default."""
+
+    name = "pass"
+
+    def run(self, program: IRProgram, machine):  # pragma: no cover
+        return program, []
+
+    def _record(self, program, rewritten, machine, kind, count, detail):
+        return Rewrite(
+            pass_name=self.name,
+            kind=kind,
+            count=count,
+            detail=detail,
+            before=program_cost(program, machine),
+            after=program_cost(rewritten, machine),
+        )
+
+
+def _map_regions(program: IRProgram, fn) -> IRProgram:
+    return program.with_(regions=tuple(fn(r) for r in program.regions))
+
+
+# ---------------------------------------------------------------------------
+# coalesce
+# ---------------------------------------------------------------------------
+
+
+class CoalescePass(Pass):
+    """Merge homogeneous small messages into one bulk-engine message.
+
+    Two shapes:
+
+    * **batch**: ``BatchPost(dst) x n, BatchCommit(dst, it)`` against
+      ``BatchWait(src, it, n)`` becomes one post of ``n * nbytes`` (the
+      spec itself is rewritten), which every backend's batch channel
+      already handles — including the ``repro.perf`` bulk engine.
+      Fires only when n is uniform across regions (the spec is global),
+      n >= 2, and the merged message stays under 4 MiB.
+    * **triplet**: k same-``(src, dst, tag)`` ``TripletSend`` ops in one
+      region become a single ``TripletSendAgg`` carrying every payload;
+      the receiver's k ``TripletRecv`` ops become one ``TripletRecvAgg``
+      per aggregated sender, applied through the *same* per-payload
+      handler — values and collision counts are order-independent, so
+      execute-mode results are unchanged.
+    """
+
+    name = "coalesce"
+
+    def run(self, program, machine):
+        rewrites = []
+        p2 = self._batch(program)
+        if p2 is not None:
+            rewrites.append(self._record(
+                program, p2, machine, "batch",
+                count=sum(1 for _ in p2.regions),
+                detail=(
+                    f"{program.spec.nbytes} B x n -> "
+                    f"{p2.spec.nbytes} B x 1 per sync"
+                ),
+            ))
+            program = p2
+        p3, merged = self._triplets(program)
+        if merged:
+            rewrites.append(self._record(
+                program, p3, machine, "triplet",
+                count=merged,
+                detail=f"{merged} tagged sends aggregated per (src, dst)",
+            ))
+            program = p3
+        return program, rewrites
+
+    # -- batch shape --------------------------------------------------
+
+    def _batch(self, program):
+        spec = program.spec
+        if not isinstance(spec, BatchSpec):
+            return None
+        counts: set[int] = set()
+        for region in program.regions:
+            for ops in region.body:
+                posts = [op for op in ops if isinstance(op, O.BatchPost)]
+                waits = [op for op in ops if isinstance(op, O.BatchWait)]
+                if posts:
+                    # Contiguous run to a single dst, then its commit.
+                    idx = [i for i, op in enumerate(ops)
+                           if isinstance(op, O.BatchPost)]
+                    if idx != list(range(idx[0], idx[0] + len(idx))):
+                        return None
+                    if len({op.dst for op in posts}) != 1:
+                        return None
+                    nxt = ops[idx[-1] + 1] if idx[-1] + 1 < len(ops) else None
+                    if not isinstance(nxt, O.BatchCommit):
+                        return None
+                    counts.add(len(posts))
+                for w in waits:
+                    counts.add(w.n)
+        if len(counts) != 1:
+            return None
+        n = counts.pop()
+        if n < 2 or n * spec.nbytes > _COALESCE_BYTE_CAP:
+            return None
+
+        def rewrite(region: Region) -> Region:
+            body = []
+            for ops in region.body:
+                out = []
+                posted = False
+                for op in ops:
+                    if isinstance(op, O.BatchPost):
+                        if not posted:
+                            out.append(op)
+                            posted = True
+                    elif isinstance(op, O.BatchWait):
+                        out.append(dataclasses.replace(op, n=1))
+                    else:
+                        out.append(op)
+                body.append(tuple(out))
+            return Region(region.name, tuple(body))
+
+        p2 = _map_regions(program, rewrite)
+        return p2.with_(
+            spec=dataclasses.replace(spec, nbytes=n * spec.nbytes)
+        )
+
+    # -- triplet shape ------------------------------------------------
+
+    def _triplets(self, program):
+        merged_total = 0
+        new_regions = []
+        for region in program.regions:
+            # sends per (src, dst, tag) and recv counts per (rank, tag)
+            groups: dict[tuple[int, int, int], list[O.TripletSend]] = {}
+            for src, ops in enumerate(region.body):
+                for op in ops:
+                    if isinstance(op, O.TripletSend):
+                        groups.setdefault((src, op.dst, op.tag), []).append(op)
+            hot_tags = {
+                tag for (_, _, tag), sends in groups.items()
+                if len(sends) >= 2
+            }
+            if not hot_tags:
+                new_regions.append(region)
+                continue
+            senders_to: dict[tuple[int, int], int] = {}
+            for (src, dst, tag), sends in groups.items():
+                if tag in hot_tags:
+                    senders_to[(dst, tag)] = senders_to.get((dst, tag), 0) + 1
+                    merged_total += len(sends)
+            body = []
+            for rank, ops in enumerate(region.body):
+                out: list[O.Op] = []
+                last_send: dict[tuple[int, int], int] = {}
+                for op in ops:
+                    if isinstance(op, O.TripletSend) and op.tag in hot_tags:
+                        last_send[(op.dst, op.tag)] = len(out)
+                        out.append(op)  # placeholder; replaced below
+                    else:
+                        out.append(op)
+                # Replace each group's last send with the aggregate and
+                # drop the rest (the aggregate carries every payload, so
+                # batching completes where the last original send sat).
+                for (dst, tag), pos in sorted(
+                    last_send.items(), key=lambda kv: kv[1]
+                ):
+                    sends = groups[(rank, dst, tag)]
+                    out[pos] = O.TripletSendAgg(
+                        dst=dst,
+                        nbytes=float(sum(s.nbytes for s in sends)),
+                        tag=tag,
+                        count=len(sends),
+                        payloads=tuple(s.payload for s in sends),
+                    )
+                out = [
+                    op for i, op in enumerate(out)
+                    if not (isinstance(op, O.TripletSend)
+                            and op.tag in hot_tags)
+                ]
+                # Fold the recv side: k polls become one per agg sender.
+                for tag in sorted(hot_tags):
+                    tagged = [
+                        (i, op) for i, op in enumerate(out)
+                        if isinstance(op, O.TripletRecv) and op.tag == tag
+                    ]
+                    if not tagged:
+                        continue
+                    first_i, first_op = tagged[0]
+                    n_agg = senders_to.get((rank, tag), 0)
+                    drop = {i for i, _ in tagged}
+                    out = [op for i, op in enumerate(out) if i not in drop]
+                    aggs = [
+                        O.TripletRecvAgg(tag=tag, on_payload=first_op.on_payload)
+                        for _ in range(n_agg)
+                    ]
+                    out[first_i:first_i] = aggs
+                body.append(tuple(out))
+            new_regions.append(Region(region.name, tuple(body)))
+        if not merged_total:
+            return program, 0
+        return program.with_(regions=tuple(new_regions)), merged_total
+
+
+# ---------------------------------------------------------------------------
+# overlap
+# ---------------------------------------------------------------------------
+
+
+class OverlapPass(Pass):
+    """Schedule halo-independent compute against in-flight transfers.
+
+    A ``Compute`` carrying ``interior_frac=f`` declares that fraction of
+    its modeled work independent of the epoch's incoming halos.  The
+    pass splits it: the interior share (model-only, no ``fn``) moves in
+    front of the preceding ``HaloFinish``; the boundary share — with the
+    *full* real ``fn`` — stays after it.  Execute-mode arrays are
+    untouched because ``fn`` still runs entirely after the halos land;
+    only the modeled clock overlaps.  The split ops carry no
+    ``interior_frac``, so the pass is idempotent.
+    """
+
+    name = "overlap"
+
+    def run(self, program, machine):
+        moved = 0
+
+        def rewrite(region: Region) -> Region:
+            nonlocal moved
+            body = []
+            for ops in region.body:
+                ops = list(ops)
+                ci = next(
+                    (i for i, op in enumerate(ops)
+                     if isinstance(op, O.Compute)
+                     and op.interior_frac is not None
+                     and 0.0 < op.interior_frac < 1.0), None,
+                )
+                fi = None
+                if ci is not None:
+                    fi = next(
+                        (i for i in range(ci - 1, -1, -1)
+                         if isinstance(ops[i], O.HaloFinish)), None,
+                    )
+                if ci is None or fi is None:
+                    body.append(tuple(ops))
+                    continue
+                op = ops[ci]
+                f = op.interior_frac
+                interior = O.Compute(nbytes=op.nbytes * f, flops=op.flops * f)
+                boundary = O.Compute(
+                    nbytes=op.nbytes * (1.0 - f),
+                    flops=op.flops * (1.0 - f),
+                    seconds=(None if op.seconds is None
+                             else op.seconds * (1.0 - f)),
+                    fn=op.fn,
+                )
+                if op.seconds is not None:
+                    interior = dataclasses.replace(
+                        interior, seconds=op.seconds * f
+                    )
+                ops[ci] = boundary
+                ops.insert(fi, interior)
+                moved += 1
+                body.append(tuple(ops))
+            return Region(region.name, tuple(body))
+
+        p2 = _map_regions(program, rewrite)
+        if not moved:
+            return program, []
+        return p2, [self._record(
+            program, p2, machine, "pipeline",
+            count=moved,
+            detail=f"{moved} interior-compute slices moved before finish",
+        )]
+
+
+# ---------------------------------------------------------------------------
+# sync-elide
+# ---------------------------------------------------------------------------
+
+
+class SyncElidePass(Pass):
+    """Drop epoch-opening fences that are provably redundant.
+
+    On backends whose caps declare ``fence_epochs`` (one-sided MPI RMA:
+    ``begin``/``finish`` are both ``Win_fence``), the iteration pattern
+    ``finish(it-1) ... begin(it)`` closes one epoch and immediately
+    opens the next with no intervening exposure — the textbook
+    ``MPI_MODE_NOPRECEDE`` collapse.  In the model this is exact:
+    ``finish`` is collective, halo reads complete atomically at its exit
+    timestamp, and every post-fence put delivers strictly later.  The
+    pass removes ``HaloBegin`` from *every* rank of a region at once
+    (fences are collective — rank counts must stay matched) and never
+    touches a region containing ``HaloBegin(it=0)``, the epoch that
+    first exposes the windows.
+    """
+
+    name = "sync-elide"
+
+    def run(self, program, machine):
+        from repro.transport.registry import get_backend
+
+        if not get_backend(program.runtime).caps.fence_epochs:
+            return program, []
+        elided = 0
+
+        def rewrite(region: Region) -> Region:
+            nonlocal elided
+            begins = [
+                op for ops in region.body for op in ops
+                if isinstance(op, O.HaloBegin)
+            ]
+            if not begins or any(op.it == 0 for op in begins):
+                return region
+            elided += len(begins)
+            return Region(region.name, tuple(
+                tuple(op for op in ops if not isinstance(op, O.HaloBegin))
+                for ops in region.body
+            ))
+
+        p2 = _map_regions(program, rewrite)
+        if not elided:
+            return program, []
+        return p2, [self._record(
+            program, p2, machine, "fence",
+            count=elided,
+            detail=f"{elided} redundant epoch-open fences removed",
+        )]
+
+
+# ---------------------------------------------------------------------------
+# auto-backend
+# ---------------------------------------------------------------------------
+
+
+class AutoBackendPass(Pass):
+    """Retarget a portable program to the cheapest backend on this machine.
+
+    Reuses the collectives selector's Hockney grounding: every
+    registered backend whose cost profile exists in
+    ``machine.runtimes`` is scored with :func:`program_cost`; the argmin
+    wins, with ties going to the incumbent.  Fires only on programs the
+    builder marked ``portable`` (backend-agnostic op vocabulary).
+    """
+
+    name = "auto-backend"
+
+    def run(self, program, machine):
+        from repro.transport.registry import backend_names, get_backend
+
+        if not program.portable:
+            return program, []
+        costs = []
+        for name in backend_names():
+            backend = get_backend(name)
+            if backend.resolve_costs_key() not in machine.runtimes:
+                continue
+            costs.append((name, program_cost(
+                program, machine, runtime=name
+            )))
+        if not costs:
+            return program, []
+        incumbent = dict(costs).get(program.runtime)
+        best_name, best = min(costs, key=lambda c: c[1])
+        if incumbent is not None and incumbent <= best:
+            return program, []
+        p2 = program.with_(runtime=best_name)
+        return p2, [Rewrite(
+            pass_name=self.name,
+            kind="retarget",
+            count=1,
+            detail=f"{program.runtime} -> {best_name}",
+            before=incumbent if incumbent is not None else best,
+            after=best,
+        )]
+
+
+# ---------------------------------------------------------------------------
+# pipeline
+# ---------------------------------------------------------------------------
+
+_PASSES = {
+    "coalesce": CoalescePass,
+    "overlap": OverlapPass,
+    "sync-elide": SyncElidePass,
+    "auto-backend": AutoBackendPass,
+}
+
+DEFAULT_PASSES = ("coalesce", "overlap", "sync-elide")
+
+
+@dataclass(frozen=True)
+class PassPipeline:
+    """An ordered tuple of passes applied to every lowered static program."""
+
+    passes: tuple[Pass, ...]
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.passes)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.passes)
+
+    def run(self, program: IRProgram, machine):
+        """Apply every pass in order; returns (program, rewrites)."""
+        rewrites: list[Rewrite] = []
+        for p in self.passes:
+            program, rws = p.run(program, machine)
+            rewrites.extend(rws)
+        return program, rewrites
+
+
+def build_pipeline(spec=True) -> PassPipeline:
+    """Normalise a pipeline spec: PassPipeline | bool | None | names."""
+    if isinstance(spec, PassPipeline):
+        return spec
+    if spec is None or spec is False:
+        return PassPipeline(())
+    if spec is True:
+        spec = DEFAULT_PASSES
+    passes = []
+    for name in spec:
+        if isinstance(name, Pass):
+            passes.append(name)
+            continue
+        if name not in _PASSES:
+            raise ValueError(
+                f"unknown IR pass {name!r}; valid: " + ", ".join(_PASSES)
+            )
+        passes.append(_PASSES[name]())
+    return PassPipeline(tuple(passes))

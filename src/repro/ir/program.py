@@ -1,0 +1,145 @@
+"""IR programs: per-rank op lists grouped into per-iteration regions.
+
+A *static* program lists every op up front — prologue (untimed, before
+the measured window opens), a sequence of :class:`Region` (the timed
+iterations), and an epilogue (after the window closes, e.g. a trailing
+barrier that the runner deliberately excludes from its measurement).
+Static programs are what the pass pipeline rewrites.
+
+A *dynamic* program supplies a ``body(ctx, em, state)`` generator that
+emits ops through an :class:`repro.ir.lower.Emitter` as control flow
+unfolds — the shape SpTRSV (data-dependent wavefronts), the hashtable
+atomics path (CAS results steer collision handling) and the collective
+round executors need.  Passes skip dynamic programs; the explain report
+says so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.ir.ops import Op
+
+__all__ = ["Region", "IRProgram", "region_for_all", "static_program"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """One timed region (usually one iteration): per-rank op tuples."""
+
+    name: str
+    body: tuple[tuple[Op, ...], ...]  # indexed by rank
+
+    def rank_ops(self, rank: int) -> tuple[Op, ...]:
+        return self.body[rank]
+
+
+def region_for_all(name: str, nranks: int, per_rank) -> Region:
+    """Build a region from ``per_rank(rank) -> list[Op]``."""
+    return Region(
+        name=name, body=tuple(tuple(per_rank(r)) for r in range(nranks))
+    )
+
+
+@dataclass(frozen=True)
+class IRProgram:
+    """A complete communication-pattern program for one job.
+
+    Attributes:
+        name: workload label (appears in explain reports and obs names).
+        spec: the channel spec (HaloSpec/MailboxSpec/BatchSpec/
+            AtomicDomainSpec) the job opens.  Passes may *replace* it —
+            coalescing n puts of b bytes rewrites ``BatchSpec(b)`` to
+            ``BatchSpec(n*b)``.
+        nranks: job size.
+        runtime: backend name; the auto-backend pass may replace it.
+        prologue/regions/epilogue: the static form (empty for dynamic).
+        body: the dynamic form — ``body(ctx, em, state)`` generator.
+        setup: per-rank ``setup(ctx, chan, ep, state) -> None`` run before
+            the prologue (pure python: allocate local arrays, read
+            ``ep.local(...)`` views — never yields).
+        finalize: ``finalize(ctx, state, elapsed) -> result`` built after
+            the epilogue; defaults to returning ``elapsed``.
+        portable: True when the op vocabulary used is backend-agnostic,
+            which is what licenses the auto-backend pass to retarget it.
+        meta: free-form builder notes (e.g. execute flag) for reports.
+    """
+
+    name: str
+    spec: Any
+    nranks: int
+    runtime: str
+    prologue: tuple[tuple[Op, ...], ...] = ()
+    regions: tuple[Region, ...] = ()
+    epilogue: tuple[tuple[Op, ...], ...] = ()
+    body: Callable | None = field(default=None, compare=False)
+    setup: Callable | None = field(default=None, compare=False)
+    finalize: Callable | None = field(default=None, compare=False)
+    portable: bool = False
+    meta: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def dynamic(self) -> bool:
+        return self.body is not None
+
+    def with_(self, **changes) -> "IRProgram":
+        return replace(self, **changes)
+
+    def op_count(self) -> int:
+        """Total static ops across ranks (0 for dynamic programs)."""
+        total = 0
+        for part in (self.prologue, self.epilogue):
+            total += sum(len(ops) for ops in part)
+        for region in self.regions:
+            total += sum(len(ops) for ops in region.body)
+        return total
+
+
+def static_program(
+    name: str,
+    spec: Any,
+    nranks: int,
+    runtime: str,
+    *,
+    prologue=None,
+    regions=(),
+    epilogue=None,
+    setup=None,
+    finalize=None,
+    portable: bool = False,
+    meta: dict | None = None,
+) -> IRProgram:
+    """Convenience constructor normalising per-rank op containers.
+
+    ``prologue``/``epilogue`` accept either a per-rank sequence of op
+    lists or a single op list applied to every rank (the common "all
+    ranks barrier" case).
+    """
+
+    def norm(part) -> tuple[tuple[Op, ...], ...]:
+        if part is None:
+            return tuple(() for _ in range(nranks))
+        part = list(part)
+        if part and isinstance(part[0], Op):
+            return tuple(tuple(part) for _ in range(nranks))
+        if len(part) != nranks:
+            raise ValueError(
+                f"per-rank op lists must have nranks={nranks} entries, "
+                f"got {len(part)}"
+            )
+        return tuple(tuple(ops) for ops in part)
+
+    return IRProgram(
+        name=name,
+        spec=spec,
+        nranks=nranks,
+        runtime=runtime,
+        prologue=norm(prologue),
+        regions=tuple(regions),
+        epilogue=norm(epilogue),
+        setup=setup,
+        finalize=finalize,
+        portable=portable,
+        meta=dict(meta or {}),
+    )

@@ -109,6 +109,11 @@ class BackendCaps:
     remote_atomics: bool = True  # true sender's-control CAS/FAA/swap
     ops_per_message: int = 2  # paper Table I accounting
     gpu_initiated: bool = False
+    # Halo begin/finish are both a collective fence over the same window
+    # (one-sided RMA): back-to-back finish/begin pairs carry no exposure
+    # and may collapse (MPI_MODE_NOPRECEDE) — the IR sync-elide pass
+    # fires only where this is declared.
+    fence_epochs: bool = False
 
 
 # ---------------------------------------------------------------------------

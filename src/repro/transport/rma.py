@@ -290,7 +290,7 @@ class _AtomicEndpoint(Endpoint):
 class RmaBackend(TransportBackend):
     name = ONE_SIDED
     sided = "one"
-    caps = BackendCaps(remote_atomics=True, ops_per_message=4)
+    caps = BackendCaps(remote_atomics=True, ops_per_message=4, fence_epochs=True)
     description = "one-sided MPI RMA: 4-op put/flush/signal + Listing-1 polling"
     # A lost Put has no receiver to notice it: loss is only discovered at
     # the next synchronisation (slow detection), every retry re-syncs the

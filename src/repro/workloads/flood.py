@@ -1,16 +1,23 @@
 """Flood (bandwidth) microbenchmarks: the measured dots of Figs. 1, 3, 4.
 
 A flood run sends ``msgs_per_sync`` messages of ``nbytes`` each from rank 0
-to rank 1, then synchronises — repeated ``iters`` times.  The program is
-written once against the transport :class:`BatchSpec` channel
-(``post`` / ``commit`` / ``wait_batch``); the backend chosen by runtime
-name supplies the op sequence (see docs/TRANSPORT.md):
+to rank 1, then synchronises — repeated ``iters`` times.  The pattern is
+emitted as a :class:`repro.ir.IRProgram` over the transport
+:class:`BatchSpec` channel (``post`` / ``commit`` / ``wait_batch``) and
+lowered through :func:`repro.ir.run_program`; the backend chosen by
+runtime name supplies the op sequence (see docs/TRANSPORT.md):
 
 * two-sided: ``Isend`` x n  /  pre-posted ``Irecv`` x n + ``Waitall``;
 * one-sided MPI: ``Put`` x n + ``flush``, then the put/flush signal pair,
   receiver in the Listing-1 polling loop (4 MPI ops per *synchronised*
   message group, matching the paper's accounting);
 * GPU SHMEM: ``put_signal_nbi`` x n, receiver ``wait_until_all``.
+
+Because the program is IR, the ambient pass pipeline (off by default —
+see docs/IR.md) can rewrite it: coalesce merges the n small posts into
+one ``n * nbytes`` post per sync, and auto-backend may retarget the
+whole program.  With passes off the lowering is byte-identical to the
+pre-IR hand-written generator.
 
 There is also an atomic-CAS flood for the Fig. 4 compare-and-swap series.
 
@@ -25,14 +32,18 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro._compat import renamed_kwargs
-from repro.comm.job import Job
+from repro._compat import deprecated, renamed_kwargs
+from repro.ir import ops as O
+from repro.ir.lower import run_program
+from repro.ir.program import IRProgram, region_for_all, static_program
 from repro.machines.base import MachineModel
 from repro.roofline.fit import FloodSample
 from repro.transport import AtomicDomainSpec, BatchSpec, SpaceSpec
 
 __all__ = [
     "FloodResult",
+    "build_flood_program",
+    "build_cas_flood_program",
     "run_flood",
     "sweep_flood",
     "run_cas_flood",
@@ -68,20 +79,36 @@ class FloodResult:
         )
 
 
-def _program_flood(ctx, chan, n: int, iters: int):
+def build_flood_program(
+    runtime: str, nbytes: int, msgs_per_sync: int, *,
+    iters: int = 3, nranks: int = 2,
+) -> IRProgram:
     """Rank 0 floods rank 1; both measure the batch window."""
-    ep = chan.endpoint(ctx)
-    yield from ctx.barrier()
-    t0 = ctx.sim.now
-    for it in range(iters):
-        if ctx.rank == 0:
-            for _ in range(n):
-                yield from ep.post(1)
-            yield from ep.commit(1, it)
-        elif ctx.rank == 1:
-            yield from ep.wait_batch(0, it, n)
-        yield from ctx.barrier()
-    return ctx.sim.now - t0
+    n = msgs_per_sync
+
+    def per_rank(rank: int, it: int):
+        if rank == 0:
+            return [O.BatchPost(1) for _ in range(n)] + [
+                O.BatchCommit(1, it), O.Barrier(),
+            ]
+        if rank == 1:
+            return [O.BatchWait(0, it, n), O.Barrier()]
+        return [O.Barrier()]
+
+    regions = [
+        region_for_all(f"iter{it}", nranks, lambda r, it=it: per_rank(r, it))
+        for it in range(iters)
+    ]
+    return static_program(
+        "flood",
+        BatchSpec(nbytes=nbytes),
+        nranks,
+        runtime,
+        prologue=[O.Barrier()],
+        regions=regions,
+        portable=True,
+        meta={"nbytes": nbytes, "msgs_per_sync": n, "iters": iters},
+    )
 
 
 @renamed_kwargs(size="nbytes", msg_bytes="nbytes", n_msgs="msgs_per_sync", count="msgs_per_sync")
@@ -105,11 +132,13 @@ def run_flood(
         raise ValueError(f"flood nbytes must be >= 8, got {nbytes}")
     if msgs_per_sync < 1:
         raise ValueError(f"msgs_per_sync must be >= 1, got {msgs_per_sync}")
-    job = Job(machine, nranks, runtime, placement=placement)
-    chan = job.channel(BatchSpec(nbytes=nbytes))
-    result = job.run(_program_flood, chan, msgs_per_sync, iters)
+    program = build_flood_program(
+        runtime, nbytes, msgs_per_sync, iters=iters, nranks=nranks
+    )
+    run = run_program(machine, program, placement=placement)
+    job = run.job
     # Receiver-observed window (rank 1's elapsed time over the batches).
-    elapsed = result.results[1]
+    elapsed = run.result.results[1]
     total_bytes = float(nbytes) * msgs_per_sync * iters
     # Subtract the inter-iteration barrier cost so the number reflects the
     # communication itself, matching how flood benchmarks report.
@@ -128,6 +157,7 @@ def run_flood(
     )
 
 
+@deprecated("repro.sweep.run_sweep over run_flood points (docs/SWEEPS.md)")
 def sweep_flood(
     machine_factory,
     runtime: str,
@@ -137,7 +167,14 @@ def sweep_flood(
     iters: int = 3,
 ) -> list[FloodResult]:
     """Full (size x msg/sync) sweep; a fresh machine per point keeps the
-    fabric counters independent."""
+    fabric counters independent.
+
+    **Deprecated** (one cycle): this serial hand-rolled grid predates the
+    sweep layer and duplicates it without caching, parallelism, or the
+    ambient :func:`repro.sweep.execution` config.  Build a
+    :class:`repro.sweep.SweepSpec` whose runner calls :func:`run_flood`
+    instead — the experiments (fig03/fig04) show the pattern.
+    """
     out = []
     for n in msgs_per_sync:
         for b in sizes:
@@ -147,16 +184,32 @@ def sweep_flood(
     return out
 
 
-def _cas_flood(ctx, chan, n: int, target: int):
-    """Back-to-back remote CAS stream, rank 0 -> ``target`` (Fig. 4 series)."""
-    ep = chan.endpoint(ctx)
-    yield from ctx.barrier()
-    t0 = ctx.sim.now
-    if ctx.rank == 0:
-        yield from ep.cas_stream("ctr", target, 0, [(i, i + 1) for i in range(n)])
-        return ctx.sim.now - t0
-    # Target rank is passive.
-    return 0.0
+def build_cas_flood_program(
+    runtime: str, *, n_ops: int, target_rank: int, nranks: int = 2,
+) -> IRProgram:
+    """Back-to-back remote CAS stream, rank 0 -> target (Fig. 4 series)."""
+    ops = tuple((i, i + 1) for i in range(n_ops))
+
+    def per_rank(rank: int):
+        if rank == 0:
+            return [O.AtomicStream(
+                "ctr", target_rank, 0, n=n_ops, ops=ops
+            )]
+        return []  # target rank is passive
+
+    def finalize(ctx, state, elapsed):
+        return elapsed if ctx.rank == 0 else 0.0
+
+    return static_program(
+        "cas_flood",
+        AtomicDomainSpec(spaces={"ctr": SpaceSpec(8, dtype=np.int64, fill=0)}),
+        nranks,
+        runtime,
+        prologue=[O.Barrier()],
+        regions=[region_for_all("stream", nranks, per_rank)],
+        finalize=finalize,
+        meta={"n_ops": n_ops, "target_rank": target_rank},
+    )
 
 
 def run_cas_flood(
@@ -174,15 +227,14 @@ def run_cas_flood(
     """
     if not 0 < target_rank < nranks:
         raise ValueError(f"target_rank {target_rank} out of range (1..{nranks - 1})")
-    job = Job(machine, nranks, runtime, placement="spread")
-    chan = job.channel(
-        AtomicDomainSpec(spaces={"ctr": SpaceSpec(8, dtype=np.int64, fill=0)})
+    program = build_cas_flood_program(
+        runtime, n_ops=n_ops, target_rank=target_rank, nranks=nranks
     )
-    result = job.run(_cas_flood, chan, n_ops, target_rank)
-    elapsed = result.results[0]
+    run = run_program(machine, program, placement="spread")
+    elapsed = run.result.results[0]
     return {
         "machine": machine.name,
-        "runtime": job.runtime_name,
+        "runtime": run.job.runtime_name,
         "ops": n_ops,
         "time": elapsed,
         "latency_per_cas": elapsed / n_ops,

@@ -36,7 +36,9 @@ from functools import reduce
 import numpy as np
 
 from repro.comm.base import OpCounter
-from repro.comm.job import Job
+from repro.ir import ops as O
+from repro.ir.lower import run_program
+from repro.ir.program import IRProgram, Region, static_program
 from repro.machines.base import MachineModel
 from repro.transport import AtomicDomainSpec, SpaceSpec
 from repro.workloads.base import WorkloadResult
@@ -47,7 +49,12 @@ from repro.workloads.hashtable.table import (
     local_insert,
 )
 
-__all__ = ["HashTableConfig", "run_hashtable", "generate_keys"]
+__all__ = [
+    "HashTableConfig",
+    "build_hashtable_program",
+    "generate_keys",
+    "run_hashtable",
+]
 
 
 @dataclass(frozen=True)
@@ -114,68 +121,125 @@ def _domain_spec(geom: TableGeometry) -> AtomicDomainSpec:
     )
 
 
-def _program_hashtable(ctx, geom: TableGeometry, keys_by_rank, incoming_per_round,
-                       window: int, chan):
-    ep = chan.endpoint(ctx)
-    my_keys = keys_by_rank[ctx.rank]
-    if ep.caps.remote_atomics:
-        # Sender's-control inserts: CAS / increment / second-atomic.
-        yield from ctx.barrier()
+def _atomics_body(geom: TableGeometry, keys_by_rank):
+    """Sender's-control inserts: CAS / increment / second-atomic.
+
+    Dynamic IR body — the CAS result steers collision handling, so the
+    op stream only exists at run time (passes skip it; the Emitter
+    still lowers and counts every op)."""
+
+    def body(ctx, em, state):
+        yield from em.barrier()
         t0 = ctx.sim.now
         collisions = 0
-        for key in my_keys:
+        for key in keys_by_rank[ctx.rank]:
             key = int(key)
             r, s = geom.locate(key)
-            old = yield from ep.cas("table", r, s, EMPTY, key)
+            old = yield from em.cas("table", r, s, EMPTY, key)
             if old != EMPTY:
                 collisions += 1
-                idx = yield from ep.faa("meta", r, 0, 1)
+                idx = yield from em.faa("meta", r, 0, 1)
                 if idx >= geom.heap_per_rank:
                     raise RuntimeError("overflow heap exhausted at target rank")
                 # Link in at the head of the slot's chain: swap the head,
                 # then publish the (key, next) pair ordered before any
                 # subsequent op from this origin.
-                prev = yield from ep.swap("chain", r, s, idx + 1)
-                yield from ep.publish(
+                prev = yield from em.swap("chain", r, s, idx + 1)
+                yield from em.publish(
                     "heap", r, np.array([key, prev], dtype=np.int64), offset=2 * idx
                 )
         insert_time = ctx.sim.now - t0
-        yield from ctx.barrier()
+        yield from em.barrier()
         return {"time": insert_time, "collisions": collisions}
-    # Owner-routed triplets with per-round synchronisation.
-    table = ep.local("table")
-    chain = ep.local("chain")
-    heap = ep.local("heap")
-    meta = ep.local("meta")
-    nrounds = len(incoming_per_round[ctx.rank])
-    yield from ctx.barrier()
-    t0 = ctx.sim.now
+
+    return body
+
+
+def _insert_fn(key: int, s: int):
+    return lambda st: local_insert(
+        key, s, st["table"], st["chain"], st["heap"], st["meta"]
+    )
+
+
+def _recv_handler(state: dict, payload) -> None:
+    rid, key, s = payload
+    if rid != state["ctx"].rank:
+        raise RuntimeError("triplet routed to the wrong owner")
+    local_insert(key, s, state["table"], state["chain"], state["heap"],
+                 state["meta"])
+
+
+def build_hashtable_program(
+    runtime: str, geom: TableGeometry, keys_by_rank, incoming_per_round,
+    window: int, nranks: int,
+) -> IRProgram:
+    """Emit the insert pattern as IR; the algorithm (atomics vs
+    owner-routed triplets) branches on the backend's caps exactly as the
+    hand-written program branched on ``ep.caps.remote_atomics``."""
+    from repro.transport.registry import get_backend
+
+    spec = _domain_spec(geom)
+    meta = {"total_keys": sum(len(k) for k in keys_by_rank), "window": window}
+    if get_backend(runtime).caps.remote_atomics:
+        return IRProgram(
+            name="hashtable",
+            spec=spec,
+            nranks=nranks,
+            runtime=runtime,
+            body=_atomics_body(geom, keys_by_rank),
+            meta=meta,
+        )
+
+    # Owner-routed triplets with per-round synchronisation: one region
+    # per round, then a drain region (inside the timed window) and the
+    # trailing barrier in the epilogue (outside it) — matching the
+    # hand-written measurement exactly.
+    def setup(ctx, chan, ep, state):
+        for space in ("table", "chain", "heap", "meta"):
+            state[space] = ep.local(space)
+
+    nrounds = len(incoming_per_round[0]) if nranks else 0
+    regions = []
     for rnd in range(nrounds):
-        lo, hi = rnd * window, min((rnd + 1) * window, len(my_keys))
-        for key in my_keys[lo:hi]:
-            key = int(key)
-            r, s = geom.locate(key)
-            if r == ctx.rank:
-                local_insert(key, s, table, chain, heap, meta)
-                yield from ctx.compute(nbytes=64.0)
-            else:
-                yield from ep.post_msg(r, nbytes=24.0, tag=1, payload=(r, key, s))
-        expected = incoming_per_round[ctx.rank][rnd]
-        for _ in range(expected):
-            # Hot-loop receive: GUPS-style codes poll MPI_Recv in a tight
-            # loop rather than descheduling per message.
-            payload = yield from ep.recv_msg_poll(tag=1)
-            rid, key, s = payload
-            if rid != ctx.rank:
-                raise RuntimeError("triplet routed to the wrong owner")
-            local_insert(key, s, table, chain, heap, meta)
-            yield from ctx.compute(nbytes=64.0)
-        # Round synchronisation: termination/quiescence exchange.
-        yield from ctx.allreduce_sum(float(expected))
-    yield from ep.drain()
-    insert_time = ctx.sim.now - t0
-    yield from ctx.barrier()
-    return {"time": insert_time, "collisions": 0}
+        body = []
+        for rank in range(nranks):
+            my_keys = keys_by_rank[rank]
+            lo, hi = rnd * window, min((rnd + 1) * window, len(my_keys))
+            ops: list[O.Op] = []
+            for key in my_keys[lo:hi]:
+                key = int(key)
+                r, s = geom.locate(key)
+                if r == rank:
+                    ops.append(O.Compute(nbytes=64.0, fn=_insert_fn(key, s)))
+                else:
+                    ops.append(O.TripletSend(r, 24.0, 1, payload=(r, key, s)))
+            expected = incoming_per_round[rank][rnd]
+            for _ in range(expected):
+                # Hot-loop receive: GUPS-style codes poll MPI_Recv in a
+                # tight loop rather than descheduling per message.
+                ops.append(O.TripletRecv(1, on_payload=_recv_handler))
+                ops.append(O.Compute(nbytes=64.0))
+            # Round synchronisation: termination/quiescence exchange.
+            ops.append(O.AllreduceSum(float(expected)))
+            body.append(tuple(ops))
+        regions.append(Region(f"round{rnd}", tuple(body)))
+    regions.append(Region("drain", tuple((O.MsgDrain(),) for _ in range(nranks))))
+
+    def finalize(ctx, state, elapsed):
+        return {"time": elapsed, "collisions": 0}
+
+    return static_program(
+        "hashtable",
+        spec,
+        nranks,
+        runtime,
+        prologue=[O.Barrier()],
+        regions=regions,
+        epilogue=[O.Barrier()],
+        setup=setup,
+        finalize=finalize,
+        meta=meta,
+    )
 
 
 def _plan_rounds(
@@ -225,12 +289,12 @@ def run_hashtable(
     keys_by_rank = generate_keys(cfg, nranks)
     if placement is None:
         placement = "spread" if machine.is_gpu_machine else "block"
-    job = Job(machine, nranks, runtime, placement=placement)
-    chan = job.channel(_domain_spec(geom))
     incoming = _plan_rounds(geom, keys_by_rank, nranks, cfg.sync_window)
-    result = job.run(
-        _program_hashtable, geom, keys_by_rank, incoming, cfg.sync_window, chan
+    program = build_hashtable_program(
+        runtime, geom, keys_by_rank, incoming, cfg.sync_window, nranks
     )
+    run = run_program(machine, program, placement=placement)
+    job, chan, result = run.job, run.chan, run.result
     tables = [chan.array("table", r) for r in range(nranks)]
     chains = [chan.array("chain", r) for r in range(nranks)]
     heaps = [chan.array("heap", r) for r in range(nranks)]

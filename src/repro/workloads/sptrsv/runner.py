@@ -31,7 +31,8 @@ import numpy as np
 import scipy.linalg as sla
 
 from repro.comm.base import OpCounter
-from repro.comm.job import Job
+from repro.ir.lower import run_program
+from repro.ir.program import IRProgram
 from repro.machines.base import MachineModel
 from repro.transport import MailboxMsg, MailboxSpec
 from repro.workloads.base import WorkloadResult
@@ -43,7 +44,12 @@ from repro.workloads.sptrsv.plan import (
     CommPlan,
 )
 
-__all__ = ["run_sptrsv", "reference_solve", "SpTrsvConfig"]
+__all__ = [
+    "SpTrsvConfig",
+    "build_sptrsv_program",
+    "reference_solve",
+    "run_sptrsv",
+]
 
 
 @dataclass(frozen=True)
@@ -76,8 +82,10 @@ SPARSE_CPU_BW = 5e9
 class _SolveState:
     """Per-rank mutable solver state shared by the three variants."""
 
-    def __init__(self, ctx, plan: CommPlan, b: np.ndarray | None, execute: bool):
+    def __init__(self, ctx, em, plan: CommPlan, b: np.ndarray | None,
+                 execute: bool):
         self.ctx = ctx
+        self.em = em
         self.plan = plan
         self.m = plan.matrix
         self.execute = execute
@@ -111,7 +119,7 @@ class _SolveState:
             )
         else:
             xJ = None
-        yield from self.ctx.compute(seconds=w * w * 4.0 / self.eff_bw)
+        yield from self.em.compute(seconds=w * w * 4.0 / self.eff_bw)
         self.x[J] = xJ
         return xJ
 
@@ -122,7 +130,7 @@ class _SolveState:
             u = self.m.blocks[(I, J)] @ xJ
         else:
             u = None
-        yield from self.ctx.compute(seconds=wi * wj * 8.0 / self.eff_bw)
+        yield from self.em.compute(seconds=wi * wj * 8.0 / self.eff_bw)
         return u
 
     def apply_contrib(self, I: int, u) -> bool:
@@ -189,44 +197,69 @@ def _mailbox_spec(plan: CommPlan, nranks: int, execute: bool) -> MailboxSpec:
     )
 
 
-def _program_sptrsv(ctx, plan: CommPlan, b, execute: bool, chan):
-    state = _SolveState(ctx, plan, b, execute)
-    ep = chan.endpoint(ctx)
+def build_sptrsv_program(
+    runtime: str, plan: CommPlan, b, execute: bool, nranks: int
+) -> IRProgram:
+    """Emit the wavefront solve as a dynamic IR program.
 
-    def send_msg(kind, sn, block, dst, values, words):
-        slot = plan.slot_of[dst][(kind, sn, ctx.rank, block)]
-        yield from ep.send(
-            dst,
-            slot,
-            words=words,
-            values=values if execute else None,
-            meta=(kind, sn),
-            tag=kind,
+    The op stream is data-dependent — which supernodes become ready, and
+    in what order, is only known as messages arrive — so the body drives
+    an :class:`repro.ir.lower.Emitter` instead of building static regions
+    (passes skip dynamic programs; every op is still lowered and counted
+    through the same dispatch).
+    """
+
+    def body(ctx, em, state):
+        solve = _SolveState(ctx, em, plan, b, execute)
+
+        def send_msg(kind, sn, block, dst, values, words):
+            slot = plan.slot_of[dst][(kind, sn, ctx.rank, block)]
+            yield from em.send(
+                dst,
+                slot,
+                words=words,
+                values=values if execute else None,
+                meta=(kind, sn),
+                tag=kind,
+            )
+
+        def send_x(J, dst, xJ):
+            yield from send_msg(X_MSG, J, None, dst, xJ, plan.matrix.widths[J])
+
+        def send_lsum(I, block, dst, u):
+            yield from send_msg(LSUM_MSG, I, block, dst, u, plan.matrix.widths[I])
+
+        yield from em.barrier()
+        t0 = ctx.sim.now
+        yield from _drain_ready(solve, send_x, send_lsum)
+        expected = plan.expected[ctx.rank]
+        yield from em.expect(
+            {
+                m.slot: MailboxMsg(
+                    slot=m.slot, words=m.words, meta=(m.kind, m.supernode)
+                )
+                for m in expected
+            }
         )
-
-    def send_x(J, dst, xJ):
-        yield from send_msg(X_MSG, J, None, dst, xJ, plan.matrix.widths[J])
-
-    def send_lsum(I, block, dst, u):
-        yield from send_msg(LSUM_MSG, I, block, dst, u, plan.matrix.widths[I])
-
-    yield from ctx.barrier()
-    t0 = ctx.sim.now
-    yield from _drain_ready(state, send_x, send_lsum)
-    expected = plan.expected[ctx.rank]
-    ep.expect(
-        {
-            m.slot: MailboxMsg(slot=m.slot, words=m.words, meta=(m.kind, m.supernode))
-            for m in expected
+        for _ in range(len(expected)):
+            (kind, sn), data = yield from em.recv()
+            yield from _dispatch(solve, kind, sn, data, send_lsum)
+            yield from _drain_ready(solve, send_x, send_lsum)
+        yield from em.drain()
+        elapsed = ctx.sim.now - t0
+        return {
+            "time": elapsed,
+            "x": {J: solve.x.get(J) for J in plan.owned_diags.get(ctx.rank, [])},
         }
+
+    return IRProgram(
+        name="sptrsv",
+        spec=_mailbox_spec(plan, nranks, execute),
+        nranks=nranks,
+        runtime=runtime,
+        body=body,
+        meta={"nnz": plan.matrix.nnz, "execute": execute},
     )
-    for _ in range(len(expected)):
-        (kind, sn), data = yield from ep.recv()
-        yield from _dispatch(state, kind, sn, data, send_lsum)
-        yield from _drain_ready(state, send_x, send_lsum)
-    yield from ep.drain()
-    elapsed = ctx.sim.now - t0
-    return {"time": elapsed, "x": {J: state.x.get(J) for J in plan.owned_diags.get(ctx.rank, [])}}
 
 
 # ---------------------------------------------------------------------------
@@ -257,9 +290,9 @@ def run_sptrsv(
             raise ValueError(f"b has length {len(b)}, expected {matrix.n}")
     if placement is None:
         placement = "spread" if machine.is_gpu_machine else "block"
-    job = Job(machine, nranks, runtime, placement=placement)
-    chan = job.channel(_mailbox_spec(plan, nranks, execute))
-    result = job.run(_program_sptrsv, plan, b, execute, chan)
+    program = build_sptrsv_program(runtime, plan, b, execute, nranks)
+    run = run_program(machine, program, placement=placement)
+    job, result = run.job, run.result
     times = [r["time"] for r in result.results]
     extras: dict = {"plan": plan.describe(), "nnz": matrix.nnz}
     if execute:

@@ -23,7 +23,9 @@ from functools import reduce
 import numpy as np
 
 from repro.comm.base import OpCounter
-from repro.comm.job import Job
+from repro.ir import ops as O
+from repro.ir.lower import run_program
+from repro.ir.program import IRProgram, Region, static_program
 from repro.machines.base import MachineModel
 from repro.transport import HaloSpec
 from repro.workloads.base import WorkloadResult
@@ -36,7 +38,7 @@ from repro.workloads.stencil.kernels import (
     stencil_flops,
 )
 
-__all__ = ["StencilConfig", "run_stencil"]
+__all__ = ["StencilConfig", "build_stencil_program", "run_stencil"]
 
 _DIR_ORDER = ("north", "south", "west", "east")
 _DIR_INDEX = {d: i for i, d in enumerate(_DIR_ORDER)}
@@ -203,23 +205,31 @@ def _pinned_slices(plan: _RankPlan, local: np.ndarray | None) -> dict:
     return pinned
 
 
-def _compute_sweep(ctx, plan: _RankPlan, cfg: StencilConfig, local, scratch,
-                   pinned, sources):
-    """Charge modelled compute; do the real sweep in execute mode."""
-    cells = plan.bx * plan.by
-    if local is not None:
+def _sweep_fn(cfg: StencilConfig):
+    """The real numpy sweep (execute mode), run where the hand-written
+    runner ran it: after the halos land, before the modelled compute."""
+
+    def fn(state: dict) -> None:
+        plan, local, scratch = state["plan"], state["local"], state["scratch"]
+        if local is None:
+            return
         if cfg.variant == "heat":
             scratch = heat_step(
-                local, scratch, sources=sources, energy=cfg.energy
+                local, scratch, sources=state["sources"], energy=cfg.energy
             )
         else:
             scratch = jacobi_step(local, scratch)
         local, scratch = scratch, local
-        _pin_global_boundary(plan, local, pinned)
-    yield from ctx.compute(
-        nbytes=stencil_bytes(cells), flops=stencil_flops(cells)
-    )
-    return local, scratch
+        _pin_global_boundary(plan, local, state["pinned"])
+        state["local"], state["scratch"] = local, scratch
+
+    return fn
+
+
+def _write_halos(state: dict, received: dict) -> None:
+    plan, local = state["plan"], state["local"]
+    for d in plan.neighbors:
+        plan.write_halo(local, d, received[d])
 
 
 def _halo_spec(grid: ProcessGrid, cfg: StencilConfig, nranks: int) -> HaloSpec:
@@ -239,29 +249,73 @@ def _halo_spec(grid: ProcessGrid, cfg: StencilConfig, nranks: int) -> HaloSpec:
     )
 
 
-def _program_stencil(ctx, cfg: StencilConfig, grid: ProcessGrid, chan):
-    plan = _RankPlan.build(grid, ctx.rank, cfg.nx, cfg.ny)
-    local = _local_setup(plan, cfg)
-    scratch = local.copy() if local is not None else None
-    pinned = _pinned_slices(plan, local)
-    sources = _local_sources(plan, cfg)
-    ep = chan.endpoint(ctx)
-    yield from ctx.barrier()
-    t0 = ctx.sim.now
+def build_stencil_program(
+    runtime: str, cfg: StencilConfig, grid: ProcessGrid, nranks: int
+) -> IRProgram:
+    """Per-iteration halo-exchange regions over the HaloSpec channel.
+
+    Execute-mode payloads resolve lazily against the per-rank ``state``
+    (edge strips must read the *current* block at put time), and the
+    sweep's ``interior_frac`` hint tells the overlap pass how much of
+    the modelled compute is independent of the incoming halos.
+    """
+    execute = cfg.mode == "execute"
+    plans = {r: _RankPlan.build(grid, r, cfg.nx, cfg.ny) for r in range(nranks)}
+    sweep = _sweep_fn(cfg) if execute else None
+
+    def setup(ctx, chan, ep, state):
+        plan = plans[ctx.rank]
+        local = _local_setup(plan, cfg)
+        state["plan"] = plan
+        state["local"] = local
+        state["scratch"] = local.copy() if local is not None else None
+        state["pinned"] = _pinned_slices(plan, local)
+        state["sources"] = _local_sources(plan, cfg)
+
+    regions = []
     for it in range(cfg.iters):
-        yield from ep.begin(it)
-        for d, nb in plan.neighbors.items():
-            values = plan.edge_strip(local, d) if local is not None else None
-            yield from ep.put(d, nb, values=values)
-        received = yield from ep.finish(it)
-        if local is not None:
-            for d in plan.neighbors:
-                plan.write_halo(local, d, received[d])
-        local, scratch = yield from _compute_sweep(
-            ctx, plan, cfg, local, scratch, pinned, sources
-        )
-    elapsed = ctx.sim.now - t0
-    return {"time": elapsed, "block": local[1:-1, 1:-1] if local is not None else None}
+        body = []
+        for r in range(nranks):
+            plan = plans[r]
+            ops: list[O.Op] = [O.HaloBegin(it)]
+            for d, nb in plan.neighbors.items():
+                values = (
+                    (lambda st, d=d: st["plan"].edge_strip(st["local"], d))
+                    if execute
+                    else None
+                )
+                ops.append(O.HaloPut(d, nb, values=values))
+            ops.append(O.HaloFinish(it, on_done=_write_halos if execute else None))
+            cells = plan.bx * plan.by
+            ops.append(O.Compute(
+                nbytes=stencil_bytes(cells),
+                flops=stencil_flops(cells),
+                fn=sweep,
+                interior_frac=max(plan.bx - 2, 0) * max(plan.by - 2, 0) / cells,
+            ))
+            body.append(tuple(ops))
+        regions.append(Region(f"iter{it}", tuple(body)))
+
+    def finalize(ctx, state, elapsed):
+        local = state["local"]
+        return {
+            "time": elapsed,
+            "block": local[1:-1, 1:-1] if local is not None else None,
+        }
+
+    return static_program(
+        "stencil",
+        _halo_spec(grid, cfg, nranks),
+        nranks,
+        runtime,
+        prologue=[O.Barrier()],
+        regions=regions,
+        setup=setup,
+        finalize=finalize,
+        portable=True,
+        meta={"execute": execute, "iters": cfg.iters,
+              "grid": f"{grid.px}x{grid.py}"},
+    )
 
 
 def run_stencil(
@@ -284,9 +338,9 @@ def run_stencil(
         raise ValueError(f"grid {grid.px}x{grid.py} != nranks {nranks}")
     if placement is None:
         placement = "spread" if machine.is_gpu_machine else "block"
-    job = Job(machine, nranks, runtime, placement=placement)
-    chan = job.channel(_halo_spec(grid, cfg, nranks))
-    result = job.run(_program_stencil, cfg, grid, chan)
+    program = build_stencil_program(runtime, cfg, grid, nranks)
+    run = run_program(machine, program, placement=placement)
+    job, result = run.job, run.result
     times = [r["time"] for r in result.results]
     extras: dict = {
         "grid": f"{grid.px}x{grid.py}",

@@ -1,0 +1,146 @@
+"""Unit tests for repro.ir: programs, passes, cost model, reports, obs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ir, obs
+from repro.ir import ops as O
+from repro.ir.cost import CostModel, program_cost
+from repro.ir.program import Region, region_for_all, static_program
+from repro.machines.registry import get_machine
+from repro.workloads.flood import build_flood_program
+from repro.workloads.hashtable.runner import (
+    HashTableConfig,
+    run_hashtable,
+)
+from repro.workloads.stencil.decomposition import ProcessGrid
+from repro.workloads.stencil.runner import StencilConfig, build_stencil_program
+
+M = get_machine("perlmutter-cpu")
+
+
+class TestProgram:
+    def test_flood_program_shape(self):
+        p = build_flood_program("one_sided", 4096, 8, iters=2)
+        assert not p.dynamic and p.portable
+        assert len(p.regions) == 2
+        r0 = p.regions[0].rank_ops(0)
+        assert [type(op).__name__ for op in r0] == (
+            ["BatchPost"] * 8 + ["BatchCommit", "Barrier"]
+        )
+
+    def test_static_program_replicates_shared_prologue(self):
+        p = static_program(
+            "t", None, 3, "two_sided", prologue=[O.Barrier()], regions=[]
+        )
+        assert len(p.prologue) == 3
+        assert all(len(ops) == 1 for ops in p.prologue)
+
+    def test_region_for_all(self):
+        r = region_for_all("r", 2, lambda rank: [O.Barrier()])
+        assert isinstance(r, Region) and len(r.body) == 2
+
+    def test_op_count(self):
+        p = build_flood_program("one_sided", 64, 4, iters=1)
+        assert p.op_count() > 0
+
+
+class TestPipeline:
+    def test_build_pipeline_validates_names(self):
+        with pytest.raises(ValueError, match="unknown IR pass"):
+            ir.build_pipeline(["coalesce", "nope"])
+
+    def test_build_pipeline_bool_forms(self):
+        assert not ir.build_pipeline(False).enabled
+        assert not ir.build_pipeline(None).enabled
+        assert ir.build_pipeline(True).names() == ir.DEFAULT_PASSES
+
+    def test_coalesce_respects_byte_cap(self):
+        from repro.ir.pipeline import _COALESCE_BYTE_CAP
+
+        huge = build_flood_program(
+            "one_sided", _COALESCE_BYTE_CAP, 4, iters=1
+        )
+        pipe = ir.build_pipeline(["coalesce"])
+        _, rewrites = pipe.run(huge, M)
+        assert rewrites == []
+
+    def test_sync_elide_needs_fence_epochs(self):
+        grid = ProcessGrid.square_ish(4)
+        cfg = StencilConfig(nx=16, ny=16, iters=2)
+        pipe = ir.build_pipeline(["sync-elide"])
+        rma = build_stencil_program("one_sided", cfg, grid, 4)
+        _, fired = pipe.run(rma, M)
+        assert fired and fired[0].kind == "fence"
+        two = build_stencil_program("two_sided", cfg, grid, 4)
+        _, not_fired = pipe.run(two, M)
+        assert not_fired == []
+
+    def test_auto_backend_requires_portable(self):
+        p = build_flood_program("one_sided", 65536, 64, iters=1)
+        assert p.portable
+        pipe = ir.build_pipeline(["auto-backend"])
+        rewritten, _ = pipe.run(p.with_(portable=False), M)
+        assert rewritten.runtime == "one_sided"
+
+
+class TestCostModel:
+    def test_for_machine(self):
+        cm = CostModel.for_(M, "one_sided", 2)
+        assert cm.alpha > 0 and cm.G > 0 and cm.barrier > 0
+
+    def test_dynamic_program_cost_raises(self):
+        geom_cfg = HashTableConfig(total_inserts=32)
+        from repro.workloads.hashtable.runner import (
+            _plan_rounds,
+            build_hashtable_program,
+            generate_keys,
+        )
+        from repro.workloads.hashtable.table import TableGeometry
+
+        geom = TableGeometry.for_inserts(2, 32, load_factor=0.6)
+        keys = generate_keys(geom_cfg, 2)
+        incoming = _plan_rounds(geom, keys, 2, 1)
+        p = build_hashtable_program("one_sided", geom, keys, incoming, 1, 2)
+        assert p.dynamic
+        with pytest.raises(ValueError, match="dynamic"):
+            program_cost(p, M)
+
+    def test_more_messages_cost_more(self):
+        small = build_flood_program("one_sided", 4096, 4, iters=1)
+        big = build_flood_program("one_sided", 4096, 64, iters=1)
+        assert program_cost(big, M) > program_cost(small, M)
+
+
+class TestScopes:
+    def test_innermost_pipeline_wins(self):
+        with ir.passes(["coalesce"]):
+            with ir.passes(False):
+                assert not ir.current_pipeline().enabled
+            assert ir.current_pipeline().names() == ("coalesce",)
+
+    def test_default_is_empty(self):
+        assert not ir.current_pipeline().enabled
+
+    def test_faults_force_scalar_pipeline(self):
+        from repro import faults
+
+        plan = faults.FaultPlan.uniform(loss=0.2, seed=1)
+        with faults.inject(plan), ir.passes(True), ir.collect() as reports:
+            run_hashtable(M, "two_sided", HashTableConfig(total_inserts=64), 2)
+        (rep,) = reports
+        assert rep.passes == ()
+        assert any("faults active" in n for n in rep.notes)
+
+
+class TestObsIntegration:
+    def test_counters_and_span(self):
+        session = obs.Obs()
+        with obs.observe(session), ir.passes(True):
+            run_hashtable(M, "two_sided", HashTableConfig(total_inserts=64), 2)
+        snap = session.snapshot()
+        assert snap["ir.programs.lowered"] >= 1
+        assert snap["ir.ops.lowered"] > 0
+        assert any(k.startswith("ir.ops.") and k != "ir.ops.lowered"
+                   for k in snap)

@@ -1,0 +1,136 @@
+"""Property tests for the IR pass pipeline (hypothesis).
+
+Two invariants, checked over randomly drawn (workload-program, machine,
+backend) triples:
+
+* **monotone** — no pass ever *increases* a program's modeled cost: the
+  passes only merge messages, hide compute behind transfers, drop
+  provably redundant fences, or retarget to a cheaper backend, and each
+  is conservative (it fires only when the cost model says the rewrite is
+  safe or free).
+* **idempotent** — running a pipeline on its own output fires zero
+  further rewrites and leaves the program unchanged: every rewrite
+  removes its own precondition (a coalesced batch has n=1, split compute
+  has no ``interior_frac``, an elided region has no fences, a retargeted
+  program keeps the incumbent on the second scoring).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import build_pipeline, program_cost
+from repro.machines.registry import get_machine
+from repro.workloads.flood import build_cas_flood_program, build_flood_program
+from repro.workloads.hashtable.runner import (
+    HashTableConfig,
+    _plan_rounds,
+    build_hashtable_program,
+    generate_keys,
+)
+from repro.workloads.hashtable.table import TableGeometry
+from repro.workloads.stencil.decomposition import ProcessGrid
+from repro.workloads.stencil.runner import StencilConfig, build_stencil_program
+
+MACHINES = ("perlmutter-cpu", "perlmutter-gpu", "summit-cpu", "frontier-gpu")
+
+PASS_NAMES = ("coalesce", "overlap", "sync-elide", "auto-backend")
+
+
+def _backends_for(machine):
+    return tuple(machine.runtimes)
+
+
+@st.composite
+def programs(draw):
+    """A static program from a real workload builder, on a real machine."""
+    machine = get_machine(draw(st.sampled_from(MACHINES)))
+    runtime = draw(st.sampled_from(_backends_for(machine)))
+    kind = draw(st.sampled_from(("flood", "cas_flood", "stencil", "hashtable")))
+    if kind == "flood":
+        program = build_flood_program(
+            runtime,
+            draw(st.sampled_from((64, 1024, 4096, 65536))),
+            draw(st.sampled_from((1, 4, 64))),
+            iters=draw(st.integers(1, 3)),
+        )
+    elif kind == "cas_flood":
+        program = build_cas_flood_program(
+            runtime, n_ops=draw(st.integers(1, 64)), target_rank=1
+        )
+    elif kind == "stencil":
+        nranks = draw(st.sampled_from((1, 2, 4)))
+        n = draw(st.sampled_from((16, 32)))
+        cfg = StencilConfig(
+            nx=n, ny=n, iters=draw(st.integers(1, 3)), mode="simulate"
+        )
+        program = build_stencil_program(
+            runtime, cfg, ProcessGrid.square_ish(nranks), nranks
+        )
+    else:
+        nranks = draw(st.sampled_from((2, 4)))
+        cfg = HashTableConfig(total_inserts=draw(st.sampled_from((32, 128))))
+        geom = TableGeometry.for_inserts(
+            nranks, cfg.total_inserts, load_factor=cfg.load_factor
+        )
+        keys = generate_keys(cfg, nranks)
+        incoming = _plan_rounds(geom, keys, nranks, cfg.sync_window)
+        program = build_hashtable_program(
+            runtime, geom, keys, incoming, cfg.sync_window, nranks
+        )
+    return program, machine
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs(), st.sampled_from(PASS_NAMES))
+def test_no_pass_increases_modeled_cost(prog_machine, pass_name):
+    program, machine = prog_machine
+    if program.dynamic:
+        return  # passes never see dynamic programs (run_program skips them)
+    pipe = build_pipeline([pass_name])
+    before = program_cost(program, machine)
+    rewritten, _rewrites = pipe.run(program, machine)
+    after = program_cost(rewritten, machine)
+    assert after <= before * (1 + 1e-12), (
+        f"{pass_name} increased modeled cost on {program.name}"
+        f"@{machine.name}/{program.runtime}: {before} -> {after}"
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    programs(),
+    st.lists(st.sampled_from(PASS_NAMES), min_size=1, max_size=4, unique=True),
+)
+def test_pipelines_are_idempotent(prog_machine, names):
+    program, machine = prog_machine
+    if program.dynamic:
+        return
+    pipe = build_pipeline(names)
+    once, _ = pipe.run(program, machine)
+    twice, rewrites = pipe.run(once, machine)
+    assert not rewrites, (
+        f"second {names} run fired {[r.kind for r in rewrites]} "
+        f"on {program.name}@{machine.name}/{program.runtime}"
+    )
+    assert twice.runtime == once.runtime
+    assert [
+        [type(op).__name__ for ops in r.body for op in ops]
+        for r in twice.regions
+    ] == [
+        [type(op).__name__ for ops in r.body for op in ops]
+        for r in once.regions
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs())
+def test_default_pipeline_cost_monotone_end_to_end(prog_machine):
+    program, machine = prog_machine
+    if program.dynamic:
+        return
+    pipe = build_pipeline(True)
+    before = program_cost(program, machine)
+    rewritten, _ = pipe.run(program, machine)
+    assert program_cost(rewritten, machine) <= before * (1 + 1e-12)

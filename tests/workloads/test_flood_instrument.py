@@ -57,10 +57,13 @@ class TestFlood:
             run_flood(perlmutter_cpu(), "smoke", 64, 1)
 
     def test_sweep_covers_grid(self):
-        out = sweep_flood(
-            perlmutter_cpu, "two_sided", sizes=(64, 1024), msgs_per_sync=(1, 4),
-            iters=1,
-        )
+        # sweep_flood is deprecated (use repro.sweep.run_sweep); the shim
+        # must keep working for one cycle while warning.
+        with pytest.warns(DeprecationWarning, match="run_sweep"):
+            out = sweep_flood(
+                perlmutter_cpu, "two_sided", sizes=(64, 1024),
+                msgs_per_sync=(1, 4), iters=1,
+            )
         assert len(out) == 4
         assert {(r.nbytes, r.msgs_per_sync) for r in out} == {
             (64, 1), (64, 4), (1024, 1), (1024, 4),
