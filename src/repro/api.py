@@ -93,6 +93,9 @@ class Session:
         jobs: sweep parallelism (installed via :func:`repro.sweep.execution`).
         cache: a :class:`~repro.sweep.ResultCache` (or a path for one) for
             sweep result caching.
+        placement: default co-scheduling placement policy (``"packed"`` /
+            ``"scattered"`` / ``"random"``) for clusters built via
+            :meth:`cluster`, validated eagerly.
         passes: IR pass pipeline for every program lowered in the session
             (installed via :func:`repro.ir.passes`).  ``True`` enables the
             default pipeline (coalesce, overlap, sync-elide); a sequence of
@@ -117,7 +120,15 @@ class Session:
         jobs: int = 1,
         cache: "_sweep.ResultCache | str | None" = None,
         passes=False,
+        placement: str = "packed",
     ):
+        from repro.cluster import PLACEMENTS
+
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {placement!r}; valid: {PLACEMENTS}"
+            )
+        self.placement = placement
         self.machine = get_machine(machine) if isinstance(machine, str) else machine
         if backend is not None and backend not in backend_names():
             raise ValueError(
@@ -249,6 +260,18 @@ class Session:
         return run_moe_dispatch(
             self._machine(), self._backend(), nranks=nranks, **kwargs
         )
+
+    def cluster(self, machine: "str | MachineModel | None" = None, **kwargs: Any):
+        """A :class:`repro.cluster.Cluster` on the session's machine (or an
+        explicit one), defaulting to the session's ``placement`` policy.
+        Accepts the Cluster keywords (``routing=``, ``congestion=``,
+        ``seed=``, ``faults=``)."""
+        from repro.cluster import Cluster
+
+        if machine is None:
+            machine = self._machine()
+        kwargs.setdefault("placement", self.placement)
+        return Cluster(machine, **kwargs)
 
     def run_kv_transfer(self, *, nranks: int, **kwargs: Any):
         """A prefill -> KV-cache hand-off -> decode pipeline."""

@@ -114,6 +114,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("machines", help="describe the modelled platforms")
 
+    top = sub.add_parser(
+        "topo",
+        help="summarise a machine/fabric topology (nodes, links, diameter, "
+        "bisection bandwidth)",
+    )
+    top.add_argument(
+        "name",
+        help="a machine name (incl. cluster grammar like "
+        "'perlmutter-cpu-x8@dragonfly(4,2,2)') or a bare generator "
+        "like 'dragonfly(4,2,2)', 'fattree(8)', 'torus(4,4)'",
+    )
+    top.add_argument(
+        "--dot", action="store_true",
+        help="emit the topology as Graphviz DOT on stdout instead",
+    )
+
     fp = sub.add_parser("flood", help="run a flood bandwidth point")
     fp.add_argument("machine")
     fp.add_argument("runtime", choices=backend_names())
@@ -484,6 +500,66 @@ def _cmd_machines() -> int:
     return 0
 
 
+def _resolve_topology(name: str):
+    """A TopologySpec from a machine name or a bare generator expression."""
+    import re
+
+    from repro.net.topology import dragonfly, fat_tree, torus
+
+    m = re.match(r"^(dragonfly|fattree|torus)\((\d+(?:,\d+)*)\)$", name)
+    if m is not None:
+        args = tuple(int(x) for x in m.group(2).split(","))
+        gen = m.group(1)
+        if gen == "dragonfly":
+            return dragonfly(*args).topology
+        if gen == "fattree":
+            return fat_tree(*args).topology
+        return torus(args).topology
+    machine = _resolve_machine(name)
+    return None if machine is None else machine.topology
+
+
+def _topo_dot(topo) -> str:
+    lines = [f'graph "{topo.name}" {{']
+    for ep in topo.endpoints:
+        lines.append(f'  "{ep}";')
+    for key, params in sorted(topo.links.items(), key=lambda kv: sorted(kv[0])):
+        a, b = sorted(key)
+        lines.append(
+            f'  "{a}" -- "{b}" '
+            f'[label="{params.name} {params.bandwidth / 1e9:.0f}GB/s"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _cmd_topo(args: argparse.Namespace) -> int:
+    from repro.util import fmt_bw
+
+    try:
+        topo = _resolve_topology(args.name)
+    except (ValueError, TypeError) as exc:
+        print(f"bad generator expression {args.name!r}: {exc}", file=sys.stderr)
+        return 2
+    if topo is None:
+        return 2
+    if args.dot:
+        print(_topo_dot(topo))
+        return 0
+    nlinks = len(topo.links)
+    print(f"topology  : {topo.name}")
+    print(f"endpoints : {len(topo.endpoints)}")
+    print(f"links     : {nlinks}")
+    print(f"diameter  : {topo.diameter_hops()} hops")
+    print(f"bisection : {fmt_bw(topo.bisection_bandwidth())}")
+    kinds: dict[str, int] = {}
+    for params in topo.links.values():
+        kinds[params.name] = kinds.get(params.name, 0) + 1
+    for kind, count in sorted(kinds.items()):
+        print(f"  {count:>4} x {kind}")
+    return 0
+
+
 def _resolve_machine(name: str):
     from repro.machines import get_machine
 
@@ -700,6 +776,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_ablation(args.name)
     if args.command == "machines":
         return _cmd_machines()
+    if args.command == "topo":
+        return _cmd_topo(args)
     if args.command == "export":
         return _cmd_export(args)
     if args.command == "flood":

@@ -1,0 +1,22 @@
+"""Multi-tenant co-scheduling: several jobs sharing one fabric.
+
+A :class:`Cluster` owns a single simulator and a single
+:class:`~repro.net.fabric.Fabric` over a (usually multi-node) machine;
+:meth:`Cluster.submit` places each job's ranks onto compute endpoints with a
+placement policy (``packed`` / ``scattered`` / ``random``) and
+:meth:`Cluster.run` drives every job's rank programs in one simulation — so
+a victim workload's latency can be measured while a bully floods the shared
+links (`experiments/interference.py`).
+"""
+
+from repro.cluster.scheduler import PLACEMENTS, Cluster, place_ranks
+from repro.cluster.workloads import attach_bully, attach_victim, sample_quantile
+
+__all__ = [
+    "Cluster",
+    "PLACEMENTS",
+    "attach_bully",
+    "attach_victim",
+    "place_ranks",
+    "sample_quantile",
+]

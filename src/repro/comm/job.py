@@ -68,12 +68,29 @@ class Job:
         seed: int = 0,
         trace: bool = False,
         faults: FaultPlan | None = None,
+        sim: Simulator | None = None,
+        fabric: Fabric | None = None,
+        endpoints: list[str] | None = None,
+        routing: Any = None,
+        congestion: Any = None,
     ):
+        """``sim``/``fabric``/``endpoints`` support co-scheduling: a
+        :class:`repro.cluster.Cluster` hands several jobs one shared
+        simulator + fabric and pins each job's ranks to the endpoints its
+        placement policy chose.  ``routing``/``congestion`` configure a
+        job-owned fabric (ignored when ``fabric`` is passed); all five
+        default to ``None``, which keeps the original single-job path —
+        and its arithmetic — untouched.
+        """
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
-        if nranks > machine.max_ranks:
+        if endpoints is None and nranks > machine.max_ranks:
             raise ValueError(
                 f"{nranks} ranks exceed {machine.name!r} capacity {machine.max_ranks}"
+            )
+        if endpoints is not None and len(endpoints) != nranks:
+            raise ValueError(
+                f"endpoints list has {len(endpoints)} entries for {nranks} ranks"
             )
         self.machine = machine
         self.nranks = nranks
@@ -85,7 +102,7 @@ class Job:
         self.runtime_name = self.backend.name
         self.costs = machine.runtime(self.backend.resolve_costs_key())
         self.placement = placement
-        self.sim = Simulator()
+        self.sim = sim if sim is not None else Simulator()
         # An ambient observation session (repro.obs.observe) supplies the
         # tracer, metrics registry and span tracker; outside one, the
         # zero-overhead defaults apply (NullTracer, no metrics).
@@ -114,20 +131,36 @@ class Job:
             scope = current_scope()
             if scope is not None:
                 scope.attach(self.fault_injector)
-        self.fabric = Fabric(
-            self.sim,
-            machine.topology,
-            self.tracer,
-            metrics=self.metrics,
-            faults=self.fault_injector,
-        )
+        if fabric is not None:
+            self.fabric = fabric
+        else:
+            self.fabric = Fabric(
+                self.sim,
+                machine.topology,
+                self.tracer,
+                metrics=self.metrics,
+                faults=self.fault_injector,
+                routing=routing,
+                congestion=congestion,
+            )
         if self.metrics is not None:
             self.metrics.register_collector(self._collect_comm_metrics)
         self.rng = RngFactory(seed)
-        self.endpoints = [
-            machine.endpoint_of_rank(r, nranks, placement) for r in range(nranks)
-        ]
-        self.sharing = machine.ranks_per_endpoint(nranks, placement)
+        if endpoints is not None:
+            for ep in endpoints:
+                if not machine.topology.has_endpoint(ep):
+                    raise KeyError(
+                        f"endpoint {ep!r} not in machine {machine.name!r}"
+                    )
+            self.endpoints = list(endpoints)
+            self.sharing = {
+                ep: self.endpoints.count(ep) for ep in set(self.endpoints)
+            }
+        else:
+            self.endpoints = [
+                machine.endpoint_of_rank(r, nranks, placement) for r in range(nranks)
+            ]
+            self.sharing = machine.ranks_per_endpoint(nranks, placement)
         ctx_cls = self.backend.context_cls
         self.contexts: list[RankContext] = [
             ctx_cls(self, r) for r in range(nranks)
@@ -238,19 +271,32 @@ class Job:
         """
         with self.spans.span(f"job:{self.machine.name}:{self.runtime_name}"):
             with self.spans.span("spawn"):
-                procs = [
-                    self.sim.process(
-                        program(ctx, *args, **kwargs), name=f"rank{ctx.rank}"
-                    )
-                    for ctx in self.contexts
-                ]
+                procs = self.launch(program, *args, **kwargs)
                 done = self.sim.all_of(procs)
             with self.spans.span("simulate"):
                 self.sim.run(until=done, max_events=max_events)
             with self.spans.span("collect"):
-                results = [p.value for p in procs]
-                per_rank = [ctx.counter for ctx in self.contexts]
-                merged = reduce(OpCounter.merge, per_rank, OpCounter())
+                result = self.collect(procs)
+        return result
+
+    def launch(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> list:
+        """Spawn one process per rank without driving the simulator.
+
+        The co-scheduling entry point: :class:`repro.cluster.Cluster`
+        launches several jobs' rank programs into one shared simulator,
+        runs it once, then calls :meth:`collect` per job.
+        """
+        return [
+            self.sim.process(program(ctx, *args, **kwargs), name=f"rank{ctx.rank}")
+            for ctx in self.contexts
+        ]
+
+    def collect(self, procs: list) -> JobResult:
+        """Gather per-rank results/counters after the simulator has run
+        the processes returned by :meth:`launch` to completion."""
+        results = [p.value for p in procs]
+        per_rank = [ctx.counter for ctx in self.contexts]
+        merged = reduce(OpCounter.merge, per_rank, OpCounter())
         return JobResult(
             time=self.sim.now,
             results=results,

@@ -20,6 +20,7 @@ from repro.experiments.fig09_hashtable import run_fig09
 from repro.experiments.fig10_split import run_fig10
 from repro.experiments.future import run_future_frontier
 from repro.experiments.future_collectives import run_future_collectives
+from repro.experiments.interference import run_interference
 from repro.experiments.internode import run_internode
 from repro.experiments.ml_traffic import (
     run_ml_inference,
@@ -44,6 +45,7 @@ __all__ = [
     "run_fig10",
     "run_future_frontier",
     "run_future_collectives",
+    "run_interference",
     "run_internode",
     "run_ml_inference",
     "run_ml_moe",
@@ -69,6 +71,7 @@ ALL_EXPERIMENTS = {
     "future_collectives": run_future_collectives,
     "internode": run_internode,
     "degradation": run_degradation,
+    "interference": run_interference,
     "ml_training": run_ml_training,
     "ml_moe": run_ml_moe,
     "ml_inference": run_ml_inference,

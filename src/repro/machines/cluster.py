@@ -19,7 +19,7 @@ import dataclasses
 
 from repro.machines.base import MachineModel
 from repro.net.loggp import LinkParams
-from repro.net.topology import TopologySpec
+from repro.net.topology import FabricBlueprint, TopologySpec
 from repro.util.units import GBps, us
 
 __all__ = ["make_cluster", "FABRICS", "SLINGSHOT11", "INFINIBAND_EDR"]
@@ -51,41 +51,59 @@ def make_cluster(
     interconnect: LinkParams = SLINGSHOT11,
     *,
     name: str | None = None,
+    fabric: FabricBlueprint | None = None,
 ) -> MachineModel:
     """Build an ``nnodes``-node cluster from one node model.
 
     Every endpoint of the node topology is replicated with an ``n{i}.``
-    prefix; each node NIC connects to a shared ``switch`` endpoint with the
-    interconnect parameters.  Rank placement, runtimes, and compute rates
-    carry over unchanged, so all workloads and experiments run on clusters
-    exactly as they do on single nodes.
+    prefix.  With the default star fabric, each node NIC connects to a
+    shared ``switch`` endpoint with the interconnect parameters.  With a
+    :class:`~repro.net.topology.FabricBlueprint` (from
+    :func:`~repro.net.topology.dragonfly` / ``fat_tree`` / ``torus``), the
+    blueprint's router graph is embedded instead and node ``i``'s NICs cable
+    to ``fabric.attach_points[i]`` — multi-hop routes, path diversity, and
+    adaptive routing then apply between nodes.  Rank placement, runtimes,
+    and compute rates carry over unchanged, so all workloads and experiments
+    run on clusters exactly as they do on single nodes.
     """
     if nnodes < 1:
         raise ValueError(f"nnodes must be >= 1, got {nnodes}")
+    if fabric is not None and nnodes > fabric.max_nodes:
+        raise ValueError(
+            f"{nnodes} nodes exceed the {fabric.max_nodes} node ports of "
+            f"{fabric.describe()}"
+        )
     nics = [ep for ep in node.topology.endpoints if _is_nic(ep)]
     if not nics:
         raise ValueError(
             f"node model {node.name!r} has no NIC endpoints to attach to a fabric"
         )
+    suffix = f"-x{nnodes}" if fabric is None else f"-x{nnodes}@{fabric.topology.name}"
     topo = TopologySpec(
-        name=f"{node.name}-x{nnodes}",
+        name=f"{node.name}{suffix}",
         loopback=node.topology.loopback,
     )
+    if fabric is not None:
+        for key, params in fabric.topology.links.items():
+            a, b = sorted(key)
+            topo.add_link(a, b, params)
     for i in range(nnodes):
         for key, params in node.topology.links.items():
             a, b = sorted(key)
             topo.add_link(f"n{i}.{a}", f"n{i}.{b}", params)
         for ep, inj in node.topology.injection.items():
             topo.set_injection(f"n{i}.{ep}", inj)
+        attach = "switch" if fabric is None else fabric.attach_points[i]
         for nic in nics:
-            topo.add_link(f"n{i}.{nic}", "switch", interconnect)
+            topo.add_link(f"n{i}.{nic}", attach, interconnect)
     compute_endpoints = [
         f"n{i}.{ep}" for i in range(nnodes) for ep in node.compute_endpoints
     ]
+    fabric_desc = interconnect.name if fabric is None else fabric.describe()
     return MachineModel(
-        name=name or f"{node.name}-x{nnodes}",
+        name=name or f"{node.name}{suffix}",
         description=(
-            f"{nnodes} x [{node.description}] over {interconnect.name} "
+            f"{nnodes} x [{node.description}] over {fabric_desc} "
             f"({interconnect.bandwidth / 1e9:.1f} GB/s/dir per NIC)"
         ),
         topology=topo,

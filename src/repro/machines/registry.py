@@ -16,12 +16,15 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import re
 from collections.abc import Callable
 
 from repro.machines.base import MachineModel
+from repro.machines.cluster import make_cluster
 from repro.machines.frontier import frontier_cpu, frontier_gpu_projection
 from repro.machines.perlmutter import perlmutter_cpu, perlmutter_gpu
 from repro.machines.summit import summit_cpu, summit_gpu
+from repro.net.topology import dragonfly, fat_tree, torus
 
 __all__ = [
     "MACHINES",
@@ -49,15 +52,61 @@ PROJECTIONS: dict[str, Callable[[], MachineModel]] = {
 }
 
 
-def get_machine(name: str) -> MachineModel:
-    """Build a fresh machine model by registry name (incl. projections)."""
-    factory = MACHINES.get(name) or PROJECTIONS.get(name)
+# Cluster name grammar: "{base}-x{N}" is an N-node star-switch cluster of
+# the registered node model {base}; an optional "@generator(args)" suffix
+# swaps the star for a generated router fabric, e.g.
+# "perlmutter-cpu-x8@dragonfly(2,2,2)", "summit-cpu-x4@fattree(4)",
+# "frontier-cpu-x4@torus(2,2)".
+_CLUSTER_RE = re.compile(
+    r"^(?P<base>.+)-x(?P<n>\d+)"
+    r"(?:@(?P<gen>dragonfly|fattree|torus)\((?P<args>\d+(?:,\d+)*)\))?$"
+)
+
+_GENERATORS: dict[str, Callable[..., object]] = {
+    "dragonfly": lambda *a: dragonfly(*a),
+    "fattree": lambda *a: fat_tree(*a),
+    "torus": lambda *a: torus(a),
+}
+
+
+def _cluster_from_name(name: str) -> MachineModel | None:
+    m = _CLUSTER_RE.match(name)
+    if m is None:
+        return None
+    factory = MACHINES.get(m.group("base")) or PROJECTIONS.get(m.group("base"))
     if factory is None:
-        raise KeyError(
-            f"unknown machine {name!r}; available: "
-            f"{sorted(MACHINES) + sorted(PROJECTIONS)}"
-        )
-    return factory()
+        return None
+    fabric = None
+    if m.group("gen") is not None:
+        args = tuple(int(x) for x in m.group("args").split(","))
+        try:
+            fabric = _GENERATORS[m.group("gen")](*args)
+        except TypeError:
+            raise ValueError(
+                f"bad generator arity in machine name {name!r}: "
+                f"{m.group('gen')}({m.group('args')})"
+            ) from None
+    return make_cluster(factory(), int(m.group("n")), fabric=fabric, name=name)
+
+
+def get_machine(name: str) -> MachineModel:
+    """Build a fresh machine model by registry name (incl. projections).
+
+    Beyond the literal registry entries, cluster names compose on the fly:
+    ``"{base}-x{N}"`` (star switch) and ``"{base}-x{N}@dragonfly(g,r,n)"`` /
+    ``"...@fattree(k)"`` / ``"...@torus(d0,d1,...)"`` (generated fabrics).
+    """
+    factory = MACHINES.get(name) or PROJECTIONS.get(name)
+    if factory is not None:
+        return factory()
+    cluster = _cluster_from_name(name)
+    if cluster is not None:
+        return cluster
+    raise KeyError(
+        f"unknown machine {name!r}; available: "
+        f"{sorted(MACHINES) + sorted(PROJECTIONS)} "
+        f"(or a cluster name like 'perlmutter-cpu-x4@dragonfly(2,2,2)')"
+    )
 
 
 def machine_names(*, include_projections: bool = False) -> list[str]:

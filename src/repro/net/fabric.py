@@ -18,13 +18,16 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.faults.plan import FaultError
+from repro.net.congestion import CongestionConfig, CongestionControl
 from repro.net.link import Channel, Link
+from repro.net.routing import get_routing
 from repro.net.topology import Route, TopologySpec
 from repro.sim.event import Event
 from repro.sim.trace import NullTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.inject import FaultInjector
+    from repro.net.routing import RoutingPolicy
     from repro.obs.metrics import MetricsRegistry
     from repro.sim.engine import Simulator
 
@@ -80,10 +83,14 @@ class Fabric:
         *,
         metrics: "MetricsRegistry | None" = None,
         faults: "FaultInjector | None" = None,
+        routing: "str | RoutingPolicy | None" = None,
+        congestion: CongestionConfig | None = None,
     ):
         self.sim = sim
         self.topology = topology
         self.tracer = tracer if tracer is not None else NullTracer()
+        self.routing = get_routing(routing)
+        self.cc = CongestionControl(congestion) if congestion is not None else None
         self._links: dict[frozenset[str], Link] = {
             key: Link(sim, *sorted(key), params=params)
             for key, params in topology.links.items()
@@ -120,6 +127,16 @@ class Fabric:
             metrics.register_collector(
                 lambda: {f"net.link.{k}": float(v) for k, v in self.link_stats().items()}
             )
+            if self.cc is not None:
+                self.cc.m_marks = metrics.counter("net.cc.marks")
+                self.cc.m_backoffs = metrics.counter("net.cc.backoffs")
+                # Per-link utilization timelines: each reservation adds its
+                # occupancy (seconds) to the bin it starts in, so a bin total
+                # divided by _TIMELINE_BIN is that link's utilization there.
+                for link in self._links.values():
+                    link.attach_util_timeline(
+                        metrics.timeline(f"net.link.util.{link.name}", _TIMELINE_BIN)
+                    )
 
     def link(self, a: str, b: str) -> Link:
         key = frozenset((a, b))
@@ -175,7 +192,12 @@ class Fabric:
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
         now = self.sim.now if earliest is None else max(earliest, self.sim.now)
-        route = self.topology.route(src, dst)
+        if self.routing is None:
+            route = self.topology.route(src, dst)
+        else:
+            # One routing decision per transfer: adaptive policies may pick
+            # a different (freshly costed) path for the same pair over time.
+            route = self.routing.route(self, src, dst, nbytes, now)
         if route.nhops == 0:
             # Loopback: serialised on the device's local copy engine.
             # Never traverses a link, so fault plans do not apply.
@@ -189,18 +211,28 @@ class Fabric:
                 src, dst, nbytes, route, now, payload=payload, atomic=atomic
             )
         else:
+            cc = self.cc
             t = now
+            if cc is not None:
+                # A throttled source stretches its injection: the backoff
+                # delay is paid before the message touches any port.
+                t = now + cc.injection_delay(src, nbytes * route.G)
+            max_wait = 0.0
             start = None
             inj = self._injection.get(src)
             if inj is not None:
                 # The endpoint's copy/DMA engine serialises all outgoing
                 # traffic; concurrent messages to different peers stagger here.
                 inj_start, inj_head_out = inj.reserve(nbytes, t, atomic=atomic)
+                if cc is not None and inj_start - t > max_wait:
+                    max_wait = inj_start - t
                 start = inj_start
                 t = inj_head_out
             for u, v in route.hops:
                 channel = self._links[frozenset((u, v))].channel(u, v)
                 hop_start, head_out = channel.reserve(nbytes, t, atomic=atomic)
+                if cc is not None and hop_start - t > max_wait:
+                    max_wait = hop_start - t
                 if start is None:
                     start = hop_start
                 # The head of the message reaches the next hop's port after
@@ -209,6 +241,10 @@ class Fabric:
             assert start is not None
             # Tail: one bottleneck transmission time behind the head.
             arrival = t + nbytes * route.G
+            if cc is not None:
+                # Worst per-hop queueing wait is the ECN signal: past the
+                # threshold the source's rate takes a multiplicative hit.
+                cc.observe(src, max_wait)
         event = self.sim.event()
         delay = arrival - self.sim.now
         if delay < 0:
@@ -269,7 +305,11 @@ class Fabric:
         sem = inj.semantics
         tid = self.total_messages  # stable per-transfer id for fault draws
         max_attempts = policy.max_retries + 1
+        cc = self.cc
         t_ready = now
+        if cc is not None:
+            t_ready = now + cc.injection_delay(src, nbytes * route.G)
+        max_wait = 0.0
         first_start: float | None = None
         attempt = 0
         while True:
@@ -278,6 +318,8 @@ class Fabric:
             inj_ch = self._injection.get(src)
             if inj_ch is not None:
                 inj_start, inj_head_out = inj_ch.reserve(nbytes, t, atomic=atomic)
+                if cc is not None and inj_start - t > max_wait:
+                    max_wait = inj_start - t
                 start = inj_start
                 t = inj_head_out
             tail_G = route.G
@@ -286,6 +328,8 @@ class Fabric:
                 link = self._links[frozenset((u, v))]
                 channel = link.channel(u, v)
                 hop_start, head_out = channel.reserve(nbytes, t, atomic=atomic)
+                if cc is not None and hop_start - t > max_wait:
+                    max_wait = hop_start - t
                 if start is None:
                     start = hop_start
                 lf = channel.faults
@@ -304,6 +348,8 @@ class Fabric:
             if lost_link is None:
                 arrival = t + nbytes * tail_G
                 attempts = attempt + 1
+                if cc is not None:
+                    cc.observe(src, max_wait)
                 inj.record_delivery(attempts)
                 return self._complete(
                     src, dst, nbytes, route, first_start, arrival,

@@ -40,6 +40,7 @@ class Channel:
         "bytes_carried",
         "messages_carried",
         "wait_hist",
+        "util_timeline",
         "faults",
         "down_stall_seconds",
         "stall_recorder",
@@ -55,6 +56,9 @@ class Channel:
         # set, every reservation records its queueing delay — the time the
         # head of the message waited for a sub-channel to free up.
         self.wait_hist = None
+        # Optional utilization timeline (repro.obs.metrics.Timeline): each
+        # reservation adds its occupancy seconds to the bin it starts in.
+        self.util_timeline = None
         # Optional fault parameters (repro.faults.LinkFaults).  None — the
         # overwhelmingly common case — keeps reserve() on the exact
         # arithmetic it has always used; a fault plan only ever sets this
@@ -110,6 +114,8 @@ class Channel:
         self.messages_carried += 1
         if self.wait_hist is not None:
             self.wait_hist.observe(start - earliest)
+        if self.util_timeline is not None:
+            self.util_timeline.observe(start, occupancy)
         return start, start + self.params.latency
 
     @property
@@ -152,6 +158,12 @@ class Link:
         """Record both directions' reservation queueing delays into ``hist``."""
         self._fwd.wait_hist = hist
         self._rev.wait_hist = hist
+
+    def attach_util_timeline(self, timeline) -> None:
+        """Accumulate both directions' occupancy into one utilization
+        timeline (:class:`repro.obs.metrics.Timeline`)."""
+        self._fwd.util_timeline = timeline
+        self._rev.util_timeline = timeline
 
     def set_faults(self, faults, stall_recorder=None) -> None:
         """Install :class:`repro.faults.LinkFaults` on both directions

@@ -1,0 +1,186 @@
+"""Routing policies: how a transfer picks its path through the fabric.
+
+The fabric asks its policy for a :class:`~repro.net.topology.Route` on
+*every* transfer (a routing decision), so policies may pick different paths
+for the same (src, dst) pair over time:
+
+* :class:`MinimalRouting` — the static minimum-latency path.  This is the
+  default and is byte-identical to the pre-policy behaviour: it returns the
+  exact cached :meth:`TopologySpec.route` object, so every committed golden
+  is unchanged.
+* :class:`AdaptiveRouting` — UGAL-style: at decision time, compare the
+  minimal path against Valiant detours through deterministic intermediate
+  candidates, estimating each path's head-arrival time from the current
+  per-channel queue state, and take the cheapest (minimal wins ties).  The
+  decision is a pure function of the simulation clock and link state, so
+  same-seed runs replay bit-identically.
+
+Each non-minimal path is costed fresh with
+:meth:`TopologySpec.route_via` — bottleneck latency/``G`` come from the
+hops actually taken, never from the cached minimal pair.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.net.topology import Route
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.fabric import Fabric
+
+__all__ = ["RoutingPolicy", "MinimalRouting", "AdaptiveRouting", "get_routing"]
+
+
+@runtime_checkable
+class RoutingPolicy(Protocol):
+    """Strategy interface the fabric consults once per transfer."""
+
+    name: str
+
+    def route(
+        self, fabric: "Fabric", src: str, dst: str, nbytes: float, now: float
+    ) -> Route:
+        """Pick the path for one transfer of ``nbytes`` at time ``now``."""
+        ...
+
+
+class MinimalRouting:
+    """Static minimum-latency routing (the golden-pinned default)."""
+
+    name = "minimal"
+
+    def route(
+        self, fabric: "Fabric", src: str, dst: str, nbytes: float, now: float
+    ) -> Route:
+        return fabric.topology.route(src, dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "MinimalRouting()"
+
+
+class AdaptiveRouting:
+    """UGAL-style adaptive routing: minimal vs Valiant by queue estimate.
+
+    For each decision the policy scores the minimal path and up to
+    ``candidates`` Valiant paths (minimal to a deterministic intermediate,
+    then minimal onward).  A path's score is its estimated head-arrival
+    time: walk the hops accumulating ``max(queue-free time, t) + latency``
+    from the live channel state, plus the tail serialisation
+    ``nbytes * G`` of the path.  Detours therefore win only when the
+    minimal path's queues out-cost the extra hops — exactly UGAL's
+    2x-path-length-vs-queue-depth tradeoff, expressed in seconds.
+
+    Intermediates are drawn from a keyed hash of ``(src, dst, decision
+    sequence number)``: deterministic given the simulation history, varying
+    across decisions so flows spread over distinct detours.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, candidates: int = 2):
+        if candidates < 1:
+            raise ValueError(f"candidates must be >= 1, got {candidates}")
+        self.candidates = candidates
+        self._decisions = 0
+        # Per-topology cache of the endpoints eligible as intermediates
+        # (switch/router endpoints, i.e. non-leaf degree >= 2).
+        self._mids: list[str] | None = None
+
+    def _intermediates(self, fabric: "Fabric") -> list[str]:
+        if self._mids is None:
+            topo = fabric.topology
+            g = topo._graph
+            # Switch/router endpoints only: multi-degree, not a node-internal
+            # device (cluster convention prefixes those with "n{i}."), and
+            # not an injecting compute endpoint.  Detouring *through* another
+            # node's NIC or socket is not a thing real fabrics do.
+            self._mids = sorted(
+                n
+                for n in g.nodes
+                if g.degree(n) >= 2 and "." not in n and n not in topo.injection
+            )
+        return self._mids
+
+    def _pick(self, src: str, dst: str, pool: list[str], n: int) -> list[str]:
+        """``n`` deterministic intermediate candidates for this decision."""
+        if not pool:
+            return []
+        picked: list[str] = []
+        for i in range(min(n, len(pool))):
+            h = hashlib.blake2b(
+                f"{src}|{dst}|{self._decisions}|{i}".encode(), digest_size=8
+            ).digest()
+            cand = pool[int.from_bytes(h, "big") % len(pool)]
+            if cand not in picked:
+                picked.append(cand)
+        return picked
+
+    def route(
+        self, fabric: "Fabric", src: str, dst: str, nbytes: float, now: float
+    ) -> Route:
+        topo = fabric.topology
+        minimal = topo.route(src, dst)
+        self._decisions += 1
+        if minimal.nhops == 0:
+            return minimal
+        best = minimal
+        best_score = self._score(fabric, minimal, nbytes, now)
+        on_minimal = {src, dst} | {v for _u, v in minimal.hops}
+        pool = [m for m in self._intermediates(fabric) if m not in on_minimal]
+        for mid in self._pick(src, dst, pool, self.candidates):
+            path = self._valiant_path(topo, src, mid, dst)
+            if path is None:
+                continue
+            route = topo.route_via(path)
+            score = self._score(fabric, route, nbytes, now)
+            if score < best_score:
+                best, best_score = route, score
+        return best
+
+    @staticmethod
+    def _valiant_path(topo, src: str, mid: str, dst: str) -> list[str] | None:
+        """Minimal(src->mid) + minimal(mid->dst), rejected if it revisits
+        an endpoint (a looping detour can deadlock cut-through orderings)."""
+        try:
+            first = topo.shortest_path(src, mid)
+            second = topo.shortest_path(mid, dst)
+        except KeyError:
+            return None
+        path = first + second[1:]
+        if len(set(path)) != len(path):
+            return None
+        return path
+
+    @staticmethod
+    def _score(fabric: "Fabric", route: Route, nbytes: float, now: float) -> float:
+        """Estimated tail-arrival time of ``nbytes`` along ``route``."""
+        t = now
+        for u, v in route.hops:
+            channel = fabric.link(u, v).channel(u, v)
+            t = max(t, channel.utilization_until) + channel.params.latency
+        return t + nbytes * route.G
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AdaptiveRouting(candidates={self.candidates})"
+
+
+_POLICIES = {
+    "minimal": MinimalRouting,
+    "adaptive": AdaptiveRouting,
+}
+
+
+def get_routing(policy: "str | RoutingPolicy | None") -> "RoutingPolicy | None":
+    """Resolve a policy name (``"minimal"``/``"adaptive"``), pass through a
+    policy instance, and map ``None`` to ``None`` (the fabric's built-in
+    minimal fast path)."""
+    if policy is None or not isinstance(policy, str):
+        return policy
+    try:
+        return _POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {policy!r}; valid: {sorted(_POLICIES)}"
+        ) from None

@@ -1,22 +1,38 @@
-"""Node topology: a graph of endpoints connected by LogGP links.
+"""Topology: a graph of endpoints connected by LogGP links.
 
 Endpoints are string-named devices: CPU sockets (``"cpu0"``), GPUs
-(``"gpu3"``), NICs (``"nic0"``).  The machine models in ``repro.machines``
-build one :class:`TopologySpec` each from the paper's Fig. 2 node diagrams.
+(``"gpu3"``), NICs (``"nic0"``), and — at cluster scale — switches and
+routers (``"r0.1"``).  The machine models in ``repro.machines`` build one
+:class:`TopologySpec` each from the paper's Fig. 2 node diagrams; the
+parametric generators here (:func:`dragonfly`, :func:`fat_tree`,
+:func:`torus`) build the datacenter fabrics those nodes plug into via
+:func:`repro.machines.cluster.make_cluster`.
 
-Routing is static shortest-path by latency (computed once with networkx and
-cached); the paper's node fabrics are small enough that this is exact.
+Path *selection* lives in :mod:`repro.net.routing`; this module resolves
+static minimum-latency paths (computed with networkx and cached) and turns
+any explicit hop sequence into a costed :class:`Route` via
+:meth:`TopologySpec.route_via` — bottleneck fields are computed from the
+actual hops of each path, so adaptive (non-minimal) routes report their own
+per-path latency/``G``, not the cached minimal pair's.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from collections.abc import Sequence
 
 import networkx as nx
 
 from repro.net.loggp import LinkParams
 
-__all__ = ["TopologySpec", "Route"]
+__all__ = [
+    "TopologySpec",
+    "Route",
+    "FabricBlueprint",
+    "dragonfly",
+    "fat_tree",
+    "torus",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +74,7 @@ class TopologySpec:
     _links: dict[frozenset[str], LinkParams] = field(default_factory=dict)
     _graph: nx.Graph = field(default_factory=nx.Graph)
     _route_cache: dict[tuple[str, str], Route] = field(default_factory=dict)
+    _path_cache: dict[tuple[str, str], list[str]] = field(default_factory=dict)
 
     def add_link(self, a: str, b: str, params: LinkParams) -> None:
         """Connect endpoints ``a`` and ``b`` (undirected, full duplex)."""
@@ -69,6 +86,7 @@ class TopologySpec:
         self._links[key] = params
         self._graph.add_edge(a, b, weight=params.latency, params=params)
         self._route_cache.clear()
+        self._path_cache.clear()
 
     def set_injection(self, endpoint: str, params: LinkParams) -> None:
         """Give ``endpoint`` a serialised injection port.
@@ -98,7 +116,14 @@ class TopologySpec:
         return name in self._graph
 
     def route(self, src: str, dst: str) -> Route:
-        """Resolve the (cached) minimum-latency route ``src -> dst``."""
+        """Resolve the (cached) minimum-latency route ``src -> dst``.
+
+        The cache is sound here because minimal paths are static: the same
+        (src, dst) pair always resolves to the same hops, so the cached
+        bottleneck fields equal a fresh :meth:`route_via` of that path.
+        Policies that pick *different* hops per decision (adaptive routing)
+        must cost each chosen path with :meth:`route_via` instead.
+        """
         key = (src, dst)
         cached = self._route_cache.get(key)
         if cached is not None:
@@ -124,28 +149,96 @@ class TopologySpec:
             raise KeyError(
                 f"no path {src!r} -> {dst!r} in topology {self.name!r}"
             ) from None
+        route = self.route_via(path)
+        self._route_cache[key] = route
+        return route
+
+    def route_via(self, path: Sequence[str]) -> Route:
+        """Cost an explicit endpoint path into a :class:`Route`.
+
+        Bottleneck fields (latency sum, min bandwidth, max gap) are computed
+        from the hops actually given — never cached — so every routing
+        *decision* reports the parameters of its own path.  Every
+        consecutive pair must be a topology link.
+        """
+        if len(path) < 2:
+            raise ValueError(f"path needs at least two endpoints, got {list(path)}")
         hops = tuple(zip(path[:-1], path[1:]))
         latency = 0.0
         bandwidth = float("inf")
         msg_bandwidth = float("inf")
         gap = 0.0
         for u, v in hops:
-            p = self._links[frozenset((u, v))]
+            key = frozenset((u, v))
+            if key not in self._links:
+                raise KeyError(
+                    f"no link {u!r}<->{v!r} in topology {self.name!r} "
+                    f"(path {list(path)})"
+                )
+            p = self._links[key]
             latency += p.latency
             bandwidth = min(bandwidth, p.bandwidth)
             msg_bandwidth = min(msg_bandwidth, p.channel_bandwidth)
             gap = max(gap, p.gap)
-        route = Route(
-            src=src,
-            dst=dst,
+        return Route(
+            src=path[0],
+            dst=path[-1],
             hops=hops,
             latency=latency,
             bandwidth=bandwidth,
             message_bandwidth=msg_bandwidth,
             gap=gap,
         )
-        self._route_cache[key] = route
-        return route
+
+    def shortest_path(self, src: str, dst: str) -> list[str]:
+        """Minimum-latency endpoint sequence ``src -> ... -> dst``.
+
+        Cached per pair (minimal paths are static; adaptive routing calls
+        this once per Valiant candidate per decision) and returned as a
+        fresh list so callers may concatenate freely.
+        """
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return list(cached)
+        for ep in (src, dst):
+            if ep not in self._graph:
+                raise KeyError(f"endpoint {ep!r} not in topology {self.name!r}")
+        try:
+            path = nx.shortest_path(self._graph, src, dst, weight="weight")
+        except nx.NetworkXNoPath:
+            raise KeyError(
+                f"no path {src!r} -> {dst!r} in topology {self.name!r}"
+            ) from None
+        self._path_cache[key] = path
+        return list(path)
+
+    # -- graph-level summaries (repro topo CLI, FabricBlueprint.describe) ----
+
+    def diameter_hops(self) -> int:
+        """Longest shortest path (in hops) between any endpoint pair."""
+        return nx.diameter(self._graph)
+
+    def bisection_bandwidth(self) -> float:
+        """Bandwidth crossing a balanced min-cut of the fabric (bytes/s).
+
+        Exact for the generated fabrics' sizes: minimum, over all balanced
+        bipartitions found by a Kernighan-Lin style sweep, of the summed
+        bandwidth of cut links.  For larger graphs this is the standard
+        heuristic estimate, not a certificate.
+        """
+        nodes = sorted(self._graph.nodes)
+        if len(nodes) < 2:
+            return 0.0
+        half_a, half_b = nx.algorithms.community.kernighan_lin_bisection(
+            self._graph, partition=None, weight=None, seed=0
+        )
+        cut = 0.0
+        for key, p in self._links.items():
+            a, b = tuple(key)
+            if (a in half_a) != (b in half_a):
+                cut += p.bandwidth
+        return cut
 
     def describe(self) -> str:
         """Human-readable inventory of the fabric (for Table I benches)."""
@@ -157,3 +250,184 @@ class TopologySpec:
                 f"{p.bandwidth / 1e9:.0f} GB/s/dir, {p.latency * 1e6:.2f} us"
             )
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Parametric datacenter fabric generators
+# ---------------------------------------------------------------------------
+
+# Wire parameters for generated fabrics: electrical (intra-group / in-rack)
+# vs optical (global / inter-rack) links, in the Slingshot class.
+_LOCAL_LINK = LinkParams(latency=3e-7, bandwidth=25e9, gap=5e-8, name="local")
+_GLOBAL_LINK = LinkParams(latency=9e-7, bandwidth=25e9, gap=5e-8, name="global")
+
+
+@dataclass(frozen=True)
+class FabricBlueprint:
+    """A generated switch/router fabric plus its node attachment plan.
+
+    ``topology`` holds only the routers and inter-router links;
+    ``attach_points`` lists the router each successive node's NIC should be
+    cabled to (round-robin over router ports), so
+    :func:`repro.machines.cluster.make_cluster` can embed N node models
+    behind NICs.  ``groups`` maps each router to its locality group (a
+    dragonfly group, a fat-tree pod, a torus coordinate) — the unit adaptive
+    routing detours around.
+    """
+
+    kind: str
+    topology: TopologySpec
+    attach_points: tuple[str, ...]
+    attach_link: LinkParams
+    groups: dict[str, int]
+    params: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def max_nodes(self) -> int:
+        return len(self.attach_points)
+
+    def describe(self) -> str:
+        t = self.topology
+        args = ",".join(f"{k}={v}" for k, v in self.params.items())
+        return (
+            f"{self.kind}({args}): {len(t.endpoints)} routers, "
+            f"{len(t.links)} links, {self.max_nodes} node ports"
+        )
+
+
+def dragonfly(
+    groups: int, routers_per_group: int, nodes_per_router: int,
+    *,
+    local_link: LinkParams = _LOCAL_LINK,
+    global_link: LinkParams = _GLOBAL_LINK,
+) -> FabricBlueprint:
+    """A canonical dragonfly: all-to-all routers within a group, one global
+    link between every pair of groups (assigned round-robin to routers).
+
+    Minimal routes between groups cross exactly one global link; adaptive
+    (UGAL) routing detours through a third group when that link queues —
+    the Slingshot behaviour RAMC measures at scale.
+    """
+    if groups < 2:
+        raise ValueError(f"dragonfly needs >= 2 groups, got {groups}")
+    if routers_per_group < 1 or nodes_per_router < 1:
+        raise ValueError("routers_per_group and nodes_per_router must be >= 1")
+    topo = TopologySpec(name=f"dragonfly-{groups}g{routers_per_group}r")
+    names = [
+        [f"g{g}r{r}" for r in range(routers_per_group)] for g in range(groups)
+    ]
+    group_of: dict[str, int] = {}
+    for g in range(groups):
+        for r, router in enumerate(names[g]):
+            group_of[router] = g
+        for i in range(routers_per_group):
+            for j in range(i + 1, routers_per_group):
+                topo.add_link(names[g][i], names[g][j], local_link)
+    # One global link per group pair; the hosting router inside each group
+    # advances round-robin so global ports spread across routers.
+    ports = [0] * groups
+    for a in range(groups):
+        for b in range(a + 1, groups):
+            ra = names[a][ports[a] % routers_per_group]
+            rb = names[b][ports[b] % routers_per_group]
+            topo.add_link(ra, rb, global_link)
+            ports[a] += 1
+            ports[b] += 1
+    attach = tuple(
+        names[g][r]
+        for g in range(groups)
+        for r in range(routers_per_group)
+        for _ in range(nodes_per_router)
+    )
+    return FabricBlueprint(
+        kind="dragonfly",
+        topology=topo,
+        attach_points=attach,
+        attach_link=local_link,
+        groups=group_of,
+        params={
+            "groups": groups,
+            "routers_per_group": routers_per_group,
+            "nodes_per_router": nodes_per_router,
+        },
+    )
+
+
+def fat_tree(
+    k: int,
+    *,
+    edge_link: LinkParams = _LOCAL_LINK,
+    core_link: LinkParams = _GLOBAL_LINK,
+) -> FabricBlueprint:
+    """A two-level folded-Clos ("fat tree") with ``k`` pods.
+
+    Each pod is one edge router serving ``k`` node ports; ``k // 2`` core
+    routers each connect to every pod, giving ``k // 2`` disjoint
+    pod-to-pod paths — the path diversity adaptive routing exploits.
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"fat_tree k must be even and >= 2, got {k}")
+    topo = TopologySpec(name=f"fattree-{k}")
+    cores = [f"core{c}" for c in range(k // 2)]
+    edges = [f"pod{p}" for p in range(k)]
+    group_of: dict[str, int] = {c: -1 for c in cores}
+    for p, edge in enumerate(edges):
+        group_of[edge] = p
+        for core in cores:
+            topo.add_link(edge, core, core_link)
+    attach = tuple(edge for edge in edges for _ in range(k))
+    return FabricBlueprint(
+        kind="fat_tree",
+        topology=topo,
+        attach_points=attach,
+        attach_link=edge_link,
+        groups=group_of,
+        params={"k": k},
+    )
+
+
+def torus(
+    dims: Sequence[int],
+    *,
+    link: LinkParams = _LOCAL_LINK,
+    nodes_per_router: int = 1,
+) -> FabricBlueprint:
+    """A wraparound d-dimensional torus of routers, one node port each
+    (``nodes_per_router`` to widen).  Rings of length 2 collapse the two
+    wraparound directions into one link."""
+    dims = tuple(int(d) for d in dims)
+    if not dims or any(d < 2 for d in dims):
+        raise ValueError(f"torus dims must all be >= 2, got {list(dims)}")
+    shape = "x".join(str(d) for d in dims)
+    topo = TopologySpec(name=f"torus-{shape}")
+
+    def name(coord: tuple[int, ...]) -> str:
+        return "t" + "-".join(str(c) for c in coord)
+
+    coords: list[tuple[int, ...]] = [()]
+    for d in dims:
+        coords = [c + (i,) for c in coords for i in range(d)]
+    group_of: dict[str, int] = {}
+    for c in coords:
+        group_of[name(c)] = c[0]
+        for axis, d in enumerate(dims):
+            nxt = list(c)
+            nxt[axis] = (c[axis] + 1) % d
+            nxt = tuple(nxt)
+            if nxt == c:
+                continue
+            key = frozenset((name(c), name(nxt)))
+            if key not in topo.links:
+                topo.add_link(name(c), name(nxt), link)
+    attach = tuple(name(c) for c in coords for _ in range(nodes_per_router))
+    return FabricBlueprint(
+        kind="torus",
+        topology=topo,
+        attach_points=attach,
+        attach_link=link,
+        groups=group_of,
+        params={
+            **{f"dim{i}": d for i, d in enumerate(dims)},
+            "nodes_per_router": nodes_per_router,
+        },
+    )

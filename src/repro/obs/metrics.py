@@ -91,6 +91,35 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else float("nan")
 
+    def quantile(self, p: float) -> float:
+        """Estimated p-quantile (``p`` in [0, 1]) from the bucket counts.
+
+        Linear interpolation inside the bucket holding the target rank,
+        with the tracked ``min``/``max`` bounding the open first/overflow
+        buckets — so p99/p999 tail estimates stay finite and within the
+        observed range.  NaN with no observations.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"quantile p must be in [0, 1], got {p}")
+        if self.count == 0:
+            return float("nan")
+        target = p * self.count
+        cum = 0.0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if cum + c >= target:
+                lo = self.edges[i - 1] if i >= 1 else self.min
+                hi = self.edges[i] if i < len(self.edges) else self.max
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi < lo:
+                    hi = lo
+                frac = max(0.0, target - cum) / c
+                return lo + frac * (hi - lo)
+            cum += c
+        return self.max
+
     def snapshot(self) -> dict[str, float]:
         out: dict[str, float] = {
             f"{self.name}.count": self.count,
@@ -100,6 +129,8 @@ class Histogram:
             out[f"{self.name}.min"] = self.min
             out[f"{self.name}.max"] = self.max
             out[f"{self.name}.mean"] = self.mean
+            out[f"{self.name}.p99"] = self.quantile(0.99)
+            out[f"{self.name}.p999"] = self.quantile(0.999)
         for edge, c in zip(self.edges, self.counts):
             out[f"{self.name}.le_{edge:g}"] = c
         out[f"{self.name}.le_inf"] = self.counts[-1]

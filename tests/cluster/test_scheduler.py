@@ -1,0 +1,160 @@
+"""Placement policies, node exclusivity, and co-scheduled clusters."""
+
+import pytest
+
+from repro.cluster import (
+    PLACEMENTS,
+    Cluster,
+    attach_bully,
+    attach_victim,
+    place_ranks,
+)
+from repro.cluster.scheduler import PlacementLedger
+from repro.machines import get_machine
+
+MACHINE = "perlmutter-cpu-x8@dragonfly(4,2,2)"
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return get_machine(MACHINE)
+
+
+def _nodes(endpoints):
+    return [ep.split(".", 1)[0] for ep in endpoints]
+
+
+class TestPlaceRanks:
+    def test_packed_fills_nodes_in_order(self, machine):
+        eps = place_ranks(machine, 4, "packed")
+        assert _nodes(eps) == ["n0", "n1", "n2", "n3"]
+
+    def test_one_rank_per_node_while_nodes_last(self, machine):
+        eps = place_ranks(machine, 8, "packed")
+        assert len(set(_nodes(eps))) == 8
+
+    def test_wraps_onto_second_endpoint_when_oversubscribed(self, machine):
+        eps = place_ranks(machine, 10, "packed")
+        nodes = _nodes(eps)
+        assert nodes[:8] == [f"n{i}" for i in range(8)]
+        assert nodes[8:] == ["n0", "n1"]  # round-robin wraps over the nodes
+
+    def test_scattered_lands_behind_distinct_routers(self, machine):
+        ledger = PlacementLedger(machine)
+        eps = place_ranks(machine, 4, "scattered", ledger=ledger)
+        routers = [ledger.router[n] for n in _nodes(eps)]
+        assert len(set(routers)) == 4
+
+    def test_random_is_seed_deterministic(self, machine):
+        a = place_ranks(machine, 6, "random", seed=3, key="job")
+        b = place_ranks(machine, 6, "random", seed=3, key="job")
+        c = place_ranks(machine, 6, "random", seed=4, key="job")
+        assert a == b
+        assert a != c
+
+    def test_ledger_keeps_jobs_node_exclusive(self, machine):
+        ledger = PlacementLedger(machine)
+        first = place_ranks(machine, 3, "packed", ledger=ledger)
+        second = place_ranks(machine, 3, "packed", ledger=ledger)
+        assert not set(_nodes(first)) & set(_nodes(second))
+
+    def test_no_free_nodes_rejected(self, machine):
+        ledger = PlacementLedger(machine)
+        place_ranks(machine, 8, "packed", ledger=ledger)
+        with pytest.raises(ValueError, match="no free nodes"):
+            place_ranks(machine, 1, "packed", ledger=ledger)
+
+    def test_capacity_overflow_rejected(self, machine):
+        # 8 dual-socket nodes: far more ranks than slots.
+        with pytest.raises(ValueError, match="slots"):
+            place_ranks(machine, 10000, "packed")
+
+    def test_unknown_policy_rejected(self, machine):
+        with pytest.raises(ValueError, match="placement"):
+            place_ranks(machine, 2, "diagonal")
+
+    def test_single_node_machine_degrades_gracefully(self):
+        m = get_machine("perlmutter-cpu")
+        eps = place_ranks(m, 2, "scattered")
+        assert len(eps) == 2
+
+
+class TestCluster:
+    def test_constructor_validates_placement(self):
+        with pytest.raises(ValueError, match="placement"):
+            Cluster(MACHINE, placement="bogus")
+
+    def test_duplicate_job_names_rejected(self):
+        c = Cluster(MACHINE)
+        samples: list[float] = []
+        c.submit("v", attach_victim(samples, nmsgs=1), nranks=2, runtime="one_sided")
+        with pytest.raises(ValueError, match="duplicate"):
+            c.submit("v", attach_bully(nmsgs=1), nranks=2, runtime="one_sided")
+
+    def test_run_without_jobs_rejected(self):
+        with pytest.raises(ValueError, match="no jobs"):
+            Cluster(MACHINE).run()
+
+    def test_submit_defaults_to_cluster_placement(self):
+        c = Cluster(MACHINE, placement="scattered")
+        samples: list[float] = []
+        job = c.submit(
+            "v", attach_victim(samples, nmsgs=1), nranks=3, runtime="one_sided"
+        )
+        routers = {c._ledger.router[n] for n in _nodes(job.endpoints)}
+        assert len(routers) == 3
+
+    def test_jobs_share_one_fabric_and_clock(self):
+        c = Cluster(MACHINE)
+        samples: list[float] = []
+        v = c.submit(
+            "victim", attach_victim(samples, nmsgs=2), nranks=2, runtime="one_sided"
+        )
+        b = c.submit("bully", attach_bully(nmsgs=2), nranks=2, runtime="one_sided")
+        assert v.fabric is b.fabric is c.fabric
+        results = c.run()
+        assert set(results) == {"victim", "bully"}
+        assert len(samples) == 2
+        assert all(r.time == c.sim.now for r in results.values())
+
+    def test_same_seed_runs_are_bit_identical(self):
+        def run():
+            samples: list[float] = []
+            c = Cluster(MACHINE, routing="adaptive", seed=11)
+            c.submit(
+                "victim",
+                attach_victim(samples, nmsgs=20),
+                nranks=2,
+                runtime="one_sided",
+                placement="scattered",
+            )
+            c.submit(
+                "bully",
+                attach_bully(nmsgs=10),
+                nranks=4,
+                runtime="one_sided",
+                placement="scattered",
+            )
+            c.run()
+            return samples
+
+        assert run() == run()
+
+    def test_bully_traffic_inflates_victim_tail(self):
+        def victim_samples(with_bully):
+            samples: list[float] = []
+            c = Cluster(MACHINE, placement="scattered")
+            c.submit(
+                "victim", attach_victim(samples, nmsgs=40), nranks=2,
+                runtime="one_sided",
+            )
+            if with_bully:
+                c.submit(
+                    "bully", attach_bully(nmsgs=30), nranks=6, runtime="one_sided"
+                )
+            c.run()
+            return samples
+
+        quiet = victim_samples(False)
+        loud = victim_samples(True)
+        assert max(loud) > max(quiet)

@@ -1,0 +1,56 @@
+"""Victim/bully program factories and exact nearest-rank quantiles."""
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster, attach_victim, sample_quantile
+from repro.obs import Obs, observe
+
+
+class TestSampleQuantile:
+    def test_empty_is_nan(self):
+        assert math.isnan(sample_quantile([], 0.5))
+
+    def test_nearest_rank_semantics(self):
+        xs = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert sample_quantile(xs, 0.0) == 1.0
+        assert sample_quantile(xs, 0.5) == 3.0
+        assert sample_quantile(xs, 0.8) == 4.0
+        assert sample_quantile(xs, 1.0) == 5.0
+
+    def test_p99_on_100_samples_is_the_99th_value(self):
+        xs = [float(i) for i in range(1, 101)]
+        assert sample_quantile(xs, 0.99) == 99.0
+        assert sample_quantile(xs, 0.999) == 100.0
+
+    def test_input_not_mutated(self):
+        xs = [3.0, 1.0, 2.0]
+        sample_quantile(xs, 0.5)
+        assert xs == [3.0, 1.0, 2.0]
+
+
+class TestVictimFactory:
+    def test_collects_one_sample_per_message(self):
+        samples: list[float] = []
+        c = Cluster("perlmutter-cpu-x2")
+        c.submit(
+            "v", attach_victim(samples, nmsgs=7), nranks=2, runtime="one_sided"
+        )
+        c.run()
+        assert len(samples) == 7
+        assert all(s > 0 for s in samples)
+
+    def test_samples_feed_the_obs_histogram(self):
+        samples: list[float] = []
+        with observe(Obs()) as obs:
+            c = Cluster("perlmutter-cpu-x2")
+            c.submit(
+                "v", attach_victim(samples, nmsgs=5), nranks=2, runtime="one_sided"
+            )
+            c.run()
+            snap = obs.metrics.snapshot()
+        assert snap["cluster.victim.latency_seconds.count"] == 5
+        assert snap["cluster.victim.latency_seconds.p99"] == pytest.approx(
+            sample_quantile(samples, 0.99), rel=0.5
+        )

@@ -57,6 +57,55 @@ class TestHistogram:
             Histogram("w", edges=())
 
 
+class TestHistogramQuantile:
+    def test_empty_is_nan(self):
+        assert math.isnan(Histogram("w", edges=(1.0,)).quantile(0.99))
+
+    def test_p_out_of_range_rejected(self):
+        h = Histogram("w", edges=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_single_observation_every_p(self):
+        h = Histogram("w", edges=(1.0, 10.0))
+        h.observe(4.0)
+        for p in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(p) == pytest.approx(4.0)
+
+    def test_interpolates_inside_bucket(self):
+        h = Histogram("w", edges=(0.0, 10.0, 20.0))
+        for x in (2.0, 4.0, 6.0, 8.0):  # all in (0, 10]
+            h.observe(x)
+        # Median rank lands mid-bucket; bounds clamp to observed min/max.
+        assert 2.0 <= h.quantile(0.5) <= 8.0
+        assert h.quantile(1.0) == pytest.approx(8.0)
+
+    def test_tail_quantiles_ordered_and_bounded(self):
+        h = Histogram("w", edges=(1e-6, 1e-5, 1e-4))
+        for i in range(1000):
+            h.observe(1e-7 * (i + 1))  # up to 100 us, most below 10 us
+        p50, p99, p999 = h.quantile(0.5), h.quantile(0.99), h.quantile(0.999)
+        assert p50 <= p99 <= p999 <= h.max
+        assert h.min <= p50
+
+    def test_overflow_bucket_clamped_to_max(self):
+        h = Histogram("w", edges=(1.0,))
+        h.observe(0.5)
+        h.observe(100.0)  # overflow bucket, open upper bound
+        assert h.quantile(0.999) <= 100.0
+
+    def test_snapshot_surfaces_tails(self):
+        h = Histogram("w", edges=(1.0, 10.0))
+        for x in (0.5, 2.0, 5.0, 20.0):
+            h.observe(x)
+        snap = h.snapshot()
+        assert snap["w.p99"] == h.quantile(0.99)
+        assert snap["w.p999"] == h.quantile(0.999)
+        assert "w.p99" not in Histogram("v", edges=(1.0,)).snapshot()
+
+
 class TestTimeline:
     def test_bins_accumulate_and_sort(self):
         tl = Timeline("bytes", bin_width=1.0)

@@ -47,6 +47,20 @@ class TestCommands:
         assert "perlmutter-cpu" in out
         assert "PROJECTION" in out  # frontier-gpu listed and flagged
 
+    def test_topo_summary(self, capsys):
+        assert main(["topo", "perlmutter-cpu-x4@dragonfly(2,2,1)"]) == 0
+        out = capsys.readouterr().out
+        assert "diameter" in out and "bisection" in out
+
+    def test_topo_bare_generator_dot(self, capsys):
+        assert main(["topo", "dragonfly(2,2,1)", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("graph ") and "--" in out
+
+    def test_topo_unknown_name(self, capsys):
+        assert main(["topo", "not-a-fabric"]) == 2
+        assert "unknown" in capsys.readouterr().err.lower()
+
     def test_run_single_experiment(self, capsys):
         assert main(["run", "table1"]) == 0
         out = capsys.readouterr().out
