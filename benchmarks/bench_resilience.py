@@ -1,0 +1,185 @@
+"""Benchmark the resilience stack: failover overhead and recovery gates.
+
+Measures what the failure-domain machinery costs when nothing fails, and
+proves the failover/recovery contracts on a dragonfly(4,4,1) fabric;
+writes ``benchmarks/output/BENCH_resilience.json``.  Gates:
+
+* no-fault parity — a fabric with ``routing="failover"`` and no fault
+  plan produces bit-identical arrivals to the no-policy default;
+* no-fault overhead — wall-clock routed-transfer throughput under
+  failover routing stays within 10% of the default fabric (best-of-3
+  timings for both);
+* a single dead router (``g3r2``, a transit hop for the measured traffic
+  but never one of its endpoints) kills minimal routing with a
+  :class:`~repro.faults.FaultError` but completes under failover;
+* the failover schedule under the dead router replays bit-identically;
+* recoverable training on a cluster survives a mid-run router kill and
+  replays bit-identically.
+
+Run standalone (``python benchmarks/bench_resilience.py``) or via pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import sys
+import time
+
+from repro.cluster import Cluster, RecoveryConfig, run_recoverable_training
+from repro.faults import FaultError, FaultPlan, RouterFaults
+from repro.faults.inject import FaultInjector
+from repro.net import Fabric, FailoverRouting, dragonfly
+from repro.sim import Simulator
+from repro.workloads.ml import RecoverableTrainingSpec
+
+OUTPUT = pathlib.Path(__file__).parent / "output" / "BENCH_resilience.json"
+
+FABRIC = (4, 4, 1)  # dragonfly(groups, routers_per_group, nodes_per_router)
+N_TRANSFERS = 20_000
+NBYTES = 65536
+DEAD_ROUTER = "g3r2"  # transit router for g3<->g2 traffic; never an endpoint below
+MAX_OVERHEAD = 0.10  # no-fault failover may cost at most 10%
+
+CLUSTER = "perlmutter-cpu-x8@dragonfly(4,2,2)"
+KILL = 660e-6
+
+
+def _pairs(topo):
+    """A deterministic traffic pattern that transits (but never ends at)
+    the victim router."""
+    routers = [r for r in topo.endpoints if r != DEAD_ROUTER]
+    n = len(routers)
+    return [(routers[i % n], routers[(i * 7 + 3) % n]) for i in range(64)]
+
+
+def _run_schedule(routing, plan=None, n=N_TRANSFERS):
+    sim = Simulator()
+    faults = FaultInjector(plan) if plan is not None else None
+    f = Fabric(sim, dragonfly(*FABRIC).topology, routing=routing, faults=faults)
+    pairs = _pairs(f.topology)
+    arrivals = []
+    for i in range(n):
+        src, dst = pairs[i % len(pairs)]
+        if src == dst:
+            continue
+        arrivals.append(f.transfer(src, dst, NBYTES).arrival)
+    return f, arrivals
+
+
+def _best_of(k, fn):
+    best = math.inf
+    out = None
+    for _ in range(k):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _dead_router_plan():
+    return FaultPlan(
+        hard=(RouterFaults(DEAD_ROUTER, windows=((0.0, math.inf),)),)
+    )
+
+
+def _train(seed=7):
+    plan = FaultPlan(hard=(RouterFaults("g0r0", windows=((KILL, math.inf),)),))
+    cluster = Cluster(CLUSTER, faults=plan, routing=FailoverRouting(), seed=seed)
+    return run_recoverable_training(
+        cluster,
+        RecoverableTrainingSpec(),
+        nranks=4,
+        config=RecoveryConfig(checkpoint_interval=2, checkpoint_cost=0.0),
+        nodes=["n0", "n1", "n2", "n3"],
+    )
+
+
+def run_bench() -> dict:
+    # -- no-fault parity + overhead (best of 3 each) ---------------------
+    t_default, (_f, base_arrivals) = _best_of(3, lambda: _run_schedule(None))
+    t_failover, (_f2, fo_arrivals) = _best_of(
+        3, lambda: _run_schedule("failover")
+    )
+    parity = base_arrivals == fo_arrivals  # exact float equality
+    overhead = t_failover / t_default - 1.0
+    per_sec = len(fo_arrivals) / t_failover
+
+    # -- a dead router: minimal dies, failover survives ------------------
+    minimal_died = False
+    try:
+        _run_schedule("minimal", plan=_dead_router_plan(), n=2_000)
+    except FaultError:
+        minimal_died = True
+    _f0, clean_2k = _run_schedule(None, n=2_000)
+    f_kill, kill_arrivals = _run_schedule(
+        "failover", plan=_dead_router_plan(), n=2_000
+    )
+    _f3, kill_replay = _run_schedule(
+        "failover", plan=_dead_router_plan(), n=2_000
+    )
+    stats = f_kill.routing.stats()
+
+    # -- job-level recovery on the cluster machine -----------------------
+    train = _train()
+    train_replay = _train()
+
+    result = {
+        "bench": "resilience",
+        "fabric": f"dragonfly{FABRIC}",
+        "transfers": len(fo_arrivals),
+        "nbytes": NBYTES,
+        "throughput": {
+            "routed_transfers_per_sec": round(per_sec, 1),
+            "elapsed_default_s": round(t_default, 4),
+            "elapsed_failover_s": round(t_failover, 4),
+            "no_fault_overhead": round(overhead, 4),
+        },
+        "failover": {
+            "dead_router": DEAD_ROUTER,
+            "detections": stats["detections"],
+            "failovers": stats["failovers"],
+            "partitions": stats["partitions"],
+        },
+        "recovery": {
+            "completed": train.completed,
+            "failures": train.failures,
+            "blast_radius": train.blast_radius,
+            "replayed_steps": train.replayed_steps,
+            "makespan_us": round(train.makespan * 1e6, 3),
+        },
+        "checks": {
+            "failover_clean_bit_identical_to_default": parity,
+            "no_fault_overhead_within_10pct": overhead <= MAX_OVERHEAD,
+            "minimal_routing_dies_on_dead_router": minimal_died,
+            "failover_survives_dead_router": (
+                len(kill_arrivals) == len(clean_2k) and stats["failovers"] > 0
+            ),
+            "failover_schedule_deterministic": kill_arrivals == kill_replay,
+            "recovery_completes_after_router_kill": (
+                train.completed and train.failures == 1
+            ),
+            "recovery_replay_bit_identical": train == train_replay,
+        },
+    }
+    OUTPUT.parent.mkdir(exist_ok=True)
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def test_resilience_bench():
+    result = run_bench()
+    failed = [k for k, ok in result["checks"].items() if not ok]
+    assert not failed, f"resilience bench checks failed: {failed} in {result}"
+
+
+def main() -> int:
+    result = run_bench()
+    print(json.dumps(result, indent=2))
+    print(f"wrote {OUTPUT}")
+    return 0 if all(result["checks"].values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -273,6 +273,20 @@ class Session:
         kwargs.setdefault("placement", self.placement)
         return Cluster(machine, **kwargs)
 
+    def run_recoverable_training(
+        self, spec=None, *, nranks: int, cluster=None, **kwargs: Any
+    ):
+        """A checkpoint/restart training job
+        (:func:`repro.cluster.run_recoverable_training`) on ``cluster``,
+        or on a fresh :meth:`cluster` of the session's machine — which
+        picks up the session's fault plan, so hard faults configured via
+        ``Session(faults=...)`` fail and recover the job."""
+        from repro.cluster import run_recoverable_training
+
+        if cluster is None:
+            cluster = self.cluster()
+        return run_recoverable_training(cluster, spec, nranks=nranks, **kwargs)
+
     def run_kv_transfer(self, *, nranks: int, **kwargs: Any):
         """A prefill -> KV-cache hand-off -> decode pipeline."""
         from repro.workloads.ml import run_kv_transfer

@@ -158,6 +158,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--down", action="append", default=[], metavar="START:END",
         help="link outage window in simulated microseconds (repeatable)",
     )
+    fap.add_argument(
+        "--fail-router", action="append", default=[], metavar="NAME[:START:END]",
+        help="hard-fail a router, taking down every attached link "
+             "(outage window in simulated microseconds, END may be 'inf'; "
+             "bare NAME means dead for the whole run; repeatable)",
+    )
+    fap.add_argument(
+        "--fail-node", action="append", default=[], metavar="NAME[:START:END]",
+        help="hard-fail a node (all its links); same syntax as --fail-router",
+    )
+    fap.add_argument(
+        "--fail-nic", action="append", default=[], metavar="NAME[:START:END]",
+        help="hard-fail a NIC; same syntax as --fail-router",
+    )
+    fap.add_argument(
+        "--placement", choices=["spread", "block"], default="spread",
+        help="rank placement: 'spread' keeps the flood on-node, 'block' "
+             "crosses the switched fabric (where hard faults live)",
+    )
     fap.add_argument("--seed", type=int, default=0, help="fault plan seed")
     fap.add_argument(
         "--timeout-us", type=float, default=20.0,
@@ -605,6 +624,43 @@ def _cmd_fault(args: argparse.Namespace) -> int:
             print(f"--down expects START:END in microseconds, got {spec!r}",
                   file=sys.stderr)
             return 2
+    hard: list[faults.HardFaults] = []
+    hard_classes = {
+        "router": ("--fail-router", args.fail_router, faults.RouterFaults),
+        "node": ("--fail-node", args.fail_node, faults.NodeFaults),
+        "nic": ("--fail-nic", args.fail_nic, faults.NicFaults),
+    }
+    compute = tuple(machine.compute_endpoints)
+    for kind, (flag, specs, cls) in hard_classes.items():
+        windows: dict[str, list[tuple[float, float]]] = {}
+        for spec in specs:
+            parts = spec.split(":")
+            if len(parts) == 1:
+                name, window = parts[0], (0.0, float("inf"))
+            elif len(parts) == 3:
+                try:
+                    name = parts[0]
+                    window = (float(parts[1]) * 1e-6, float(parts[2]) * 1e-6)
+                except ValueError:
+                    print(f"{flag} expects NAME or NAME:START:END in "
+                          f"microseconds, got {spec!r}", file=sys.stderr)
+                    return 2
+            else:
+                print(f"{flag} expects NAME or NAME:START:END in "
+                      f"microseconds, got {spec!r}", file=sys.stderr)
+                return 2
+            # Validate the element name eagerly, before any simulation runs.
+            try:
+                faults.validate_element(
+                    machine.topology, kind, name, compute=compute
+                )
+            except faults.UnknownElementError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+            windows.setdefault(name, []).append(window)
+        hard.extend(
+            cls(name, windows=tuple(ws)) for name, ws in windows.items()
+        )
     try:
         plan = faults.FaultPlan.uniform(
             loss=args.loss,
@@ -614,35 +670,42 @@ def _cmd_fault(args: argparse.Namespace) -> int:
             seed=args.seed,
             timeout=args.timeout_us * 1e-6,
             max_retries=args.max_retries,
+            hard=tuple(hard),
         )
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
     size = parse_size(args.nbytes)
     clean = run_flood(
-        machine, args.runtime, size, args.msgs_per_sync, iters=args.iters
+        machine, args.runtime, size, args.msgs_per_sync, iters=args.iters,
+        placement=args.placement,
     )
     try:
         with faults.inject(plan) as scope:
             faulty = run_flood(
-                machine, args.runtime, size, args.msgs_per_sync, iters=args.iters
+                machine, args.runtime, size, args.msgs_per_sync,
+                iters=args.iters, placement=args.placement,
             )
     except faults.FaultError as exc:
         print(f"machine   : {machine.name} / {args.runtime}")
         print(f"plan      : loss={args.loss} jitter={args.jitter_us}us "
-              f"degrade={args.degrade} seed={args.seed}")
+              f"degrade={args.degrade} hard={len(hard)} element(s) "
+              f"seed={args.seed}")
         print(f"aborted   : {exc}")
         return 1
     s = scope.stats()
     print(f"machine   : {machine.name} / {args.runtime}")
     print(f"message   : {args.nbytes} x {args.msgs_per_sync}/sync x {args.iters} iters")
     print(f"plan      : loss={args.loss} jitter={args.jitter_us}us "
-          f"degrade={args.degrade} down={len(down)} window(s) seed={args.seed}")
+          f"degrade={args.degrade} down={len(down)} window(s) "
+          f"hard={len(hard)} element(s) seed={args.seed}")
     print(f"clean     : {fmt_bw(clean.bandwidth)}")
     print(f"faulty    : {fmt_bw(faulty.bandwidth)} "
           f"({faulty.bandwidth / clean.bandwidth * 100:.1f}% of clean)")
-    print(f"recovery  : {int(s['drops'])} drops, {int(s['retransmits'])} "
-          f"retransmits, {int(s['exhausted'])} exhausted")
+    print(f"recovery  : {int(s['drops'])} drops "
+          f"({int(s['hard_drops'])} at dead elements), "
+          f"{int(s['retransmits'])} retransmits, "
+          f"{int(s['exhausted'])} exhausted")
     if s["down_stall_seconds"] > 0:
         print(f"stalled   : {s['down_stall_seconds'] * 1e6:.1f} us at down links")
     return 0

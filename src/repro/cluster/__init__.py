@@ -7,16 +7,36 @@ placement policy (``packed`` / ``scattered`` / ``random``) and
 :meth:`Cluster.run` drives every job's rank programs in one simulation — so
 a victim workload's latency can be measured while a bully floods the shared
 links (`experiments/interference.py`).
+
+When the cluster's fault plan kills fabric elements outright
+(:class:`~repro.faults.RouterFaults` and friends),
+:func:`run_recoverable_training` layers the job-level answer on top:
+detect the failure, drain the dead nodes, respawn the lost ranks on
+spares, and replay from the last checkpoint.
 """
 
-from repro.cluster.scheduler import PLACEMENTS, Cluster, place_ranks
+from repro.cluster.recovery import (
+    RecoveryConfig,
+    RecoveryResult,
+    run_recoverable_training,
+)
+from repro.cluster.scheduler import (
+    PLACEMENTS,
+    Cluster,
+    PlacementLedger,
+    place_ranks,
+)
 from repro.cluster.workloads import attach_bully, attach_victim, sample_quantile
 
 __all__ = [
     "Cluster",
     "PLACEMENTS",
+    "PlacementLedger",
+    "RecoveryConfig",
+    "RecoveryResult",
     "attach_bully",
     "attach_victim",
     "place_ranks",
+    "run_recoverable_training",
     "sample_quantile",
 ]

@@ -105,9 +105,22 @@ class PlacementLedger:
             for node, eps in self.node_eps.items()
         }
         self.used: dict[str, int] = {ep: 0 for ep in machine.compute_endpoints}
+        self.drained: set[str] = set()
 
     def take(self, nodes: list[str]) -> None:
         self.free_nodes = [n for n in self.free_nodes if n not in nodes]
+
+    def drain(self, node: str) -> None:
+        """Remove a hard-failed node from service: it is neither free nor
+        placeable again (recovery respawns ranks onto *other* nodes)."""
+        if node not in self.node_eps:
+            raise KeyError(f"unknown node {node!r} on {self.machine.name!r}")
+        self.drained.add(node)
+        self.free_nodes = [n for n in self.free_nodes if n != node]
+
+    def spares(self) -> list[str]:
+        """The nodes still free to host respawned ranks (natural order)."""
+        return list(self.free_nodes)
 
 
 def place_ranks(
@@ -118,28 +131,46 @@ def place_ranks(
     ledger: PlacementLedger | None = None,
     seed: int = 0,
     key: str = "",
+    nodes: list[str] | None = None,
 ) -> list[str]:
     """Choose one hosting endpoint per rank under ``policy``.
 
     ``ledger`` carries node ownership and slot occupancy across successive
     placements (the cluster passes its own; omitting it places against a
     fresh, empty machine); ``seed``/``key`` feed the ``random`` hash.
+    ``nodes`` pins the job to an explicit node list instead of the policy
+    (resilience experiments pin victims to known routers; recovery
+    respawns ranks onto chosen spares) — the nodes must exist and be free.
     """
     if policy not in PLACEMENTS:
         raise ValueError(f"unknown placement {policy!r}; valid: {PLACEMENTS}")
     if ledger is None:
         ledger = PlacementLedger(machine)
     free = ledger.free_nodes
-    if not free:
-        raise ValueError(
-            f"cannot place {nranks} ranks: no free nodes remain on "
-            f"{machine.name!r}"
-        )
-    if policy == "scattered":
-        free = _interleave_by_router(free, ledger.router)
-    elif policy == "random":
-        free = _shuffled(free, seed, key)
-    job_nodes = free[: min(nranks, len(free))]
+    if nodes is not None:
+        unknown = [n for n in nodes if n not in ledger.node_eps]
+        if unknown:
+            raise ValueError(
+                f"unknown node(s) {unknown} on {machine.name!r}; "
+                f"valid: {sorted(ledger.node_eps)}"
+            )
+        busy = [n for n in nodes if n not in free]
+        if busy:
+            raise ValueError(
+                f"node(s) {busy} are not free on {machine.name!r}"
+            )
+        job_nodes = list(nodes)
+    else:
+        if not free:
+            raise ValueError(
+                f"cannot place {nranks} ranks: no free nodes remain on "
+                f"{machine.name!r}"
+            )
+        if policy == "scattered":
+            free = _interleave_by_router(free, ledger.router)
+        elif policy == "random":
+            free = _shuffled(free, seed, key)
+        job_nodes = free[: min(nranks, len(free))]
     capacity = sum(ledger.cap * len(ledger.node_eps[n]) for n in job_nodes)
     if nranks > capacity:
         raise ValueError(
@@ -206,6 +237,11 @@ class Cluster:
         self._ledger = PlacementLedger(self.machine)
         self._jobs: list[tuple[str, Job, Any]] = []
 
+    @property
+    def ledger(self) -> PlacementLedger:
+        """The cluster's node-ownership ledger (drain/spares live here)."""
+        return self._ledger
+
     def submit(
         self,
         name: str,
@@ -215,13 +251,15 @@ class Cluster:
         runtime: str,
         placement: str | None = None,
         seed: int | None = None,
+        nodes: list[str] | None = None,
     ) -> Job:
         """Place and register one job; its rank programs run at :meth:`run`.
 
         ``make_program(job)`` is called immediately with the placed
         :class:`~repro.comm.Job` (so it can allocate windows/channels) and
         must return the per-rank generator function ``program(ctx)``.
-        ``placement`` defaults to the cluster's own policy.
+        ``placement`` defaults to the cluster's own policy; ``nodes`` pins
+        the job to explicit free nodes instead.
         """
         if any(name == existing for existing, _j, _p in self._jobs):
             raise ValueError(f"duplicate job name {name!r}")
@@ -232,6 +270,7 @@ class Cluster:
             ledger=self._ledger,
             seed=self.seed if seed is None else seed,
             key=name,
+            nodes=nodes,
         )
         job = Job(
             self.machine,

@@ -28,6 +28,7 @@ from repro.experiments.ml_traffic import (
     run_ml_training,
 )
 from repro.experiments.report import ExperimentReport
+from repro.experiments.resilience import run_resilience
 from repro.experiments.tables import run_table1, run_table2
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "run_ml_inference",
     "run_ml_moe",
     "run_ml_training",
+    "run_resilience",
     "run_table1",
     "run_table2",
 ]
@@ -75,4 +77,5 @@ ALL_EXPERIMENTS = {
     "ml_training": run_ml_training,
     "ml_moe": run_ml_moe,
     "ml_inference": run_ml_inference,
+    "resilience": run_resilience,
 }

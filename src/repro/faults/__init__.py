@@ -4,11 +4,18 @@ Public surface:
 
 * :class:`FaultPlan` / :class:`LinkFaults` / :class:`RetransmitPolicy` —
   declarative description of link loss, jitter, outages and degradation.
+* :class:`RouterFaults` / :class:`NodeFaults` / :class:`NicFaults` —
+  hard (fail-stop) faults scoped to topology elements, resolved against
+  a concrete fabric by :func:`resolve_hard_faults`; victims for a sweep
+  come from the keyed-hash :func:`pick_victims`.
 * :class:`FaultSemantics` — how a runtime reacts to loss (carried by each
   :mod:`repro.transport` backend).
 * :func:`inject` / :func:`current_plan` / :func:`current_scope` — ambient
   installation of a plan, mirroring :func:`repro.obs.observe`.
-* :class:`FaultError` — delivery failure after the retry budget.
+* :class:`FaultError` — delivery failure after the retry budget (or a
+  partitioned topology under failover routing).
+* :class:`UnknownElementError` — a hard-fault target the topology doesn't
+  have (raised by the eager :func:`validate_element` check).
 """
 
 from repro.faults.plan import (
@@ -16,8 +23,20 @@ from repro.faults.plan import (
     FaultError,
     FaultPlan,
     FaultSemantics,
+    HardFaults,
     LinkFaults,
+    NicFaults,
+    NodeFaults,
     RetransmitPolicy,
+    RouterFaults,
+)
+from repro.faults.hard import (
+    UnknownElementError,
+    element_catalog,
+    elements_down_at,
+    pick_victims,
+    resolve_hard_faults,
+    validate_element,
 )
 from repro.faults.inject import (
     FaultInjector,
@@ -32,11 +51,21 @@ __all__ = [
     "FaultError",
     "FaultPlan",
     "FaultSemantics",
+    "HardFaults",
     "LinkFaults",
+    "NicFaults",
+    "NodeFaults",
     "RetransmitPolicy",
+    "RouterFaults",
+    "UnknownElementError",
     "FaultInjector",
     "FaultScope",
     "current_plan",
     "current_scope",
+    "element_catalog",
+    "elements_down_at",
     "inject",
+    "pick_victims",
+    "resolve_hard_faults",
+    "validate_element",
 ]

@@ -55,6 +55,8 @@ class FaultInjector:
         "delivered_with_retry",
         "down_stall_seconds",
         "drops_by_link",
+        "hard_drops",
+        "hard_drops_by_link",
         "attempts_hist",
         "_seed_bytes",
     )
@@ -69,6 +71,8 @@ class FaultInjector:
         self.delivered_with_retry = 0
         self.down_stall_seconds = 0.0
         self.drops_by_link: dict[str, int] = {}
+        self.hard_drops = 0
+        self.hard_drops_by_link: dict[str, int] = {}
         self.attempts_hist = None
         self._seed_bytes = str(plan.seed).encode()
 
@@ -99,6 +103,13 @@ class FaultInjector:
         self.drops += 1
         self.drops_by_link[link] = self.drops_by_link.get(link, 0) + 1
 
+    def record_hard_drop(self, link: str) -> None:
+        """A drop caused by a hard (fail-stop) element outage; also
+        counted in the overall drop totals."""
+        self.record_drop(link)
+        self.hard_drops += 1
+        self.hard_drops_by_link[link] = self.hard_drops_by_link.get(link, 0) + 1
+
     def record_retransmit(self) -> None:
         self.retransmits += 1
 
@@ -124,13 +135,18 @@ class FaultInjector:
             "delivered": float(self.delivered),
             "delivered_with_retry": float(self.delivered_with_retry),
             "down_stall_seconds": self.down_stall_seconds,
+            "hard_drops": float(self.hard_drops),
         }
 
     def metrics_snapshot(self) -> dict[str, float]:
         """Snapshot-time collector payload for a MetricsRegistry."""
-        out = {f"faults.{k}": v for k, v in self.stats().items()}
+        stats = self.stats()
+        out = {f"faults.{k}": v for k, v in stats.items() if k != "hard_drops"}
+        out["faults.hard.drops"] = stats["hard_drops"]
         for link, n in self.drops_by_link.items():
             out[f"faults.link.{link}.drops"] = float(n)
+        for link, n in self.hard_drops_by_link.items():
+            out[f"faults.hard.link.{link}.drops"] = float(n)
         return out
 
 
@@ -153,6 +169,7 @@ class FaultScope:
             "delivered": 0.0,
             "delivered_with_retry": 0.0,
             "down_stall_seconds": 0.0,
+            "hard_drops": 0.0,
         }
         for inj in self.injectors:
             for k, v in inj.stats().items():

@@ -31,17 +31,27 @@ degradation shapes in ``repro run degradation``.
 
 from __future__ import annotations
 
+import re
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 __all__ = [
     "FaultError",
     "LinkFaults",
+    "HardFaults",
+    "RouterFaults",
+    "NodeFaults",
+    "NicFaults",
     "RetransmitPolicy",
     "FaultSemantics",
     "FaultPlan",
     "NO_FAULTS",
 ]
+
+# The namespaced-cluster endpoint prefix (`n{i}.`) that
+# :func:`repro.machines.cluster.make_cluster` prepends to every
+# node-internal endpoint.
+_NODE_PREFIX = re.compile(r"^(n\d+)\.")
 
 
 class FaultError(RuntimeError):
@@ -88,6 +98,71 @@ class LinkFaults:
 
 
 NO_FAULTS = LinkFaults()
+
+
+@dataclass(frozen=True)
+class HardFaults:
+    """Fail-stop windows on one named topology *element* (not a link).
+
+    During each ``[fail_at, recover_at)`` window the element is dead:
+    every link attached to it drops every message atomically (a dead
+    router takes down all its ports at once).  ``recover_at`` may be
+    ``float("inf")`` for an element that never comes back.  Unlike the
+    soft :class:`LinkFaults` knobs, hard faults are not sampled — the
+    windows themselves are the whole behaviour, so two runs with the
+    same plan replay identically by construction (use
+    :func:`repro.faults.pick_victims` for a keyed-hash choice of *which*
+    element fails in a sweep).
+
+    Subclasses name the element kind the plan resolver binds against a
+    topology: :class:`RouterFaults` (switch/router endpoints),
+    :class:`NodeFaults` (a whole ``n{i}`` node and everything inside
+    it), :class:`NicFaults` (one NIC endpoint).
+    """
+
+    element: str
+    windows: tuple[tuple[float, float], ...] = ()
+
+    kind = "element"
+
+    def __post_init__(self) -> None:
+        if not self.element or not isinstance(self.element, str):
+            raise ValueError(f"element must be a non-empty name, got {self.element!r}")
+        windows = tuple(sorted((float(a), float(b)) for a, b in self.windows))
+        for a, b in windows:
+            if not 0.0 <= a < b:
+                raise ValueError(
+                    f"hard-fault window [{a}, {b}) is not a valid interval"
+                )
+        object.__setattr__(self, "windows", windows)
+
+    @property
+    def clean(self) -> bool:
+        """True when this element never actually fails."""
+        return not self.windows
+
+
+@dataclass(frozen=True)
+class RouterFaults(HardFaults):
+    """Hard failure of one switch/router (all attached links die)."""
+
+    kind = "router"
+
+
+@dataclass(frozen=True)
+class NodeFaults(HardFaults):
+    """Hard failure of one whole node (``n{i}``): every link touching
+    any of the node's endpoints dies, including node-internal links."""
+
+    kind = "node"
+
+
+@dataclass(frozen=True)
+class NicFaults(HardFaults):
+    """Hard failure of one NIC endpoint (its cable and on-node links die;
+    the rest of the node keeps computing)."""
+
+    kind = "nic"
 
 
 @dataclass(frozen=True)
@@ -167,17 +242,40 @@ class FaultPlan:
     specific unordered endpoint pairs (``{("cpu0", "cpu1"): LinkFaults(...)}``).
     Loopback (``src == dst``) transfers never traverse a link and are
     unaffected.  ``seed`` namespaces all loss/jitter draws.
+
+    ``hard`` lists fail-stop element faults (:class:`RouterFaults` /
+    :class:`NodeFaults` / :class:`NicFaults`); they are resolved against
+    the concrete topology when a fabric is built (see
+    :func:`repro.faults.resolve_hard_faults`) — elements absent from a
+    given topology simply do not bind there, so one plan can span
+    machines of different scales.
     """
 
     seed: int = 0
     default: LinkFaults = NO_FAULTS
     links: Mapping[tuple[str, str], LinkFaults] = field(default_factory=dict)
     retransmit: RetransmitPolicy = RetransmitPolicy()
+    hard: tuple[HardFaults, ...] = ()
 
     def __post_init__(self) -> None:
         if not isinstance(self.seed, int) or self.seed < 0:
             raise ValueError(f"seed must be a non-negative int, got {self.seed!r}")
         object.__setattr__(self, "links", _normalize_links(dict(self.links)))
+        hard = tuple(self.hard)
+        seen: set[tuple[str, str]] = set()
+        for hf in hard:
+            if not isinstance(hf, HardFaults):
+                raise ValueError(
+                    f"hard entries must be RouterFaults/NodeFaults/NicFaults, "
+                    f"got {hf!r}"
+                )
+            key = (hf.kind, hf.element)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate hard fault for {hf.kind} {hf.element!r}"
+                )
+            seen.add(key)
+        object.__setattr__(self, "hard", hard)
 
     @classmethod
     def uniform(
@@ -191,6 +289,7 @@ class FaultPlan:
         timeout: float = 20e-6,
         backoff: float = 2.0,
         max_retries: int = 8,
+        hard: tuple[HardFaults, ...] = (),
     ) -> "FaultPlan":
         """The common case: the same faults on every link."""
         return cls(
@@ -199,13 +298,38 @@ class FaultPlan:
             retransmit=RetransmitPolicy(
                 timeout=timeout, backoff=backoff, max_retries=max_retries
             ),
+            hard=hard,
         )
 
     def for_link(self, a: str, b: str) -> LinkFaults:
-        """The fault parameters governing the (unordered) link ``a<->b``."""
-        return self.links.get(frozenset((a, b)), self.default)
+        """The fault parameters governing the (unordered) link ``a<->b``.
+
+        Cluster machines prefix node-internal endpoints with ``n{i}.``
+        (``n3.cpu0``), so a per-link override written against the bare
+        node model (``("cpu0", "cpu1")``) also binds every node's copy of
+        that link: when both endpoints carry the *same* node prefix and
+        no exact override exists, the lookup retries with the prefix
+        stripped.
+        """
+        lf = self.links.get(frozenset((a, b)))
+        if lf is not None:
+            return lf
+        if self.links:
+            ma, mb = _NODE_PREFIX.match(a), _NODE_PREFIX.match(b)
+            if ma is not None and mb is not None and ma.group(1) == mb.group(1):
+                lf = self.links.get(
+                    frozenset((a[ma.end():], b[mb.end():]))
+                )
+                if lf is not None:
+                    return lf
+        return self.default
 
     @property
     def clean(self) -> bool:
-        """True when no link in this plan can misbehave."""
-        return self.default.clean and all(lf.clean for lf in self.links.values())
+        """True when no link in this plan can misbehave and no element
+        ever hard-fails."""
+        return (
+            self.default.clean
+            and all(lf.clean for lf in self.links.values())
+            and all(hf.clean for hf in self.hard)
+        )

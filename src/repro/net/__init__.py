@@ -6,6 +6,7 @@ from repro.net.link import Channel, Link
 from repro.net.loggp import LinkParams, LogGPParams
 from repro.net.routing import (
     AdaptiveRouting,
+    FailoverRouting,
     MinimalRouting,
     RoutingPolicy,
     get_routing,
@@ -26,6 +27,7 @@ __all__ = [
     "Delivery",
     "Fabric",
     "FabricBlueprint",
+    "FailoverRouting",
     "Channel",
     "Link",
     "LinkParams",

@@ -102,6 +102,9 @@ class Fabric:
         self.total_messages = 0
         self.total_bytes = 0.0
         self.faults = faults
+        # Link key -> merged hard-outage windows (filled by
+        # _install_faults when the plan carries element faults).
+        self.hard_links: dict[frozenset[str], tuple] = {}
         if faults is not None:
             self._install_faults(faults)
         self.metrics = metrics
@@ -112,6 +115,9 @@ class Fabric:
                     "faults.attempts", _ATTEMPT_EDGES
                 )
                 metrics.register_collector(faults.metrics_snapshot)
+            if self.routing is not None and hasattr(self.routing, "metrics_snapshot"):
+                # Failure-aware policies export routing.failover.* gauges.
+                metrics.register_collector(self.routing.metrics_snapshot)
             self._m_messages = metrics.counter("net.fabric.messages")
             self._m_bytes = metrics.counter("net.fabric.bytes")
             self._m_timeline = metrics.timeline("net.bytes_timeline", _TIMELINE_BIN)
@@ -147,6 +153,8 @@ class Fabric:
     def _install_faults(self, injector: "FaultInjector") -> None:
         """Attach per-link fault parameters; links the plan leaves clean
         keep ``faults=None`` and stay on the pristine reserve() path."""
+        from repro.faults.hard import resolve_hard_faults
+
         plan = injector.plan
         for link in self._links.values():
             lf = plan.for_link(link.a, link.b)
@@ -164,6 +172,22 @@ class Fabric:
                             start=a,
                             arrival=b,
                         )
+        # Hard (fail-stop) element faults: a dead router/node/NIC takes
+        # every resolved link down atomically for its windows.
+        self.hard_links = resolve_hard_faults(plan, self.topology)
+        for key, windows in self.hard_links.items():
+            link = self._links[key]
+            link.set_hard(windows)
+            if self.tracer.enabled:
+                for a, b in windows:
+                    self.tracer.emit(
+                        self.sim.now,
+                        "net.link.hard_down",
+                        -1,
+                        link=link.name,
+                        start=a,
+                        arrival=b,
+                    )
 
     def transfer(
         self,
@@ -306,6 +330,12 @@ class Fabric:
         tid = self.total_messages  # stable per-transfer id for fault draws
         max_attempts = policy.max_retries + 1
         cc = self.cc
+        routing = self.routing
+        # Failure-aware policies (FailoverRouting) ask for a fresh routing
+        # decision per retry attempt and are told about every detected
+        # drop; static policies keep the fixed-route retry loop.
+        reroutes = routing is not None and getattr(routing, "reroutes", False)
+        notify = routing if routing is not None and hasattr(routing, "on_drop") else None
         t_ready = now
         if cc is not None:
             t_ready = now + cc.injection_delay(src, nbytes * route.G)
@@ -324,14 +354,24 @@ class Fabric:
                 t = inj_head_out
             tail_G = route.G
             lost_link: str | None = None
+            lost_key: frozenset[str] | None = None
             for u, v in route.hops:
-                link = self._links[frozenset((u, v))]
+                key = frozenset((u, v))
+                link = self._links[key]
                 channel = link.channel(u, v)
                 hop_start, head_out = channel.reserve(nbytes, t, atomic=atomic)
                 if cc is not None and hop_start - t > max_wait:
                     max_wait = hop_start - t
                 if start is None:
                     start = hop_start
+                if channel.hard_down_at(hop_start):
+                    # The element behind this link is dead: the head
+                    # reaches a port that no longer exists.  Upstream
+                    # capacity was spent; nothing propagates further.
+                    lost_link = link.name
+                    lost_key = key
+                    inj.record_hard_drop(link.name)
+                    break
                 lf = channel.faults
                 if lf is not None:
                     head_out += inj.jitter(lf, link.name, tid, attempt)
@@ -340,6 +380,8 @@ class Fabric:
                         # Dropped on this hop: upstream capacity was spent,
                         # downstream hops never see the message.
                         lost_link = link.name
+                        lost_key = key
+                        inj.record_drop(link.name)
                         break
                 t = head_out
             assert start is not None
@@ -355,7 +397,6 @@ class Fabric:
                     src, dst, nbytes, route, first_start, arrival,
                     payload=payload, attempts=attempts,
                 )
-            inj.record_drop(lost_link)
             if self.tracer.enabled:
                 self.tracer.emit(
                     self.sim.now,
@@ -371,6 +412,10 @@ class Fabric:
             # injecting; one-sided runtimes additionally re-synchronise
             # their window state before re-issuing.
             detect = start + policy.timeout * sem.detect_scale * policy.backoff**attempt
+            if notify is not None:
+                # Feed the failure detector: this is the transfer-attempt
+                # history FailoverRouting's timeout-based detection reads.
+                notify.on_drop(self, lost_key, detect)
             if attempt + 1 >= max_attempts:
                 inj.record_exhausted()
                 if self.tracer.enabled:
@@ -400,6 +445,24 @@ class Fabric:
             t_ready = detect
             if sem.resync_penalty:
                 t_ready += 2.0 * route.latency
+            if reroutes:
+                # Ask the policy again with its updated dead-set view: the
+                # retry may take a different (live) path.  A partitioned
+                # pair raises FaultError here — surface it exactly like
+                # retry-budget exhaustion.
+                try:
+                    route = routing.route(self, src, dst, nbytes, t_ready)
+                except FaultError as err:
+                    inj.record_exhausted()
+                    if sem.mode == "abort":
+                        self._account(
+                            src, dst, nbytes, route, first_start, t_ready
+                        )
+                        raise
+                    return self._complete(
+                        src, dst, nbytes, route, first_start, t_ready,
+                        payload=payload, attempts=attempt + 1, error=err,
+                    )
             attempt += 1
 
     def _complete(

@@ -42,6 +42,7 @@ class Channel:
         "wait_hist",
         "util_timeline",
         "faults",
+        "hard",
         "down_stall_seconds",
         "stall_recorder",
     )
@@ -64,6 +65,12 @@ class Channel:
         # arithmetic it has always used; a fault plan only ever sets this
         # for links whose parameters are not clean.
         self.faults = None
+        # Hard (fail-stop) outage windows resolved from element faults
+        # (sorted, merged ``[fail_at, recover_at)`` tuples).  Unlike the
+        # transient ``faults.down`` windows the head does NOT stall here:
+        # a message whose head reaches a hard-down channel is dropped by
+        # the fabric (the element is dead, not busy).
+        self.hard: tuple | None = None
         self.down_stall_seconds: float = 0.0
         # Callable fed each stall duration (the fault injector's
         # record_down_stall), so scope/metrics totals see outage time.
@@ -117,6 +124,17 @@ class Channel:
         if self.util_timeline is not None:
             self.util_timeline.observe(start, occupancy)
         return start, start + self.params.latency
+
+    def hard_down_at(self, t: float) -> bool:
+        """Is this channel inside a hard (element-failure) outage at ``t``?"""
+        if self.hard is None:
+            return False
+        for a, b in self.hard:
+            if a <= t < b:
+                return True
+            if t < a:
+                break
+        return False
 
     @property
     def effective_G(self) -> float:
@@ -172,6 +190,17 @@ class Link:
         self._rev.faults = faults
         self._fwd.stall_recorder = stall_recorder
         self._rev.stall_recorder = stall_recorder
+
+    def set_hard(self, windows) -> None:
+        """Install merged hard-outage windows on both directions (a dead
+        element kills the whole link; ``None`` clears)."""
+        self._fwd.hard = windows
+        self._rev.hard = windows
+
+    @property
+    def hard(self):
+        """The link's hard-outage windows (both directions share them)."""
+        return self._fwd.hard
 
     @property
     def name(self) -> str:

@@ -25,12 +25,24 @@ from __future__ import annotations
 import hashlib
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
+from repro.faults.plan import FaultError
 from repro.net.topology import Route
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.fabric import Fabric
 
-__all__ = ["RoutingPolicy", "MinimalRouting", "AdaptiveRouting", "get_routing"]
+__all__ = [
+    "RoutingPolicy",
+    "MinimalRouting",
+    "AdaptiveRouting",
+    "FailoverRouting",
+    "get_routing",
+]
+
+# Score penalty (seconds) for a candidate path whose hop is hard-down at
+# decision time: large enough that any live alternative wins, finite so
+# scoring stays a total order when *every* candidate is dead.
+_HARD_DOWN_PENALTY = 1.0
 
 
 @runtime_checkable
@@ -155,27 +167,183 @@ class AdaptiveRouting:
 
     @staticmethod
     def _score(fabric: "Fabric", route: Route, nbytes: float, now: float) -> float:
-        """Estimated tail-arrival time of ``nbytes`` along ``route``."""
+        """Estimated tail-arrival time of ``nbytes`` along ``route``.
+
+        The estimate walks the hops the same way a reservation would:
+        a head arriving inside a transient ``down`` window waits it out,
+        so UGAL never *prefers* a link mid-outage; a hop that is
+        hard-down (element failure) takes a large fixed penalty, so any
+        live candidate outranks a dead one.
+        """
         t = now
         for u, v in route.hops:
             channel = fabric.link(u, v).channel(u, v)
-            t = max(t, channel.utilization_until) + channel.params.latency
+            t = max(t, channel.utilization_until)
+            lf = channel.faults
+            if lf is not None:
+                for a, b in lf.down:
+                    if a <= t < b:
+                        t = b
+            if channel.hard_down_at(t):
+                t += _HARD_DOWN_PENALTY
+            t += channel.params.latency
         return t + nbytes * route.G
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"AdaptiveRouting(candidates={self.candidates})"
 
 
+class FailoverRouting:
+    """Failure-detecting routing: minimal until a link is declared dead,
+    then re-route around the dead set.
+
+    Detection is timeout-based and driven purely by transfer-attempt
+    history: every retransmission timeout the fabric observes on a link
+    is reported through :meth:`on_drop` (mirroring how UGAL reads live
+    queue state), and a link whose consecutive-drop count reaches
+    ``suspect_after`` is declared dead at that detection time.  The
+    policy then invalidates the topology's route/path caches and serves
+    paths computed on the live subgraph via
+    :meth:`~repro.net.topology.TopologySpec.shortest_path_avoiding` +
+    :meth:`~repro.net.topology.TopologySpec.route_via`.  When the dead
+    set partitions a pair, :class:`~repro.faults.FaultError` is raised —
+    failover only falls back to failure once no live path exists.
+
+    With no dead links the policy returns the exact cached minimal
+    :class:`Route` object, so a fault-free run is bit-identical to the
+    default (golden-pinned) path and the no-fault overhead is one dict
+    lookup per decision.
+
+    ``probe_interval`` (seconds) optionally re-admits a dead link that
+    age: the next decision after the interval probes it again (a fixed
+    recovery model — deterministic given the sim clock).  ``None``
+    (default) never re-admits.
+
+    All state transitions are pure functions of the simulated history,
+    so same-seed runs replay bit-identically.
+    """
+
+    name = "failover"
+    # The fabric re-routes every retry attempt through a policy that
+    # sets this flag (a static policy keeps the attempt-loop behaviour
+    # that existed before failover routing).
+    reroutes = True
+
+    def __init__(self, suspect_after: int = 2, probe_interval: float | None = None):
+        if suspect_after < 1:
+            raise ValueError(f"suspect_after must be >= 1, got {suspect_after}")
+        if probe_interval is not None and probe_interval <= 0:
+            raise ValueError(
+                f"probe_interval must be > 0 or None, got {probe_interval}"
+            )
+        self.suspect_after = suspect_after
+        self.probe_interval = probe_interval
+        self.dead: dict[frozenset[str], float] = {}  # link key -> detection time
+        self.drop_counts: dict[frozenset[str], int] = {}
+        self.detections = 0
+        self.failovers = 0  # decisions served by a non-minimal live path
+        self.probes = 0
+        self.partitions = 0
+        self._cache: dict[tuple[str, str], Route] = {}
+
+    # -- failure detector (fed by the fabric's retry loop) ---------------
+
+    def on_drop(self, fabric: "Fabric", link_key: frozenset, now: float) -> None:
+        """One retransmission timeout expired on ``link_key`` at ``now``."""
+        n = self.drop_counts.get(link_key, 0) + 1
+        self.drop_counts[link_key] = n
+        if link_key not in self.dead and n >= self.suspect_after:
+            self.dead[link_key] = now
+            self.detections += 1
+            self._cache.clear()
+            fabric.topology.invalidate_routes()
+
+    def _probe(self, fabric: "Fabric", now: float) -> None:
+        revived = [
+            key
+            for key, t in self.dead.items()
+            if now - t >= self.probe_interval
+        ]
+        if revived:
+            for key in revived:
+                del self.dead[key]
+                self.drop_counts[key] = 0
+            self.probes += len(revived)
+            self._cache.clear()
+            fabric.topology.invalidate_routes()
+
+    # -- routing decisions ----------------------------------------------
+
+    def route(
+        self, fabric: "Fabric", src: str, dst: str, nbytes: float, now: float
+    ) -> Route:
+        if self.probe_interval is not None and self.dead:
+            self._probe(fabric, now)
+        topo = fabric.topology
+        if not self.dead:
+            # Fault-free fast path: the exact cached minimal Route
+            # (bit-identical to the no-policy default).
+            return topo.route(src, dst)
+        key = (src, dst)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        minimal = topo.route(src, dst)
+        if minimal.nhops == 0 or not any(
+            frozenset(hop) in self.dead for hop in minimal.hops
+        ):
+            route = minimal
+        else:
+            try:
+                path = topo.shortest_path_avoiding(src, dst, self.dead)
+            except KeyError:
+                self.partitions += 1
+                raise FaultError(
+                    f"no failover path {src!r} -> {dst!r}: "
+                    f"{len(self.dead)} dead link(s) partition the topology"
+                ) from None
+            route = topo.route_via(path)
+            self.failovers += 1
+        self._cache[key] = route
+        return route
+
+    # -- observability ----------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "detections": float(self.detections),
+            "dead_links": float(len(self.dead)),
+            "failovers": float(self.failovers),
+            "probes": float(self.probes),
+            "partitions": float(self.partitions),
+        }
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Snapshot-time collector payload (``routing.failover.*``)."""
+        out = {f"routing.failover.{k}": v for k, v in self.stats().items()}
+        for key, t in self.dead.items():
+            lo, hi = sorted(key)
+            out[f"routing.failover.dead.{lo}<->{hi}"] = t
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FailoverRouting(suspect_after={self.suspect_after}, "
+            f"probe_interval={self.probe_interval}, dead={len(self.dead)})"
+        )
+
+
 _POLICIES = {
     "minimal": MinimalRouting,
     "adaptive": AdaptiveRouting,
+    "failover": FailoverRouting,
 }
 
 
 def get_routing(policy: "str | RoutingPolicy | None") -> "RoutingPolicy | None":
-    """Resolve a policy name (``"minimal"``/``"adaptive"``), pass through a
-    policy instance, and map ``None`` to ``None`` (the fabric's built-in
-    minimal fast path)."""
+    """Resolve a policy name (``"minimal"``/``"adaptive"``/``"failover"``),
+    pass through a policy instance, and map ``None`` to ``None`` (the
+    fabric's built-in minimal fast path)."""
     if policy is None or not isinstance(policy, str):
         return policy
     try:

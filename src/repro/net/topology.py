@@ -213,6 +213,43 @@ class TopologySpec:
         self._path_cache[key] = path
         return list(path)
 
+    def invalidate_routes(self) -> None:
+        """Drop every cached route and path.
+
+        Minimal paths are static, so the caches normally live forever;
+        failure-aware policies (:class:`repro.net.routing.FailoverRouting`)
+        call this when their dead-element view changes so that nothing
+        downstream keeps serving a path computed under a different
+        liveness picture.  Recomputation is a pure function of the graph,
+        so invalidation never changes any zero-fault result.
+        """
+        self._route_cache.clear()
+        self._path_cache.clear()
+
+    def shortest_path_avoiding(
+        self, src: str, dst: str, dead: "frozenset[frozenset[str]] | set"
+    ) -> list[str]:
+        """Minimum-latency path that uses none of the ``dead`` links.
+
+        ``dead`` is a collection of unordered link keys (frozensets of the
+        two endpoints).  Raises ``KeyError`` when removing those links
+        partitions ``src`` from ``dst`` — the caller's signal that no
+        failover is possible.
+        """
+        for ep in (src, dst):
+            if ep not in self._graph:
+                raise KeyError(f"endpoint {ep!r} not in topology {self.name!r}")
+        view = nx.restricted_view(
+            self._graph, [], [tuple(key) for key in dead]
+        )
+        try:
+            return list(nx.shortest_path(view, src, dst, weight="weight"))
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            raise KeyError(
+                f"no live path {src!r} -> {dst!r} in topology {self.name!r} "
+                f"({len(dead)} dead link(s))"
+            ) from None
+
     # -- graph-level summaries (repro topo CLI, FabricBlueprint.describe) ----
 
     def diameter_hops(self) -> int:

@@ -21,11 +21,16 @@ one-sided-vs-two-sided question can be asked of ML traffic directly.
 
 from repro.workloads.ml.inference import KvTransferResult, run_kv_transfer
 from repro.workloads.ml.moe import MoeDispatchResult, run_moe_dispatch
-from repro.workloads.ml.training import TrainingStepResult, run_training_step
+from repro.workloads.ml.training import (
+    RecoverableTrainingSpec,
+    TrainingStepResult,
+    run_training_step,
+)
 
 __all__ = [
     "KvTransferResult",
     "MoeDispatchResult",
+    "RecoverableTrainingSpec",
     "TrainingStepResult",
     "run_kv_transfer",
     "run_moe_dispatch",

@@ -24,9 +24,42 @@ from repro.collectives.plan import CollectiveError, plan_collective
 from repro.comm.job import Job
 from repro.machines.base import MachineModel
 
-__all__ = ["TrainingStepResult", "run_training_step"]
+__all__ = ["RecoverableTrainingSpec", "TrainingStepResult", "run_training_step"]
 
 _WORD = 8.0  # transport word (f64); grads are packed into words
+
+
+@dataclass(frozen=True)
+class RecoverableTrainingSpec:
+    """The shape of a training job the cluster recovery layer can restart.
+
+    :func:`repro.cluster.run_recoverable_training` drives ``steps``
+    synchronous data-parallel steps of this shape on a shared cluster
+    fabric: each step charges ``compute_seconds`` of fwd/bwd per rank,
+    then ring-allreduces ``grad_bytes`` of gradient (each rank sends one
+    ``grad_bytes / nranks``-sized shard per ring neighbour exchange, the
+    standard bucketed-DDP wire pattern).  The spec is deliberately
+    machine-free: the same job replays identically after a rank is
+    respawned on a spare node, which is what checkpoint/restart needs.
+    """
+
+    steps: int = 12
+    grad_bytes: float = 4 * 64 * 1024.0
+    compute_seconds: float = 50e-6
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ValueError(f"steps must be >= 1, got {self.steps}")
+        if self.grad_bytes < 0:
+            raise ValueError(f"grad_bytes must be >= 0, got {self.grad_bytes}")
+        if self.compute_seconds < 0:
+            raise ValueError(
+                f"compute_seconds must be >= 0, got {self.compute_seconds}"
+            )
+
+    def shard_bytes(self, nranks: int) -> float:
+        """Bytes each rank moves per ring neighbour exchange."""
+        return self.grad_bytes / max(nranks, 1)
 
 
 @dataclass(frozen=True)

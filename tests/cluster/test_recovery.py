@@ -1,0 +1,199 @@
+"""Job-level recovery: drain, respawn on spares, replay from checkpoint."""
+
+import math
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    PlacementLedger,
+    RecoveryConfig,
+    RecoveryResult,
+    run_recoverable_training,
+)
+from repro.faults import FaultPlan, NodeFaults, RouterFaults
+from repro.machines.registry import get_machine
+from repro.net import FailoverRouting
+from repro.workloads.ml import RecoverableTrainingSpec
+
+MACHINE = "perlmutter-cpu-x8@dragonfly(4,2,2)"
+INF = math.inf
+KILL = 660e-6  # mid-step 8 of the default 12-step spec
+
+PACKED = ["n0", "n1", "n2", "n3"]
+SCATTERED = ["n0", "n2", "n4", "n6"]
+
+
+def _cluster(plan=None, routing=None, seed=7):
+    return Cluster(MACHINE, faults=plan, routing=routing, seed=seed)
+
+
+def _router_kill(name="g0r0", at=KILL):
+    return FaultPlan(hard=(RouterFaults(name, windows=((at, INF),)),))
+
+
+def _run(plan=None, *, nodes=None, interval=2, cost=0.0, routing="auto", **kw):
+    if routing == "auto":
+        routing = FailoverRouting() if plan is not None else None
+    cluster = _cluster(plan, routing=routing)
+    return run_recoverable_training(
+        cluster,
+        RecoverableTrainingSpec(),
+        nranks=4,
+        config=RecoveryConfig(checkpoint_interval=interval, checkpoint_cost=cost),
+        nodes=nodes,
+        **kw,
+    )
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        c = RecoveryConfig()
+        assert c.checkpoint_interval >= 1 and c.max_restarts >= 0
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"checkpoint_interval": 0},
+            {"checkpoint_cost": -1e-6},
+            {"detect_timeout": -1.0},
+            {"restart_cost": -1.0},
+            {"straggler_factor": 0.5},
+            {"max_restarts": -1},
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            RecoveryConfig(**kw)
+
+
+class TestNoFailure:
+    def test_completes_all_steps(self):
+        r = _run(nodes=PACKED)
+        assert r.completed and r.steps_done == 12
+        assert r.failures == 0 and r.restarts == 0 and r.replayed_steps == 0
+        assert r.nodes == sorted(PACKED)
+
+    def test_checkpoint_count(self):
+        # Every k steps, but never after the final step.
+        assert _run(nodes=PACKED, interval=2).checkpoints == 5
+        assert _run(nodes=PACKED, interval=4).checkpoints == 2
+
+    def test_checkpoint_cost_grows_makespan(self):
+        cheap = _run(nodes=PACKED, interval=4, cost=20e-6)
+        pricey = _run(nodes=PACKED, interval=1, cost=20e-6)
+        assert pricey.makespan > cheap.makespan
+
+
+class TestRouterFailure:
+    def test_packed_blast_radius_two(self):
+        r = _run(_router_kill(), nodes=PACKED)
+        assert r.completed
+        assert r.failures == 1
+        assert r.blast_radius == 2  # n0 and n1 both sit behind g0r0
+        assert r.restarts == 2
+        assert set(r.nodes).isdisjoint({"n0", "n1"})
+
+    def test_scattered_blast_radius_one(self):
+        r = _run(_router_kill(), nodes=SCATTERED)
+        assert r.completed
+        assert r.blast_radius == 1  # only n0 sits behind g0r0
+        assert r.restarts == 1
+
+    def test_dead_nodes_are_drained(self):
+        cluster = _cluster(_router_kill(), routing=FailoverRouting())
+        run_recoverable_training(
+            cluster,
+            RecoverableTrainingSpec(),
+            nranks=4,
+            config=RecoveryConfig(checkpoint_interval=2, checkpoint_cost=0.0),
+            nodes=PACKED,
+        )
+        assert cluster.ledger.drained == {"n0", "n1"}
+        assert "n0" not in cluster.ledger.spares()
+
+    def test_respawn_avoids_dead_router(self):
+        # The spare pool includes nothing behind the dead router.
+        r = _run(_router_kill(), nodes=SCATTERED)
+        assert r.failures == 1  # the respawn target did not re-fail
+
+    def test_replay_from_last_checkpoint(self):
+        # Failure strikes in step 8; last checkpoint at step 6 (k=2):
+        # one completed step (7) is lost and re-run.
+        r = _run(_router_kill(), nodes=PACKED, interval=2)
+        assert r.replayed_steps == 1
+        r = _run(_router_kill(), nodes=PACKED, interval=4)
+        assert r.replayed_steps == 3
+
+    def test_monotone_time_to_recovery(self):
+        rec = [
+            _run(_router_kill(), nodes=PACKED, interval=k).recovery_seconds
+            for k in (1, 2, 4)
+        ]
+        assert rec[0] < rec[1] < rec[2]
+
+    def test_node_failure_recovers_without_failover_routing(self):
+        # A dead *node* needs no re-routing (nothing transits a node), so
+        # minimal routing plus respawn suffices.
+        plan = FaultPlan(hard=(NodeFaults("n1", windows=((KILL, INF),)),))
+        r = _run(plan, nodes=PACKED, routing=None)
+        assert r.completed and r.blast_radius == 1
+
+
+class TestExhaustion:
+    def test_gives_up_when_spares_run_out(self):
+        # 8 nodes, the job holds 4; kill both g0r0 and g1r0 -> n0,n1 die
+        # and the n4/n5 spares are unusable; only n6,n7 remain... then
+        # kill g3r* too so nothing is left.
+        plan = FaultPlan(
+            hard=(
+                RouterFaults("g0r0", windows=((KILL, INF),)),
+                RouterFaults("g0r1", windows=((KILL, INF),)),
+                RouterFaults("g1r0", windows=((KILL, INF),)),
+                RouterFaults("g1r1", windows=((KILL, INF),)),
+                RouterFaults("g2r0", windows=((KILL, INF),)),
+                RouterFaults("g2r1", windows=((KILL, INF),)),
+                RouterFaults("g3r0", windows=((KILL, INF),)),
+                RouterFaults("g3r1", windows=((KILL, INF),)),
+            )
+        )
+        r = _run(plan, nodes=PACKED)
+        assert not r.completed
+        assert r.events and "giving up" in r.events[-1]
+
+    def test_max_restarts_bounds_recovery(self):
+        plan = _router_kill()
+        cluster = _cluster(plan, routing=FailoverRouting())
+        r = run_recoverable_training(
+            cluster,
+            RecoverableTrainingSpec(),
+            nranks=4,
+            config=RecoveryConfig(
+                checkpoint_interval=2, checkpoint_cost=0.0, max_restarts=0
+            ),
+            nodes=PACKED,
+        )
+        assert not r.completed
+        assert r.failures == 1 and r.restarts == 0
+
+
+class TestDeterminism:
+    def test_bit_identical_replay(self):
+        a = _run(_router_kill(), nodes=PACKED)
+        b = _run(_router_kill(), nodes=PACKED)
+        assert isinstance(a, RecoveryResult)
+        assert a == b  # dataclass equality: every field, bit for bit
+
+
+class TestLedger:
+    def test_drain_unknown_node_rejected(self):
+        ledger = PlacementLedger(get_machine(MACHINE))
+        with pytest.raises(KeyError, match="unknown node"):
+            ledger.drain("n99")
+
+    def test_drain_removes_from_spares(self):
+        ledger = PlacementLedger(get_machine(MACHINE))
+        assert "n3" in ledger.spares()
+        ledger.drain("n3")
+        assert "n3" not in ledger.spares()
+        assert "n3" in ledger.drained

@@ -112,3 +112,54 @@ class TestFaultPlan:
         assert not plan.clean
         plan = FaultPlan(links={("a", "b"): LinkFaults()})
         assert plan.clean
+
+
+class TestForLinkClusterNamespacing:
+    """Regression: a plan keyed on bare machine link names must bind on a
+    cluster machine, where the same endpoints carry ``n{i}.`` prefixes."""
+
+    def test_prefixed_link_falls_back_to_bare_key(self):
+        lf = LinkFaults(loss=0.2)
+        plan = FaultPlan(links={("cpu0", "nic0"): lf})
+        # On node n3 of a cluster machine the same link is namespaced.
+        assert plan.for_link("n3.cpu0", "n3.nic0") is lf
+        assert plan.for_link("n3.nic0", "n3.cpu0") is lf
+
+    def test_exact_prefixed_key_wins_over_bare(self):
+        bare = LinkFaults(loss=0.1)
+        exact = LinkFaults(loss=0.3)
+        plan = FaultPlan(
+            links={
+                ("cpu0", "nic0"): bare,
+                ("n3.cpu0", "n3.nic0"): exact,
+            }
+        )
+        assert plan.for_link("n3.cpu0", "n3.nic0") is exact
+        assert plan.for_link("n5.cpu0", "n5.nic0") is bare
+
+    def test_cross_node_links_do_not_strip(self):
+        # A nic0<->nic0 key must not match the inter-node path n0.nic0 ->
+        # n1.nic0: the endpoints live on different nodes.
+        plan = FaultPlan(links={("nic0", "nic0"): LinkFaults(loss=0.2)})
+        assert plan.for_link("n0.nic0", "n1.nic0") is NO_FAULTS
+
+    def test_fabric_level_links_unaffected(self):
+        plan = FaultPlan(links={("g0r0", "g1r0"): LinkFaults(loss=0.2)})
+        assert plan.for_link("g0r0", "g1r0").loss == 0.2
+        assert plan.for_link("n0.nic0", "g0r0") is NO_FAULTS
+
+    def test_faulty_cluster_flood_sees_bare_key_faults(self):
+        """End to end: a bare-named link override degrades the same flood
+        on the namespaced cluster machine."""
+        from repro import faults
+        from repro.machines.registry import get_machine
+        from repro.workloads.flood import run_flood
+
+        machine = get_machine("perlmutter-cpu-x8@dragonfly(4,2,2)")
+        clean = run_flood(machine, "one_sided", 65536, 16, iters=1)
+        plan = FaultPlan(
+            links={("cpu0", "cpu1"): LinkFaults(degrade=4.0)},
+        )
+        with faults.inject(plan):
+            slowed = run_flood(machine, "one_sided", 65536, 16, iters=1)
+        assert slowed.bandwidth < clean.bandwidth

@@ -126,3 +126,57 @@ class TestAdaptive:
         f.routing._decisions += 1
         second = f.routing._pick("g0r0", "g1r0", pool, 2)
         assert first != second
+
+
+class TestAdaptiveWithDownWindows:
+    """UGAL must treat a link mid-outage as expensive, not free."""
+
+    def _down_fabric(self, routing, windows, pair=("g0r0", "g1r0")):
+        from repro.faults import FaultPlan, LinkFaults
+        from repro.faults.inject import FaultInjector
+
+        plan = FaultPlan(links={pair: LinkFaults(down=windows)})
+        return Fabric(
+            Simulator(),
+            dragonfly(4, 2, 1).topology,
+            faults=FaultInjector(plan),
+            routing=routing,
+        )
+
+    def test_detours_around_link_in_outage_window(self):
+        f = self._down_fabric(AdaptiveRouting(candidates=4), ((0.0, 50e-6),))
+        minimal = f.topology.route("g0r0", "g1r0")
+        chosen = f.routing.route(f, "g0r0", "g1r0", 4096, 1e-6)
+        # The direct link is down until 50 us: any live detour wins.
+        assert chosen.hops != minimal.hops
+        assert all(
+            frozenset(hop) != frozenset(("g0r0", "g1r0")) for hop in chosen.hops
+        )
+
+    def test_minimal_path_returns_after_window(self):
+        f = self._down_fabric(AdaptiveRouting(candidates=4), ((0.0, 50e-6),))
+        minimal = f.topology.route("g0r0", "g1r0")
+        chosen = f.routing.route(f, "g0r0", "g1r0", 4096, 60e-6)
+        assert chosen.hops == minimal.hops
+
+    def test_score_waits_out_downtime(self):
+        f = self._down_fabric(AdaptiveRouting(candidates=4), ((0.0, 50e-6),))
+        route = f.topology.route("g0r0", "g1r0")
+        inside = f.routing._score(f, route, 4096, 1e-6)
+        outside = f.routing._score(f, route, 4096, 60e-6)
+        assert inside >= 50e-6  # the head cannot leave before the window ends
+        assert outside - 60e-6 < inside - 1e-6  # less residual cost after it
+
+    def test_deterministic_replay_with_down_windows(self):
+        def run():
+            f = self._down_fabric(
+                AdaptiveRouting(candidates=4), ((0.0, 40e-6), (80e-6, 120e-6))
+            )
+            pairs = [("g0r0", "g1r0"), ("g0r1", "g2r0"), ("g0r0", "g1r0")]
+            return [
+                f.transfer(src, dst, 131072).arrival
+                for _ in range(8)
+                for src, dst in pairs
+            ]
+
+        assert run() == run()

@@ -343,6 +343,58 @@ class TestFaultCommand:
     def test_fault_unknown_machine(self, capsys):
         assert main(["fault", "elcap", "two_sided"]) == 2
 
+    CLUSTER = "perlmutter-cpu-x8@dragonfly(4,2,2)"
+
+    def test_fault_unknown_router_lists_valid_names(self, capsys):
+        rc = main(
+            ["fault", self.CLUSTER, "one_sided", "--fail-router", "bogus"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown router 'bogus'" in err
+        assert "valid routers" in err and "g0r0" in err and "g3r1" in err
+
+    def test_fault_unknown_node_rejected_eagerly(self, capsys):
+        rc = main(["fault", self.CLUSTER, "one_sided", "--fail-node", "n99"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown node 'n99'" in err and "n7" in err
+
+    def test_fault_router_on_bare_machine_rejected(self, capsys):
+        # A single-node machine has no routers at all; the error says so.
+        rc = main(
+            ["fault", "perlmutter-cpu", "one_sided", "--fail-router", "g0r0"]
+        )
+        assert rc == 2
+        assert "no router elements" in capsys.readouterr().err
+
+    def test_fail_bad_window_spec(self, capsys):
+        rc = main(
+            ["fault", self.CLUSTER, "one_sided", "--fail-router", "g0r0:oops:2"]
+        )
+        assert rc == 2
+        assert "NAME:START:END" in capsys.readouterr().err
+
+    def test_fail_nic_window_degrades_block_flood(self, capsys):
+        rc = main(
+            ["fault", self.CLUSTER, "one_sided", "--loss", "0",
+             "--fail-nic", "n0.nic0:100:160", "--placement", "block",
+             "--msgs", "16", "--iters", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hard=1 element(s)" in out
+        assert "at dead elements" in out
+
+    def test_fail_router_forever_aborts_block_flood(self, capsys):
+        rc = main(
+            ["fault", self.CLUSTER, "one_sided", "--loss", "0",
+             "--fail-router", "g0r0", "--placement", "block",
+             "--msgs", "16", "--iters", "1"]
+        )
+        assert rc == 1
+        assert "aborted" in capsys.readouterr().out
+
 
 class TestRunSurvivesCrash:
     def _experiments_with_crash(self):
