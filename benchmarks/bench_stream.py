@@ -1,0 +1,133 @@
+"""Benchmark the stream-triggered backend's host-bypass win.
+
+Runs the small-message flood on a Perlmutter-CPU variant hosting the
+hardware put-with-signal NIC (``one_sided_hw``) and writes
+``benchmarks/output/BENCH_stream.json``:
+
+* **sync-bound flood** (64 B, 1 msg/sync): every sync is a host round
+  trip for ``one_sided_hw`` but free for ``stream_triggered`` — the
+  headline gate requires stream to beat the hardware NIC by the
+  documented **>= 1.3x** margin here (measured ~1.41x);
+* **issue-bound flood** (4096 B, 64 msgs/sync): the device-initiation
+  term is paid per message, so the margin narrows and may invert —
+  recorded for the JSON but *not* gated (the honest shape: host bypass
+  wins at sync points, not on issue rate);
+* **lower-bound sweep**: across the whole grid, stream modeled time
+  never exceeds host-driven ``one_sided`` (the 4-op emulation);
+* **ablation integration**: ``run_host_involvement`` paper-shape
+  expectations all hold.
+
+Throughput (simulated stream floods per wall-clock second) feeds the CI
+regression gate: a fresh run must stay within 20% of the committed
+JSON.  Run standalone (``python benchmarks/bench_stream.py``) or via
+pytest (``pytest benchmarks/bench_stream.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.experiments.ablations import _with_hw_put_signal
+from repro.experiments.host_involvement import run_host_involvement
+from repro.machines import get_machine
+from repro.transport import ONE_SIDED, ONE_SIDED_HW, STREAM_TRIGGERED
+from repro.workloads.flood import run_flood
+
+OUTPUT = pathlib.Path(__file__).parent / "output" / "BENCH_stream.json"
+
+# (nbytes, msgs_per_sync) grid: sync-bound end first, issue-bound last.
+GRID = ((64, 1), (64, 16), (512, 16), (4096, 64), (65536, 256))
+SYNC_BOUND = (64, 1)
+ISSUE_BOUND = (4096, 64)
+MARGIN = 1.3  # documented host-bypass speedup at the sync-bound point
+
+THROUGHPUT_REPS = 50
+THROUGHPUT_POINT = (4096, 64)
+
+
+def _machine():
+    """Perlmutter CPU + the hypothetical put-with-signal NIC profile."""
+    return _with_hw_put_signal(get_machine("perlmutter-cpu"))
+
+
+def run_bench() -> dict:
+    machine = _machine()
+    runtimes = (ONE_SIDED, ONE_SIDED_HW, STREAM_TRIGGERED)
+    grid = {}
+    for nbytes, n in GRID:
+        grid[(nbytes, n)] = {
+            rt: run_flood(machine, rt, nbytes, n, iters=3).time_total
+            for rt in runtimes
+        }
+
+    sync = grid[SYNC_BOUND]
+    issue = grid[ISSUE_BOUND]
+    sync_speedup = sync[ONE_SIDED_HW] / sync[STREAM_TRIGGERED]
+    issue_speedup = issue[ONE_SIDED_HW] / issue[STREAM_TRIGGERED]
+    stream_bounded = all(
+        row[STREAM_TRIGGERED] <= row[ONE_SIDED] * (1 + 1e-12)
+        for row in grid.values()
+    )
+
+    ablation = run_host_involvement()
+
+    nbytes, n = THROUGHPUT_POINT
+    t0 = time.perf_counter()
+    for _ in range(THROUGHPUT_REPS):
+        run_flood(machine, STREAM_TRIGGERED, nbytes, n, iters=3)
+    wall = time.perf_counter() - t0
+
+    result = {
+        "bench": "stream",
+        "machine": "perlmutter-cpu + hw put-signal NIC",
+        "flood_grid": [
+            {
+                "nbytes": nb,
+                "msgs_per_sync": n_,
+                **{rt: round(t, 10) for rt, t in row.items()},
+            }
+            for (nb, n_), row in grid.items()
+        ],
+        "host_bypass": {
+            "sync_bound_point": dict(zip(("nbytes", "msgs_per_sync"),
+                                         SYNC_BOUND)),
+            "speedup_vs_one_sided_hw": round(sync_speedup, 3),
+            "documented_margin": MARGIN,
+            "issue_bound_speedup": round(issue_speedup, 3),
+        },
+        "throughput": {
+            "reps": THROUGHPUT_REPS,
+            "wall_seconds": round(wall, 4),
+            "stream_floods_per_sec": round(THROUGHPUT_REPS / wall, 1),
+        },
+        "checks": {
+            "stream_beats_hw_nic_when_sync_bound":
+                sync_speedup >= MARGIN,
+            "stream_never_slower_than_one_sided": stream_bounded,
+            "host_involvement_expectations_pass":
+                ablation.all_expectations_met,
+        },
+    }
+    OUTPUT.parent.mkdir(exist_ok=True)
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def test_stream_bench():
+    result = run_bench()
+    failed = [k for k, ok in result["checks"].items() if not ok]
+    assert not failed, f"stream bench checks failed: {failed} in {result}"
+
+
+def main() -> int:
+    result = run_bench()
+    print(json.dumps(result, indent=2))
+    print(f"wrote {OUTPUT}")
+    return 0 if all(result["checks"].values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

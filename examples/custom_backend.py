@@ -15,10 +15,13 @@ put-with-signal.  This example builds that NIC as a *user* backend:
 Every workload in the repo (stencil, SpTRSV, hashtable, flood) would
 accept ``FUSED`` as its ``runtime`` argument — the runners emit
 :class:`repro.ir.IRProgram` values lowered through
-:func:`repro.ir.run_program` and never see the backend.  Because the
-flood below is IR, the pass pipeline works on the new backend with zero
-extra code: the last section turns passes on and prints the rewrite
-report (docs/IR.md).
+:func:`repro.ir.run_program` and never see the backend.  The declared
+:class:`BackendCaps` is the backend's *entire* behavioural contract with
+the rest of the repo: capability-driven consumers — the IR pass gates,
+``Selection.explain``, :func:`repro.transport.require` selection, the
+host-involvement ablation's overhead model — all pick it up from
+:func:`repro.transport.capabilities` with zero extra code, and the last
+sections demonstrate each one.
 
 Run:  python examples/custom_backend.py
 """
@@ -27,7 +30,14 @@ import dataclasses
 
 from repro import ir
 from repro.machines import perlmutter_cpu
-from repro.transport import ONE_SIDED, TWO_SIDED, BackendCaps, register_backend
+from repro.transport import (
+    ONE_SIDED,
+    TWO_SIDED,
+    BackendCaps,
+    capabilities,
+    register_backend,
+    require,
+)
 from repro.transport.shmem import ShmemBackend
 from repro.util import fmt_bw
 from repro.workloads.flood import run_flood
@@ -40,17 +50,35 @@ class FusedPutNic(ShmemBackend):
 
     The op sequences (fused put+signal, true receiver notification) come
     from the parent adapter; only the name and the cost profile differ.
+    Declare capabilities *first* and completely — every flag, not just
+    the ones that differ from the default — because consumers branch on
+    the caps table, never on the backend's name.
     """
 
     name = FUSED
     costs_key = FUSED
     sided = "shmem"  # fused-op accounting in the analytic rooflines
-    caps = BackendCaps(remote_atomics=True, ops_per_message=1,
-                       gpu_initiated=False)
+    caps = BackendCaps(
+        remote_atomics=True,   # NIC-side fetch-add (hashtable workload)
+        ops_per_message=1,     # the whole point: one fused op, not four
+        gpu_initiated=False,   # host issues the verbs...
+        host_bypass=False,     # ...and host polls completion
+        fence_epochs=False,    # no epoch fence -> sync-elide stays off
+        stream_ordered=False,  # no device stream ordering
+    )
     description = "example: CPU NIC with hardware put-with-signal"
 
 
 register_backend(FusedPutNic())
+
+# Registering the same name twice is a loud, self-diagnosing error — the
+# message names the incumbent class and description, so a double-import
+# is identifiable without a debugger.  Opt-in shadowing: replace=True.
+try:
+    register_backend(FusedPutNic())
+except ValueError as exc:
+    _COLLISION = str(exc)
+register_backend(FusedPutNic(), replace=True)  # idempotent re-run
 
 
 def fused_machine():
@@ -69,6 +97,19 @@ def fused_machine():
 
 def main() -> None:
     print("registered backend:", FusedPutNic.name)
+    print("collision diagnostic:", _COLLISION)
+    print()
+
+    # The caps table now carries the user backend next to the built-ins,
+    # and capability-predicate selection finds it without naming it:
+    # require() returns every backend whose declared caps match.
+    print("capabilities():")
+    for name, caps in sorted(capabilities().items()):
+        print(f"  {name:>16}: {caps.summary()}")
+    fused_ops = require(ops_per_message=1, gpu_initiated=False)
+    print(f"require(ops_per_message=1, gpu_initiated=False).candidates() = "
+          f"{fused_ops.candidates()}")
+    assert FUSED in fused_ops.candidates()
     print()
 
     # Small-message flood: sweep messages-per-sync and watch the
@@ -101,6 +142,21 @@ def main() -> None:
     with ir.passes(True), ir.collect() as reports:
         run_flood(fused_machine(), FUSED, nbytes, 256, iters=3)
     print(ir.explain_all(reports))
+
+    # The host-involvement ablation's overhead model branches on the
+    # caps table too, so the user backend gets a correctly-costed row
+    # with zero extra code: ops_per_message=1 selects the fused
+    # put_signal-per-message formula instead of the 4-op emulation.
+    from repro.experiments.host_involvement import host_overhead
+
+    machine = fused_machine()
+    print()
+    print("host_overhead (256 msgs, 3 syncs) via the caps table:")
+    for runtime in (TWO_SIDED, ONE_SIDED, FUSED):
+        h = host_overhead(machine, runtime, messages=256, syncs=3)
+        print(f"  {runtime:>16}: {h * 1e6:8.1f} us")
+    assert host_overhead(machine, FUSED, messages=256, syncs=3) < \
+        host_overhead(machine, ONE_SIDED, messages=256, syncs=3)
 
 
 if __name__ == "__main__":

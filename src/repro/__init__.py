@@ -21,12 +21,15 @@ from repro.api import (
     ONE_SIDED,
     ONE_SIDED_HW,
     SHMEM,
+    STREAM_TRIGGERED,
     TWO_SIDED,
     Session,
     backend_names,
+    capabilities,
     experiment_names,
     get_machine,
     machine_names,
+    require,
     run_experiment,
 )
 from repro.sweep import run_sweep
@@ -40,10 +43,13 @@ __all__ = [
     "get_machine",
     "machine_names",
     "backend_names",
+    "capabilities",
+    "require",
     "TWO_SIDED",
     "ONE_SIDED",
     "SHMEM",
     "ONE_SIDED_HW",
+    "STREAM_TRIGGERED",
     "collectives",
     "faults",
     "obs",

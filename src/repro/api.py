@@ -34,7 +34,17 @@ from repro import obs as _obs
 from repro import sweep as _sweep
 from repro.experiments import ALL_EXPERIMENTS
 from repro.machines import MACHINES, PROJECTIONS, MachineModel, get_machine
-from repro.transport import ONE_SIDED, ONE_SIDED_HW, SHMEM, TWO_SIDED, backend_names
+from repro.transport import (
+    ONE_SIDED,
+    ONE_SIDED_HW,
+    SHMEM,
+    STREAM_TRIGGERED,
+    TWO_SIDED,
+    CapsPredicate,
+    backend_names,
+    capabilities,
+    require,
+)
 
 __all__ = [
     "Session",
@@ -43,10 +53,13 @@ __all__ = [
     "get_machine",
     "machine_names",
     "backend_names",
+    "capabilities",
+    "require",
     "TWO_SIDED",
     "ONE_SIDED",
     "SHMEM",
     "ONE_SIDED_HW",
+    "STREAM_TRIGGERED",
 ]
 
 
@@ -83,9 +96,14 @@ class Session:
         machine: machine model name (``"perlmutter-gpu"``, ...) or a
             pre-built :class:`~repro.machines.base.MachineModel`; resolved
             eagerly so typos fail at construction.
-        backend: default runtime backend for the convenience runners
-            (:data:`TWO_SIDED` / :data:`ONE_SIDED` / :data:`SHMEM` /
-            :data:`ONE_SIDED_HW`), validated eagerly.
+        backend: default runtime backend for the convenience runners — a
+            registered name (:data:`TWO_SIDED` / :data:`ONE_SIDED` /
+            :data:`SHMEM` / :data:`ONE_SIDED_HW` /
+            :data:`STREAM_TRIGGERED`) or a capability predicate built
+            with :func:`repro.transport.require`
+            (``backend=require(gpu_initiated=True)`` resolves to the
+            first qualifying backend; no qualifier raises an error
+            listing the full capability table).  Validated eagerly.
         faults: a :class:`~repro.faults.FaultPlan` installed via
             :func:`repro.faults.inject` for the session's duration.
         obs: ``True`` for a fresh metrics+spans session, or a pre-built
@@ -114,7 +132,7 @@ class Session:
         self,
         *,
         machine: str | MachineModel | None = None,
-        backend: str | None = None,
+        backend: str | CapsPredicate | None = None,
         faults: "_faults.FaultPlan | None" = None,
         obs: "bool | _obs.Obs" = False,
         jobs: int = 1,
@@ -130,7 +148,11 @@ class Session:
             )
         self.placement = placement
         self.machine = get_machine(machine) if isinstance(machine, str) else machine
-        if backend is not None and backend not in backend_names():
+        if isinstance(backend, CapsPredicate):
+            # Resolve eagerly: an unsatisfiable predicate fails at
+            # construction with the full capability table.
+            backend = backend.resolve()
+        elif backend is not None and backend not in backend_names():
             raise ValueError(
                 f"unknown backend {backend!r}; valid: {', '.join(backend_names())}"
             )

@@ -101,11 +101,15 @@ class Selection:
 
     def explain(self) -> str:
         """Human-readable report of the modeled choice."""
+        from repro.transport.registry import get_backend
+
         lines = [
             f"{self.coll}(P={self.nranks}, {self.nbytes:.0f} B) on "
             f"{self.machine}/{self.runtime} -> {self.algorithm}",
             f"  model: alpha={self.alpha:.3e} s/round (L+o+o_sync), "
             f"beta={self.beta:.3e} s/B (G)",
+            # Derived from the capability table, never from the name.
+            f"  caps: {get_backend(self.runtime).caps.summary()}",
         ]
         width = max(len(a) for a, _ in self.costs)
         for alg, t in self.costs:

@@ -20,6 +20,7 @@ from repro.experiments.fig09_hashtable import run_fig09
 from repro.experiments.fig10_split import run_fig10
 from repro.experiments.future import run_future_frontier
 from repro.experiments.future_collectives import run_future_collectives
+from repro.experiments.host_involvement import run_host_involvement
 from repro.experiments.interference import run_interference
 from repro.experiments.internode import run_internode
 from repro.experiments.ml_traffic import (
@@ -46,6 +47,7 @@ __all__ = [
     "run_fig10",
     "run_future_frontier",
     "run_future_collectives",
+    "run_host_involvement",
     "run_interference",
     "run_internode",
     "run_ml_inference",
@@ -71,6 +73,7 @@ ALL_EXPERIMENTS = {
     "table2": run_table2,
     "future_frontier": run_future_frontier,
     "future_collectives": run_future_collectives,
+    "host_involvement": run_host_involvement,
     "internode": run_internode,
     "degradation": run_degradation,
     "interference": run_interference,

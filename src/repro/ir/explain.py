@@ -37,6 +37,18 @@ class IRReport:
             f"ir: {self.program}(P={self.nranks}) on "
             f"{self.machine}/{target}"
         )
+        caps_line = None
+        try:
+            from repro.transport.registry import get_backend
+
+            caps = get_backend(self.runtime).caps
+            # Branch on capabilities, not on the backend name: only
+            # runtimes with device-side completion semantics get the
+            # extra line (snapshot stability for the host-driven four).
+            if caps.host_bypass or caps.stream_ordered:
+                caps_line = f"  caps: {caps.summary()}"
+        except Exception:  # unregistered custom backend at report time
+            pass
         if not self.passes:
             lines = [head + " -> passes off"]
         else:
@@ -48,6 +60,8 @@ class IRReport:
                    if n_r else "no rewrites fired")
             ]
             lines.append("  passes: " + ", ".join(self.passes))
+        if caps_line is not None:
+            lines.append(caps_line)
         for note in self.notes:
             lines.append(f"  note: {note}")
         if self.rewrites:

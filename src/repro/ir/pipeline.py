@@ -347,6 +347,12 @@ class SyncElidePass(Pass):
     (fences are collective — rank counts must stay matched) and never
     touches a region containing ``HaloBegin(it=0)``, the epoch that
     first exposes the windows.
+
+    Backends whose caps declare ``stream_ordered`` qualify too: their
+    epoch-open is a device-side no-op (stream ordering already sequences
+    the next iteration's puts behind the previous wait), so dropping it
+    is exact as long as the endpoint's iteration counter advances at
+    ``finish`` — the stream halo endpoint guarantees that.
     """
 
     name = "sync-elide"
@@ -354,7 +360,8 @@ class SyncElidePass(Pass):
     def run(self, program, machine):
         from repro.transport.registry import get_backend
 
-        if not get_backend(program.runtime).caps.fence_epochs:
+        caps = get_backend(program.runtime).caps
+        if not (caps.fence_epochs or caps.stream_ordered):
             return program, []
         elided = 0
 
@@ -407,7 +414,11 @@ class AutoBackendPass(Pass):
         costs = []
         for name in backend_names():
             backend = get_backend(name)
-            if backend.resolve_costs_key() not in machine.runtimes:
+            try:
+                # Derived profiles (stream_triggered) resolve here even
+                # though they are absent from machine.runtimes.
+                machine.runtime(backend.resolve_costs_key())
+            except KeyError:
                 continue
             costs.append((name, program_cost(
                 program, machine, runtime=name
@@ -466,7 +477,16 @@ class PassPipeline:
 
 
 def build_pipeline(spec=True) -> PassPipeline:
-    """Normalise a pipeline spec: PassPipeline | bool | None | names."""
+    """Normalise a pipeline spec: PassPipeline | bool | None | names.
+
+    One ordering constraint is enforced: ``auto-backend`` runs before
+    ``sync-elide`` whenever both are requested.  Retargeting changes the
+    program's runtime, and sync-elide branches on the *runtime's*
+    declared caps — eliding after the retarget is what keeps a pipeline
+    idempotent (running it twice equals running it once) now that
+    auto-backend can select caps-richer runtimes like
+    ``stream_triggered``.
+    """
     if isinstance(spec, PassPipeline):
         return spec
     if spec is None or spec is False:
@@ -483,4 +503,9 @@ def build_pipeline(spec=True) -> PassPipeline:
                 f"unknown IR pass {name!r}; valid: " + ", ".join(_PASSES)
             )
         passes.append(_PASSES[name]())
+    names = [p.name for p in passes]
+    if "auto-backend" in names and "sync-elide" in names:
+        ab, se = names.index("auto-backend"), names.index("sync-elide")
+        if se < ab:
+            passes.insert(se, passes.pop(ab))
     return PassPipeline(tuple(passes))

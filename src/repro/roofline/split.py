@@ -65,10 +65,18 @@ class SplitModel:
     @classmethod
     def from_machine(cls, machine, src: str, dst: str, runtime: str = SHMEM) -> "SplitModel":
         """Build from a machine's topology and runtime profile."""
+        from repro.transport.registry import get_backend
+
         link = machine.topology.link_params(src, dst)
         inj = machine.topology.injection.get(src)
-        costs = machine.runtime(runtime)
-        o = costs.put_signal if runtime == SHMEM else costs.isend
+        backend = get_backend(runtime)
+        costs = machine.runtime(backend.resolve_costs_key())
+        # Capability branch, not a name check: fused single-op runtimes
+        # (put-with-signal families) issue via put_signal, two-sided and
+        # 4-op one-sided emulations via isend.
+        caps = backend.caps
+        fused = caps.gpu_initiated or caps.ops_per_message == 1
+        o = costs.put_signal if fused else costs.isend
         return cls(
             o=o,
             L=link.latency,

@@ -24,12 +24,14 @@ point actually killing its worker is marked failed.
 
 from __future__ import annotations
 
+import json
 import time
 from collections.abc import Callable, Mapping
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any
 
 from repro import obs
@@ -113,6 +115,57 @@ class SweepStats:
         )
 
 
+class _SpillBoard(list):
+    """Result slots that stream every completed point to a JSONL file.
+
+    ``run_sweep(..., spill_path=...)`` swaps its plain result list for
+    one of these: each ``results[i] = SweepResult(...)`` assignment —
+    cache hit, executed point, or recorded failure alike — appends one
+    JSON line immediately (the :class:`repro.obs.JsonlSink` discipline:
+    stream, retain nothing extra in memory).  Lines land in completion
+    order; each carries its own ``params``, so readers never depend on
+    file order.  Because cache hits are re-emitted, resuming an
+    interrupted sweep with the same content-addressed cache rewrites a
+    *complete* file — earlier points replay from cache in the same run.
+    """
+
+    def __init__(self, npoints: int, sweep: str, path: str | Path):
+        super().__init__([None] * npoints)
+        self.sweep = sweep
+        self.path = Path(path)
+        if self.path.parent != Path():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w")
+        self.written = 0
+
+    def __setitem__(self, i: int, result: SweepResult | None) -> None:
+        super().__setitem__(i, result)
+        if result is None or self._fh is None:
+            return
+        line = json.dumps(
+            {
+                "sweep": self.sweep,
+                "index": i,
+                "params": result.point.params_dict,
+                "seed": result.point.seed,
+                "value": result.value,
+                "cached": result.cached,
+                "error": result.error,
+            },
+            sort_keys=True,
+            default=str,
+        )
+        self._fh.write(line)
+        self._fh.write("\n")
+        self._fh.flush()  # each line survives a mid-sweep crash
+        self.written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
 def _execute_point(
     runner: PointRunner, params: Mapping[str, Any], seed: int
 ) -> tuple[dict[str, Any], float]:
@@ -152,6 +205,7 @@ def run_sweep(
     progress: Callable[[str], None] | None | object = _UNSET,
     on_error: str = "raise",
     timeout: float | None = None,
+    spill_path: str | Path | None = None,
 ) -> list[SweepResult]:
     """Execute every point of ``spec``; return results in grid order.
 
@@ -171,6 +225,12 @@ def run_sweep(
     slot until it finishes, so the *next* points may start late).  Serial
     execution cannot preempt a running point, so ``timeout`` is ignored
     there.
+
+    ``spill_path`` streams every completed point (cache hits included)
+    to a JSON Lines file as it lands, flushed per line — a crash leaves
+    a valid partial file, and re-running the sweep against the same
+    content-addressed cache regenerates a complete one (interrupted
+    points replay from cache).  See :class:`_SpillBoard`.
     """
     cfg = current_execution()
     jobs = cfg.jobs if jobs is None else jobs
@@ -187,34 +247,44 @@ def run_sweep(
     session = obs.current()
     span = session.span(f"sweep.{spec.name}") if session else nullcontext()
     t_start = time.perf_counter()
-    results: list[SweepResult | None] = [None] * len(points)
+    results: list[SweepResult | None]
+    if spill_path is not None:
+        results = _SpillBoard(len(points), spec.name, spill_path)
+    else:
+        results = [None] * len(points)
     pending: list[tuple[int, SweepPoint, str | None]] = []
     hits = 0
 
-    with span:
-        for i, pt in enumerate(points):
-            key = None
-            if cache is not None:
-                key = cache.key_for(spec, pt)
-                value = cache.get(key)
-                if value is not None:
-                    results[i] = SweepResult(pt, value, cached=True, duration=0.0)
-                    hits += 1
-                    continue
-            pending.append((i, pt, key))
+    try:
+        with span:
+            for i, pt in enumerate(points):
+                key = None
+                if cache is not None:
+                    key = cache.key_for(spec, pt)
+                    value = cache.get(key)
+                    if value is not None:
+                        results[i] = SweepResult(
+                            pt, value, cached=True, duration=0.0
+                        )
+                        hits += 1
+                        continue
+                pending.append((i, pt, key))
 
-        if progress and points:
-            progress(
-                f"[sweep] {spec.name}: {len(points)} points "
-                f"({hits} cached, {len(pending)} to run), jobs={jobs}"
-            )
+            if progress and points:
+                progress(
+                    f"[sweep] {spec.name}: {len(points)} points "
+                    f"({hits} cached, {len(pending)} to run), jobs={jobs}"
+                )
 
-        if jobs > 1 and len(pending) > 1:
-            _run_parallel(
-                spec, pending, results, cache, cfg, jobs, on_error, timeout
-            )
-        else:
-            _run_serial(spec, pending, results, cache, session, on_error)
+            if jobs > 1 and len(pending) > 1:
+                _run_parallel(
+                    spec, pending, results, cache, cfg, jobs, on_error, timeout
+                )
+            else:
+                _run_serial(spec, pending, results, cache, session, on_error)
+    finally:
+        if isinstance(results, _SpillBoard):
+            results.close()
 
     wall = time.perf_counter() - t_start
     done = [r for r in results if r is not None]

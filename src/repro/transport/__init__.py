@@ -22,11 +22,15 @@ from repro.transport.registry import (
     ONE_SIDED,
     ONE_SIDED_HW,
     SHMEM,
+    STREAM_TRIGGERED,
     TWO_SIDED,
+    CapsPredicate,
     TransportBackend,
     backend_names,
+    capabilities,
     get_backend,
     register_backend,
+    require,
     _load_builtins,
 )
 
@@ -37,10 +41,14 @@ __all__ = [
     "ONE_SIDED",
     "SHMEM",
     "ONE_SIDED_HW",
+    "STREAM_TRIGGERED",
     "TransportBackend",
     "register_backend",
     "get_backend",
     "backend_names",
+    "capabilities",
+    "require",
+    "CapsPredicate",
     "TransportError",
     "UnknownBackendError",
     "UnsupportedTransportOp",

@@ -83,15 +83,29 @@ class TransportError(RuntimeError):
 
 
 class UnknownBackendError(TransportError, ValueError):
-    """Raised for a runtime/backend name that is not registered."""
+    """Raised for a runtime/backend name that is not registered.
+
+    Carries did-you-mean suggestions: close matches from the registered
+    names (typos like ``"stream_trigered"``) are appended to the message.
+    """
 
     def __init__(self, name: str, valid: Sequence[str]):
+        import difflib
+
         self.name = name
         self.valid = tuple(valid)
-        super().__init__(
+        self.suggestions = tuple(
+            difflib.get_close_matches(name, self.valid, n=2, cutoff=0.5)
+        )
+        msg = (
             f"unknown runtime backend {name!r}; valid backends: "
             + ", ".join(repr(v) for v in self.valid)
         )
+        if self.suggestions:
+            msg += " (did you mean " + " or ".join(
+                repr(s) for s in self.suggestions
+            ) + "?)"
+        super().__init__(msg)
 
 
 class UnsupportedTransportOp(TransportError):
@@ -104,7 +118,12 @@ class UnsupportedTransportOp(TransportError):
 @dataclass(frozen=True)
 class BackendCaps:
     """What a backend can do natively (programs may branch on these to
-    pick an algorithm, never to pick an op sequence)."""
+    pick an algorithm, never to pick an op sequence).
+
+    Caps are declared once, on the backend class, and queried through
+    :func:`repro.transport.capabilities` — selector, IR passes, and the
+    CLI branch on these fields, never on backend-name strings.
+    """
 
     remote_atomics: bool = True  # true sender's-control CAS/FAA/swap
     ops_per_message: int = 2  # paper Table I accounting
@@ -114,6 +133,40 @@ class BackendCaps:
     # and may collapse (MPI_MODE_NOPRECEDE) — the IR sync-elide pass
     # fires only where this is declared.
     fence_epochs: bool = False
+    # Completion is consumed on the device with no host synchronisation
+    # call at all (no ``o_sync`` host term): the stream-triggered family.
+    host_bypass: bool = False
+    # Communication ops are enqueued on an ordered stream behind kernels;
+    # epoch-open fences carry no ordering beyond what the stream already
+    # guarantees, so sync-elide may drop them (the stream-ordered analogue
+    # of ``fence_epochs``).
+    stream_ordered: bool = False
+
+    def matches(self, **flags: Any) -> bool:
+        """True when every keyword equals the corresponding cap field
+        (the predicate primitive behind :func:`repro.transport.require`)."""
+        for key, want in flags.items():
+            if not hasattr(self, key):
+                raise TypeError(f"BackendCaps has no capability {key!r}")
+            if getattr(self, key) != want:
+                return False
+        return True
+
+    def summary(self) -> str:
+        """One-line rendering for explain reports and the caps table."""
+        bits = [
+            f"{self.ops_per_message} op/msg",
+            "gpu-initiated" if self.gpu_initiated else "host-driven",
+        ]
+        if self.fence_epochs:
+            bits.append("fence epochs")
+        if self.stream_ordered:
+            bits.append("stream-ordered")
+        if self.host_bypass:
+            bits.append("host-bypass (no o_sync)")
+        if self.remote_atomics:
+            bits.append("remote atomics")
+        return ", ".join(bits)
 
 
 # ---------------------------------------------------------------------------

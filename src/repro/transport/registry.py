@@ -32,10 +32,14 @@ __all__ = [
     "ONE_SIDED",
     "SHMEM",
     "ONE_SIDED_HW",
+    "STREAM_TRIGGERED",
     "TransportBackend",
     "register_backend",
     "get_backend",
     "backend_names",
+    "capabilities",
+    "require",
+    "CapsPredicate",
 ]
 
 # Canonical runtime names (the CommCosts keys machines are calibrated
@@ -46,6 +50,11 @@ SHMEM = "shmem"
 # Hypothetical CrayMPI with hardware put-with-signal (DESIGN.md ablation
 # #3): the 4-op one-sided emulation fused into one op.
 ONE_SIDED_HW = "one_sided_hw"
+# Stream-triggered, CPU-free communication (ROADMAP item 5): ops are
+# enqueued on ordered device streams behind kernels and complete without
+# any host synchronisation; costs derive from the machine's host-driven
+# profiles plus a device-initiation term (see repro.comm.stream).
+STREAM_TRIGGERED = "stream_triggered"
 
 _REGISTRY: dict[str, "TransportBackend"] = {}
 _BUILTINS_LOADED = False
@@ -111,11 +120,25 @@ class TransportBackend:
 
 
 def register_backend(backend: TransportBackend, *, replace: bool = False) -> TransportBackend:
-    """Register ``backend`` under ``backend.name``; returns it for chaining."""
+    """Register ``backend`` under ``backend.name``; returns it for chaining.
+
+    A name collision is an error unless ``replace=True``; the diagnostic
+    names the incumbent class (and its description) so a double-import or
+    an accidental shadowing of a built-in is identifiable from the
+    message alone.
+    """
     if not backend.name:
         raise ValueError("backend must define a non-empty name")
-    if backend.name in _REGISTRY and not replace:
-        raise ValueError(f"backend {backend.name!r} already registered")
+    incumbent = _REGISTRY.get(backend.name)
+    if incumbent is not None and not replace:
+        detail = type(incumbent).__name__
+        if incumbent.description:
+            detail += f" ({incumbent.description})"
+        raise ValueError(
+            f"backend name {backend.name!r} is already registered by "
+            f"{detail}; pass replace=True to "
+            f"{'re-register it' if type(incumbent) is type(backend) else 'shadow it'}"
+        )
     _REGISTRY[backend.name] = backend
     return backend
 
@@ -132,6 +155,7 @@ def _load_builtins() -> None:
     from repro.transport import rma  # noqa: F401
     from repro.transport import shmem  # noqa: F401
     from repro.transport import hw  # noqa: F401
+    from repro.transport import stream  # noqa: F401
 
 
 def get_backend(name: str) -> TransportBackend:
@@ -147,3 +171,75 @@ def backend_names() -> tuple[str, ...]:
     """All registered runtime names, built-ins first."""
     _load_builtins()
     return tuple(_REGISTRY)
+
+
+def capabilities() -> dict[str, BackendCaps]:
+    """The stable capability table: ``{backend name -> BackendCaps}``.
+
+    This mapping is the *single query surface* for backend capabilities —
+    selector annotations, IR passes, and the CLI read caps from here (or
+    via ``get_backend(name).caps``, the same objects) instead of
+    comparing backend-name strings.  The returned dict is a snapshot;
+    mutating it does not affect the registry.
+    """
+    _load_builtins()
+    return {name: backend.caps for name, backend in _REGISTRY.items()}
+
+
+class CapsPredicate:
+    """A capability requirement usable wherever a backend name is taken
+    (e.g. ``Session(backend=require(gpu_initiated=True))``).
+
+    Calling :meth:`resolve` picks the first registered backend whose caps
+    match every flag; :class:`UnknownBackendError`-style failure lists the
+    qualifying set (empty) alongside what *was* required.
+    """
+
+    def __init__(self, **flags):
+        if not flags:
+            raise ValueError("require() needs at least one capability flag")
+        schema = BackendCaps()
+        for key in flags:
+            if not hasattr(schema, key):
+                raise TypeError(f"BackendCaps has no capability {key!r}")
+        self.flags = dict(flags)
+
+    def candidates(self) -> tuple[str, ...]:
+        """Every registered backend satisfying the predicate, in
+        registration order."""
+        return tuple(
+            name for name, caps in capabilities().items()
+            if caps.matches(**self.flags)
+        )
+
+    def resolve(self) -> str:
+        names = self.candidates()
+        if not names:
+            from repro.transport.api import TransportError
+
+            want = ", ".join(f"{k}={v!r}" for k, v in self.flags.items())
+            table = "; ".join(
+                f"{n}: " + ", ".join(
+                    f"{k}={getattr(c, k)!r}" for k in self.flags
+                )
+                for n, c in capabilities().items()
+            )
+            raise TransportError(
+                f"no registered backend satisfies require({want}); "
+                f"capabilities: {table}"
+            )
+        return names[0]
+
+    def __repr__(self) -> str:
+        flags = ", ".join(f"{k}={v!r}" for k, v in self.flags.items())
+        return f"require({flags})"
+
+
+def require(**flags) -> CapsPredicate:
+    """A caps predicate: ``require(gpu_initiated=True, host_bypass=True)``.
+
+    Accepted by ``Session(backend=...)`` and resolvable to a backend name
+    via :meth:`CapsPredicate.resolve`; raises with the full capability
+    table when nothing qualifies.
+    """
+    return CapsPredicate(**flags)

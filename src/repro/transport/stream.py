@@ -1,0 +1,77 @@
+"""Stream-triggered backend: device-enqueued, CPU-free communication.
+
+The fifth backend family (ROADMAP item 5): the op sequences are the
+fused NVSHMEM ones (:class:`ShmemBackend` channels), executed by
+:class:`~repro.comm.stream.StreamContext` under the *derived*
+``stream_triggered`` cost profile — cheapest demonstrated issue path
+plus a device-initiation term, zero host-side overhead anywhere (see
+:func:`repro.comm.stream.derive_stream_costs`).  No machine needs a
+calibrated ``stream_triggered`` entry: :meth:`MachineModel.runtime`
+derives one on demand, so every workload, collective and IR program
+runs on this backend on every machine with zero per-workload code.
+
+The halo endpoint differs from shmem's in one load-bearing way: its
+iteration counter advances at ``finish``, not only at ``begin``.  On a
+stream-ordered queue the epoch-open is a no-op (ordering already
+sequences iteration k+1's puts behind iteration k's wait), which is what
+licenses ``SyncElidePass`` to drop ``HaloBegin`` entirely — exact only
+because ``finish`` keeps the double-buffer parity counter moving.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultSemantics
+from repro.transport.api import BackendCaps, HaloSpec
+from repro.transport.registry import STREAM_TRIGGERED, register_backend
+from repro.transport.shmem import ShmemBackend, _HaloChannel, _HaloEndpoint
+
+__all__ = ["StreamBackend"]
+
+
+class _StreamHaloEndpoint(_HaloEndpoint):
+    """Shmem halo endpoint whose ``_it`` survives epoch-open elision."""
+
+    def finish(self, it):
+        received = yield from super().finish(it)
+        # Stream ordering opens the next epoch implicitly; advance the
+        # parity/signal counter here so an elided begin(it+1) is exact.
+        self._it = it + 1
+        return received
+
+
+class _StreamHaloChannel(_HaloChannel):
+    def endpoint(self, ctx):
+        return _StreamHaloEndpoint(self, ctx)
+
+
+class StreamBackend(ShmemBackend):
+    name = STREAM_TRIGGERED
+    costs_key = STREAM_TRIGGERED
+    sided = "shmem"
+    caps = BackendCaps(
+        remote_atomics=True,
+        ops_per_message=1,
+        gpu_initiated=True,
+        host_bypass=True,
+        stream_ordered=True,
+    )
+    description = (
+        "stream-triggered CPU-free communication: ops enqueued on ordered "
+        "device streams, kernel+put fusion, hardware completion with no "
+        "host synchronisation (costs derived per machine)"
+    )
+    # Device-side triggering detects loss as fast as NVSHMEM's NIC path,
+    # and stream ordering replays without any host re-sync.
+    fault_semantics = FaultSemantics(mode="surface", detect_scale=0.5)
+
+    @property
+    def context_cls(self):
+        from repro.comm.stream import StreamContext
+
+        return StreamContext
+
+    def open_halo(self, job, spec: HaloSpec):
+        return _StreamHaloChannel(self, job, spec)
+
+
+register_backend(StreamBackend())

@@ -1,4 +1,4 @@
-"""Vectorized-vs-scalar parity on workload goldens, all four backends.
+"""Vectorized-vs-scalar parity on workload goldens, all five backends.
 
 The bulk-transfer engine (:mod:`repro.perf`) must be *bit-identical* to
 the scalar event chain — not approximately equal.  Every comparison here
@@ -25,6 +25,7 @@ BACKENDS = [
     ("one_sided", lambda: get_machine("perlmutter-cpu")),
     ("shmem", lambda: get_machine("perlmutter-gpu")),
     ("one_sided_hw", lambda: _with_hw_put_signal(get_machine("perlmutter-cpu"))),
+    ("stream_triggered", lambda: get_machine("perlmutter-gpu")),
 ]
 IDS = [b for b, _ in BACKENDS]
 

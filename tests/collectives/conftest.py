@@ -1,13 +1,15 @@
 """Fixtures for the collectives suite.
 
-The parity tests need one machine that carries *all four* runtime cost
-tables so the same schedule can run on every backend.  No measured
+The parity tests need one machine that carries *every* runtime cost
+table so the same schedule can run on every backend.  No measured
 machine does (perlmutter-cpu has the MPI pair, the GPU machines have
 shmem); the fixture equips perlmutter-cpu with synthetic ``shmem`` and
 ``one_sided_hw`` entries cloned from its one-sided costs — the
 :class:`~repro.collectives.core.CollectiveStats` accounting under test
 is backend-independent, so the cost numbers themselves are irrelevant,
-they only have to exist for the job to build.
+they only have to exist for the job to build.  ``stream_triggered``
+needs no entry at all: its profile derives lazily from the calibrated
+ones (see :func:`repro.comm.stream.derive_stream_costs`).
 """
 
 from __future__ import annotations
@@ -18,9 +20,15 @@ import numpy as np
 import pytest
 
 from repro.machines import perlmutter_cpu
-from repro.transport import ONE_SIDED, ONE_SIDED_HW, SHMEM, TWO_SIDED
+from repro.transport import (
+    ONE_SIDED,
+    ONE_SIDED_HW,
+    SHMEM,
+    STREAM_TRIGGERED,
+    TWO_SIDED,
+)
 
-ALL_RUNTIMES = (TWO_SIDED, ONE_SIDED, SHMEM, ONE_SIDED_HW)
+ALL_RUNTIMES = (TWO_SIDED, ONE_SIDED, SHMEM, ONE_SIDED_HW, STREAM_TRIGGERED)
 
 
 @pytest.fixture

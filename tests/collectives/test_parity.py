@@ -1,4 +1,4 @@
-"""Cross-backend parity: one schedule, four transports, same accounting.
+"""Cross-backend parity: one schedule, five transports, same accounting.
 
 The tentpole guarantee of :mod:`repro.collectives` is that an algorithm
 is written once against the round-slotted verbs and means the same thing
@@ -113,3 +113,8 @@ def test_timings_differ_but_order_is_sane(cpu_all_runtimes):
     }
     assert len({round(v, 12) for v in t.values()}) > 1
     assert t["one_sided_hw"] <= t["one_sided"]
+    # Host bypass strictly removes overhead: stream-triggered is never
+    # slower than any host-driven runtime on the same machine.
+    assert t["stream_triggered"] <= min(
+        t[rt] for rt in ALL_RUNTIMES if rt != "stream_triggered"
+    )

@@ -65,3 +65,16 @@ class TestReportStructure:
     def test_table2_rows_are_three_workloads(self):
         rep = run_table2()
         assert [r[0] for r in rep.rows] == ["Stencil", "SpTRSV", "Hashtable"]
+
+    def test_host_involvement_deterministic_and_shaped(self):
+        from repro.experiments import run_host_involvement
+
+        a, b = run_host_involvement(), run_host_involvement()
+        assert a.rows == b.rows
+        assert a.expectations == b.expectations
+        # Every workload sweeps all four generations; stream rows carry
+        # exactly zero host microseconds.
+        assert len(a.rows) == 5 * 4
+        stream_rows = [r for r in a.rows if r[1] == "stream_triggered"]
+        assert len(stream_rows) == 5
+        assert all(r[3] == 0.0 for r in stream_rows)

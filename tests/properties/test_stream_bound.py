@@ -1,0 +1,85 @@
+"""Property: stream-triggered is a modeled lower bound (hypothesis).
+
+The derived stream profile (:func:`repro.comm.stream.derive_stream_costs`)
+takes the cheapest positive issue cost any host profile carries, adds the
+device-initiation term, and zeroes every host-side field — so for *any*
+workload program on *any* machine hosting the 4-op one-sided emulation,
+the stream-triggered modeled time never exceeds host-driven one-sided.
+This is the paper-shape claim behind the ``host_involvement`` ablation,
+checked here over randomly drawn (workload, shape, machine) points rather
+than the ablation's five fixed ones.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import program_cost
+from repro.machines.registry import get_machine
+from repro.transport import ONE_SIDED, STREAM_TRIGGERED
+from repro.workloads.flood import build_cas_flood_program, build_flood_program
+from repro.workloads.hashtable.runner import (
+    HashTableConfig,
+    _plan_rounds,
+    build_hashtable_program,
+    generate_keys,
+)
+from repro.workloads.hashtable.table import TableGeometry
+from repro.workloads.stencil.decomposition import ProcessGrid
+from repro.workloads.stencil.runner import StencilConfig, build_stencil_program
+
+# Machines whose calibrated tables host the one-sided emulation; the
+# stream profile needs no entry anywhere (it derives lazily).
+MACHINES = ("perlmutter-cpu", "summit-cpu", "frontier-cpu")
+
+
+@st.composite
+def program_pairs(draw):
+    """The same workload shape lowered for one_sided and stream."""
+    machine = get_machine(draw(st.sampled_from(MACHINES)))
+    kind = draw(st.sampled_from(("flood", "cas_flood", "stencil", "hashtable")))
+    if kind == "flood":
+        nbytes = draw(st.sampled_from((64, 1024, 4096, 65536)))
+        n = draw(st.sampled_from((1, 4, 64)))
+        iters = draw(st.integers(1, 3))
+        build = lambda rt: build_flood_program(rt, nbytes, n, iters=iters)
+    elif kind == "cas_flood":
+        n_ops = draw(st.integers(1, 64))
+        build = lambda rt: build_cas_flood_program(
+            rt, n_ops=n_ops, target_rank=1
+        )
+    elif kind == "stencil":
+        nranks = draw(st.sampled_from((1, 2, 4)))
+        n = draw(st.sampled_from((16, 32)))
+        cfg = StencilConfig(
+            nx=n, ny=n, iters=draw(st.integers(1, 3)), mode="simulate"
+        )
+        grid = ProcessGrid.square_ish(nranks)
+        build = lambda rt: build_stencil_program(rt, cfg, grid, nranks)
+    else:
+        nranks = draw(st.sampled_from((2, 4)))
+        cfg = HashTableConfig(total_inserts=draw(st.sampled_from((32, 128))))
+        geom = TableGeometry.for_inserts(
+            nranks, cfg.total_inserts, load_factor=cfg.load_factor
+        )
+        keys = generate_keys(cfg, nranks)
+        incoming = _plan_rounds(geom, keys, nranks, cfg.sync_window)
+        build = lambda rt: build_hashtable_program(
+            rt, geom, keys, incoming, cfg.sync_window, nranks
+        )
+    return build(ONE_SIDED), build(STREAM_TRIGGERED), machine
+
+
+@settings(max_examples=80, deadline=None)
+@given(program_pairs())
+def test_stream_never_models_slower_than_one_sided(pair):
+    host, stream, machine = pair
+    if host.dynamic or stream.dynamic:
+        return  # dynamic programs have no static modeled cost
+    t_host = program_cost(host, machine)
+    t_stream = program_cost(stream, machine)
+    assert t_stream <= t_host * (1 + 1e-12), (
+        f"stream modeled slower than one_sided on "
+        f"{host.name}@{machine.name}: {t_host} -> {t_stream}"
+    )

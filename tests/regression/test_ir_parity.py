@@ -1,4 +1,4 @@
-"""IR lowering parity: passes-off output pinned across all four backends.
+"""IR lowering parity: passes-off output pinned across all five backends.
 
 The IR layer is a refactor seam on top of the transport seam: with the
 empty pipeline (the default), lowering a builder-produced program through
@@ -40,14 +40,16 @@ def _hw_machine():
 
 
 def _machine_for(backend: str):
-    if backend == "shmem":
+    if backend in ("shmem", "stream_triggered"):
+        # stream_triggered needs no calibrated profile: its costs derive
+        # lazily from the machine's host-driven ones.
         return get_machine("perlmutter-gpu")
     if backend == "one_sided_hw":
         return _hw_machine()
     return get_machine("perlmutter-cpu")
 
 
-BACKENDS = ["two_sided", "one_sided", "shmem", "one_sided_hw"]
+BACKENDS = ["two_sided", "one_sided", "shmem", "one_sided_hw", "stream_triggered"]
 
 
 @pytest.mark.parametrize("backend", BACKENDS)

@@ -220,3 +220,57 @@ class TestTimeout:
     def test_invalid_timeout_rejected(self):
         with pytest.raises(ValueError, match="timeout"):
             run_sweep(_spec(), timeout=0.0)
+
+
+class TestSpill:
+    def _lines(self, path):
+        import json
+
+        return [json.loads(line) for line in path.read_text().splitlines()]
+
+    def test_every_point_spilled_in_grid_order(self, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        results = run_sweep(_spec(), spill_path=out)
+        lines = self._lines(out)
+        assert [ln["params"]["x"] for ln in lines] == [1, 2, 3, 4]
+        assert [ln["value"]["y"] for ln in lines] == [1, 4, 9, 16]
+        assert all(ln["sweep"] == "unit" for ln in lines)
+        assert all(not ln["cached"] for ln in lines)
+        assert [ln["seed"] for ln in lines] == [r.point.seed for r in results]
+
+    def test_cache_resume_rewrites_complete_file(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = tmp_path / "first.jsonl"
+        run_sweep(_spec(), cache=cache, spill_path=first)
+        resumed = tmp_path / "resumed.jsonl"
+        run_sweep(_spec(), cache=cache, spill_path=resumed)
+        a, b = self._lines(first), self._lines(resumed)
+        assert all(ln["cached"] for ln in b)
+        assert [ln["value"] for ln in a] == [ln["value"] for ln in b]
+        assert [ln["params"] for ln in a] == [ln["params"] for ln in b]
+
+    def test_failures_spilled_with_error(self, tmp_path):
+        out = tmp_path / "keep.jsonl"
+        run_sweep(_spec(runner=_fail_on_two), on_error="keep", spill_path=out)
+        by_x = {ln["params"]["x"]: ln for ln in self._lines(out)}
+        assert "ValueError" in by_x[2]["error"]
+        assert by_x[2]["value"] == {}
+        assert by_x[1]["error"] is None
+
+    def test_raise_path_keeps_partial_file(self, tmp_path):
+        out = tmp_path / "partial.jsonl"
+        with pytest.raises(SweepError):
+            run_sweep(_spec(runner=_fail_on_two), spill_path=out)
+        lines = self._lines(out)
+        assert len(lines) == 1 and lines[0]["params"]["x"] == 1
+
+    def test_parallel_spill_covers_every_point(self, tmp_path):
+        out = tmp_path / "par.jsonl"
+        run_sweep(_spec(), jobs=2, spill_path=out)
+        lines = sorted(self._lines(out), key=lambda ln: ln["index"])
+        assert [ln["value"]["y"] for ln in lines] == [1, 4, 9, 16]
+
+    def test_parent_directory_created(self, tmp_path):
+        out = tmp_path / "deep" / "nested" / "sweep.jsonl"
+        run_sweep(_spec(), spill_path=out)
+        assert len(self._lines(out)) == 4

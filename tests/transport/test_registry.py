@@ -141,3 +141,107 @@ class TestJobIntegration:
             from repro.transport import registry
 
             registry._REGISTRY.pop("fused-nic-test", None)
+
+
+class TestCapabilitiesTable:
+    def test_every_registered_backend_has_a_row(self):
+        from repro.transport import capabilities
+
+        table = capabilities()
+        assert set(backend_names()) <= set(table)
+        for name, caps in table.items():
+            assert caps is get_backend(name).caps
+
+    def test_stream_triggered_is_fifth_builtin(self):
+        from repro.transport import STREAM_TRIGGERED
+
+        assert backend_names()[4] == STREAM_TRIGGERED
+        caps = get_backend(STREAM_TRIGGERED).caps
+        assert caps.gpu_initiated
+        assert caps.host_bypass
+        assert caps.stream_ordered
+        assert caps.ops_per_message == 1
+
+    def test_summary_is_deterministic_prose(self):
+        from repro.transport import STREAM_TRIGGERED
+
+        s = get_backend(STREAM_TRIGGERED).caps.summary()
+        assert "host-bypass" in s and "stream-ordered" in s
+        assert get_backend(TWO_SIDED).caps.summary().startswith("2 op/msg")
+
+    def test_matches_rejects_unknown_flag(self):
+        with pytest.raises(TypeError, match="no capability"):
+            get_backend(SHMEM).caps.matches(quantum_links=True)
+
+
+class TestRequire:
+    def test_candidates_filter_on_declared_caps(self):
+        from repro.transport import STREAM_TRIGGERED, require
+
+        assert require(host_bypass=True).candidates() == (STREAM_TRIGGERED,)
+        fused = require(ops_per_message=1).candidates()
+        assert SHMEM in fused and ONE_SIDED_HW in fused
+        assert TWO_SIDED not in fused
+
+    def test_resolve_returns_first_qualifier(self):
+        from repro.transport import require
+
+        assert require(gpu_initiated=True).resolve() == SHMEM
+
+    def test_unsatisfiable_predicate_lists_caps_table(self):
+        from repro.transport import TransportError, require
+
+        with pytest.raises(TransportError) as exc:
+            require(gpu_initiated=True, remote_atomics=False).resolve()
+        msg = str(exc.value)
+        assert "no registered backend satisfies" in msg
+        for name in (TWO_SIDED, SHMEM):
+            assert name in msg
+
+    def test_unknown_flag_rejected_eagerly(self):
+        from repro.transport import require
+
+        with pytest.raises(TypeError, match="no capability"):
+            require(telepathy=True)
+
+    def test_empty_predicate_rejected(self):
+        from repro.transport import require
+
+        with pytest.raises(ValueError, match="at least one"):
+            require()
+
+    def test_session_accepts_predicate(self):
+        from repro import Session
+        from repro.transport import STREAM_TRIGGERED, require
+
+        s = Session(machine="perlmutter-gpu", backend=require(host_bypass=True))
+        assert s.backend == STREAM_TRIGGERED
+
+
+class TestDiagnostics:
+    def test_unknown_backend_suggests_close_name(self):
+        with pytest.raises(UnknownBackendError, match="did you mean"):
+            get_backend("stream_trigered")
+        with pytest.raises(UnknownBackendError, match=repr(TWO_SIDED)):
+            get_backend("two_sided_mpi")
+
+    def test_hopeless_typo_gets_no_suggestion(self):
+        with pytest.raises(UnknownBackendError) as exc:
+            get_backend("zzzz")
+        assert "did you mean" not in str(exc.value)
+
+    def test_collision_names_incumbent_class_and_description(self):
+        with pytest.raises(ValueError) as exc:
+            register_backend(get_backend(SHMEM))
+        msg = str(exc.value)
+        assert type(get_backend(SHMEM)).__name__ in msg
+        assert "replace=True" in msg
+
+    def test_collision_with_different_class_says_shadow(self):
+        class Imposter(TransportBackend):
+            name = SHMEM
+            costs_key = SHMEM
+            caps = BackendCaps()
+
+        with pytest.raises(ValueError, match="shadow"):
+            register_backend(Imposter())
